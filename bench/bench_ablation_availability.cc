@@ -1,0 +1,122 @@
+// Ablation: end-to-end availability per restart tree.
+//
+// Availability = MTTF/(MTTF+MTTR) (§3). We run each published tree for ten
+// simulated days under the Table-1 background failure processes (including
+// pbcom aging and a 25% joint share of pbcom failures) with the appropriate
+// oracle, sample functional state twice a second, and report uptime, the
+// number of incidents, and downtime seconds per day. The analytic model's
+// prediction is printed alongside.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/availability.h"
+#include "core/mercury_trees.h"
+#include "sim/simulator.h"
+#include "station/experiment.h"
+#include "station/fault_injector.h"
+
+namespace {
+
+using mercury::core::MercuryTree;
+using mercury::station::OracleKind;
+using mercury::util::Duration;
+
+struct LongRunResult {
+  double availability = 0.0;
+  std::uint64_t failures = 0;
+  std::uint64_t restarts = 0;
+  double downtime_s_per_day = 0.0;
+};
+
+LongRunResult long_run(MercuryTree tree, OracleKind oracle, double days,
+                       std::uint64_t seed) {
+  mercury::sim::Simulator sim(seed);
+  mercury::station::TrialSpec spec;
+  spec.tree = tree;
+  spec.oracle = oracle;
+  spec.faulty_p_low = 0.3;
+  mercury::station::MercuryRig rig(sim, spec);
+  rig.start();
+
+  mercury::station::InjectorConfig injector_config;
+  mercury::station::FaultInjector injector(rig.station(), injector_config);
+  injector.start();
+
+  // Sample functional state at 2 Hz; each miss charges half a second.
+  double downtime = 0.0;
+  mercury::sim::PeriodicTask sampler(sim, "availability-sampler",
+                                     Duration::millis(500.0), [&] {
+                                       if (!rig.station().all_functional()) {
+                                         downtime += 0.5;
+                                       }
+                                     });
+  sampler.start();
+
+  const double horizon = days * 86400.0;
+  sim.run_for(Duration::seconds(horizon));
+
+  LongRunResult result;
+  result.availability = 1.0 - downtime / horizon;
+  result.failures = rig.station().board().total_injected();
+  result.restarts = rig.rec().restarts_executed();
+  result.downtime_s_per_day = downtime / days;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+  using mercury::util::format_fixed;
+
+  print_header(
+      "Ablation — availability per tree, 10 simulated days of Table-1\n"
+      "failures (joint pbcom share 25%, pbcom aging on)");
+
+  constexpr double kDays = 10.0;
+  const std::vector<int> widths = {6, 9, 14, 10, 10, 16, 14};
+  print_row({"Tree", "oracle", "availability", "failures", "restarts",
+             "downtime s/day", "model avail."},
+            widths);
+  print_rule(widths);
+
+  struct RowSpec {
+    MercuryTree tree;
+    OracleKind oracle;
+    const char* oracle_label;
+    double model_p_low;
+  };
+  const RowSpec rows[] = {
+      {MercuryTree::kTreeI, OracleKind::kPerfect, "perfect", 0.0},
+      {MercuryTree::kTreeII, OracleKind::kPerfect, "perfect", 0.0},
+      {MercuryTree::kTreeIII, OracleKind::kPerfect, "perfect", 0.0},
+      {MercuryTree::kTreeIV, OracleKind::kPerfect, "perfect", 0.0},
+      {MercuryTree::kTreeIV, OracleKind::kFaultyPerfect, "faulty", 0.3},
+      {MercuryTree::kTreeV, OracleKind::kFaultyPerfect, "faulty", 0.3},
+  };
+
+  std::uint64_t seed = 90'000;
+  for (const RowSpec& row : rows) {
+    const auto result = long_run(row.tree, row.oracle, kDays, seed += 7);
+    const auto model = mercury::core::mercury_system_model(
+        mercury::core::uses_split_fedrcom(row.tree), row.model_p_low);
+    const double predicted = mercury::core::predicted_availability(
+        mercury::core::make_mercury_tree(row.tree), model);
+    print_row({mercury::core::to_string(row.tree), row.oracle_label,
+               format_fixed(result.availability * 100.0, 4) + "%",
+               std::to_string(result.failures), std::to_string(result.restarts),
+               format_fixed(result.downtime_s_per_day, 1),
+               format_fixed(predicted * 100.0, 4) + "%"},
+              widths);
+  }
+
+  std::printf(
+      "\nExpected ordering: I << II < III < IV (perfect); V(faulty) beats\n"
+      "IV(faulty). fedr's ~11-minute MTTF dominates incident count, so the\n"
+      "availability gap tracks the cheap-restart path for fedr-class\n"
+      "failures. (Tree I and II failure counts differ from the split trees:\n"
+      "the fused fedrcom is modeled with the 10-minute Table-1 MTTF.)\n");
+  return 0;
+}

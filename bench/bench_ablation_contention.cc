@@ -1,0 +1,55 @@
+// Ablation: restart contention vs whole-system recovery (tree I).
+//
+// §4.1 observes that "a whole system restart causes contention for
+// resources ... this contention slows all components down" — it is why
+// tree I's 24.75 s exceeds fedrcom's standalone 20.93 s. The sweep varies
+// the contention slope and shows how strongly tree I (5-way concurrent
+// restart) degrades while tree II (single restarts) is untouched.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/mercury_trees.h"
+#include "station/experiment.h"
+
+int main() {
+  namespace names = mercury::core::component_names;
+  using mercury::core::MercuryTree;
+  using mercury::station::OracleKind;
+  using mercury::station::TrialSpec;
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+
+  print_header(
+      "Ablation — contention slope vs MTTR: tree I (full reboot) vs tree II");
+
+  const std::vector<int> widths = {10, 16, 16, 10};
+  print_row({"slope", "tree I rtu (s)", "tree II rtu (s)", "I/II"}, widths);
+  print_rule(widths);
+
+  std::uint64_t seed = 11'000;
+  for (double slope : {0.0, 0.03, 0.0628, 0.12, 0.25}) {
+    auto measure = [&](MercuryTree tree) {
+      TrialSpec spec;
+      spec.tree = tree;
+      spec.oracle = OracleKind::kPerfect;
+      spec.fail_component = names::kRtu;
+      spec.cal.contention_slope = slope;
+      spec.seed = seed += 23;
+      return mercury::station::run_trials(spec, 80).mean();
+    };
+    const double tree_i = measure(MercuryTree::kTreeI);
+    const double tree_ii = measure(MercuryTree::kTreeII);
+    print_row({mercury::util::format_fixed(slope, 4),
+               mercury::util::format_fixed(tree_i, 2),
+               mercury::util::format_fixed(tree_ii, 2),
+               mercury::util::format_fixed(tree_i / tree_ii, 2) + "x"},
+              widths);
+  }
+
+  std::printf(
+      "\nslope 0.0628 is the calibrated default (tree I = 24.75 s). Partial\n"
+      "restarts dodge contention entirely: tree II's cell restarts run one\n"
+      "process at a time, so its MTTR is slope-invariant.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: FD ping period vs recovery time and bus load.
+//
+// The paper chose a 1-second period "determined from operational experience
+// to minimize detection time without overloading mbus" (§2.2). The sweep
+// quantifies that trade: detection latency (and hence MTTR) scales with
+// ~period/2, while ping traffic scales with 1/period.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/mercury_trees.h"
+#include "station/experiment.h"
+
+int main() {
+  namespace names = mercury::core::component_names;
+  using mercury::core::MercuryTree;
+  using mercury::station::OracleKind;
+  using mercury::station::TrialSpec;
+  using mercury::util::Duration;
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+
+  print_header(
+      "Ablation — FD ping period vs MTTR (tree IV, perfect oracle) and bus load");
+
+  const std::vector<int> widths = {12, 14, 14, 16};
+  print_row({"period (s)", "rtu MTTR (s)", "ses MTTR (s)", "pings/sec (bus)"},
+            widths);
+  print_rule(widths);
+
+  std::uint64_t seed = 7'000;
+  for (double period : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    TrialSpec spec;
+    spec.tree = MercuryTree::kTreeIV;
+    spec.oracle = OracleKind::kPerfect;
+    spec.cal.ping_period = Duration::seconds(period);
+
+    spec.fail_component = names::kRtu;
+    spec.seed = seed += 17;
+    const double rtu = mercury::station::run_trials(spec, 100).mean();
+    spec.fail_component = names::kSes;
+    spec.seed = seed += 17;
+    const double ses = mercury::station::run_trials(spec, 100).mean();
+
+    const double pings_per_sec = 6.0 / period;  // six monitored components
+    print_row({mercury::util::format_fixed(period, 2),
+               mercury::util::format_fixed(rtu, 2),
+               mercury::util::format_fixed(ses, 2),
+               mercury::util::format_fixed(pings_per_sec, 1)},
+              widths);
+  }
+
+  std::printf(
+      "\nMTTR falls by ~period/2 as the period shrinks (ses pays twice: its\n"
+      "induced str wedge is detected by pings too) while bus load grows as\n"
+      "1/period — the operational trade behind the paper's 1 s choice.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation: proactive rejuvenation from health beacons (§7) vs reactive
+// recovery only.
+//
+// fedr leaks memory (8 MB/min) and wears out (Weibull k=3 lifetime whose
+// mean we set to ~8 minutes of uptime). Without the health monitor, every
+// wear-out is an *unplanned* failure: detection latency plus restart,
+// possibly mid-pass. With the monitor, the memory trend triggers a planned
+// restart before the crash — no detection latency, schedulable into
+// maintenance windows — so unplanned fedr failures mostly disappear.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/health_monitor.h"
+#include "core/mercury_trees.h"
+#include "sim/simulator.h"
+#include "station/experiment.h"
+#include "station/fault_injector.h"
+#include "station/health_reporter.h"
+
+namespace {
+
+namespace names = mercury::core::component_names;
+using mercury::util::Duration;
+
+struct Outcome {
+  std::uint64_t unplanned_failures = 0;
+  std::uint64_t planned_restarts = 0;
+  double downtime_s = 0.0;
+  double planned_downtime_s = 0.0;
+
+  double unplanned_downtime_s() const { return downtime_s - planned_downtime_s; }
+};
+
+Outcome long_run(bool with_health_monitor, std::uint64_t seed) {
+  mercury::sim::Simulator sim(seed);
+  mercury::station::TrialSpec spec;
+  spec.tree = mercury::core::MercuryTree::kTreeIV;
+  spec.oracle = mercury::station::OracleKind::kHeuristic;
+  // fedr wears out after ~8 minutes of uptime; other rates at defaults.
+  spec.cal.mttf_fedr = Duration::minutes(8.0);
+  mercury::station::MercuryRig rig(sim, spec);
+  rig.start();
+
+  mercury::station::InjectorConfig injector_config;
+  injector_config.fedr_weibull_shape = 3.0;
+  mercury::station::FaultInjector injector(rig.station(), injector_config);
+  injector.start();
+
+  std::unique_ptr<mercury::station::StationHealthReporter> reporter;
+  std::unique_ptr<mercury::core::HealthMonitor> monitor;
+  if (with_health_monitor) {
+    reporter =
+        std::make_unique<mercury::station::StationHealthReporter>(rig.station(), "hm");
+    // fedr's leak hits this limit after ~5 minutes of uptime — comfortably
+    // before the ~8-minute wear-out knee.
+    mercury::core::HealthPolicy policy;
+    policy.memory_limit_mb = 88.0;
+    policy.min_spacing = Duration::minutes(3.0);
+    monitor = std::make_unique<mercury::core::HealthMonitor>(
+        sim, rig.station().bus(), "hm", policy);
+    monitor->set_rejuvenator([&rig](const std::string& component) {
+      return rig.rec().planned_restart(component);
+    });
+    rig.station().add_bus_restart_listener([&] { monitor->reattach(); });
+    reporter->start();
+    monitor->start();
+  }
+
+  double downtime = 0.0;
+  mercury::sim::PeriodicTask sampler(sim, "sampler", Duration::millis(500.0), [&] {
+    if (!rig.station().all_functional()) downtime += 0.5;
+  });
+  sampler.start();
+
+  sim.run_for(Duration::days(2.0));
+
+  Outcome outcome;
+  outcome.unplanned_failures = injector.injected(names::kFedr);
+  outcome.planned_restarts = rig.rec().planned_restarts();
+  outcome.downtime_s = downtime;
+  for (const auto& record : rig.rec().history()) {
+    if (record.planned) {
+      outcome.planned_downtime_s +=
+          (record.complete_time - record.report_time).to_seconds();
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+  using mercury::util::format_fixed;
+
+  print_header(
+      "Ablation — §7 health beacons: proactive rejuvenation vs reactive only\n"
+      "fedr leaks 8 MB/min and wears out ~8 min (Weibull k=3); 2 simulated\n"
+      "days, tree IV, heuristic oracle");
+
+  const std::vector<int> widths = {22, 20, 18, 16, 14, 14};
+  print_row({"Mode", "unplanned failures", "planned restarts", "unplanned dt s",
+             "planned dt s", "total dt s"},
+            widths);
+  print_rule(widths);
+
+  const Outcome reactive = long_run(false, 4242);
+  const Outcome proactive = long_run(true, 4242);
+  for (const auto& [label, o] :
+       {std::pair<const char*, const Outcome&>{"reactive only", reactive},
+        std::pair<const char*, const Outcome&>{"with health monitor",
+                                               proactive}}) {
+    print_row({label, std::to_string(o.unplanned_failures),
+               std::to_string(o.planned_restarts),
+               format_fixed(o.unplanned_downtime_s(), 1),
+               format_fixed(o.planned_downtime_s, 1),
+               format_fixed(o.downtime_s, 1)},
+              widths);
+  }
+
+  std::printf(
+      "\nThe §5.2 trade, quantified: the monitor converts most *unplanned*\n"
+      "downtime (crashes at arbitrary — possibly mid-pass — moments, paid\n"
+      "with detection latency) into *planned* downtime, which skips\n"
+      "detection and can be scheduled into maintenance windows between\n"
+      "passes. Total seconds of downtime may rise; seconds of expensive\n"
+      "downtime fall sharply, which is the quantity §5.2 says to optimize.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: does the §7 tree-search rediscover the paper's hand-derived
+// trees?
+//
+// The optimizer enumerates every restart tree expressible with the paper's
+// three transformations over {mbus, ses, str, rtu, fedr, pbcom} and ranks
+// them by model-predicted system MTTR. With a perfect oracle the winner
+// should be tree-IV-shaped (consolidated [ses,str], joint or better
+// [fedr,pbcom]); with a faulty oracle the winner should kill the
+// guess-too-low on pbcom the way tree V does.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/availability.h"
+#include "core/mercury_trees.h"
+#include "core/optimizer.h"
+
+namespace {
+
+void run(const char* title, const mercury::core::SystemModel& model) {
+  namespace names = mercury::core::component_names;
+  const std::vector<std::string> components = {names::kMbus, names::kSes,
+                                               names::kStr,  names::kRtu,
+                                               names::kFedr, names::kPbcom};
+  const auto result = mercury::core::optimize_tree(components, model, 3);
+  std::printf("\n--- %s (%llu candidates) ---\n", title,
+              static_cast<unsigned long long>(result.candidates_evaluated));
+  for (std::size_t i = 0; i < result.ranking.size(); ++i) {
+    std::printf("#%zu  predicted system MTTR %.3f s\n%s", i + 1,
+                result.ranking[i].predicted_mttr_s,
+                result.ranking[i].tree.render().c_str());
+  }
+  // Reference points: the paper's trees under the same model.
+  for (auto tree : {mercury::core::MercuryTree::kTreeIV,
+                    mercury::core::MercuryTree::kTreeV}) {
+    std::printf("reference tree %s: predicted MTTR %.3f s\n",
+                mercury::core::to_string(tree).c_str(),
+                mercury::core::predicted_system_mttr(
+                    mercury::core::make_mercury_tree(tree), model));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using mercury::bench::print_header;
+  print_header(
+      "Ablation — §7 tree optimizer: exhaustive search over transformation-\n"
+      "expressible trees, scored by the analytic recovery model");
+
+  run("perfect oracle", mercury::core::mercury_system_model(true, 0.0));
+  run("faulty oracle (p_low = 0.3)",
+      mercury::core::mercury_system_model(true, 0.3));
+
+  std::printf(
+      "\nExpected: the perfect-oracle winner matches tree IV's groups (and\n"
+      "ties anything that differs only where the oracle never errs); the\n"
+      "faulty-oracle winner removes pbcom's guess-too-low exposure exactly\n"
+      "as the hand-derived tree V does.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Ablation: pass economics (§5.2) — what recovery time buys you.
+//
+// "A large MTTF does not guarantee a failure-free pass, but a short MTTR
+// can provide high assurance that we will not lose the whole pass as a
+// result of a failure."
+//
+// For each tree we run many independent passes with one failure injected at
+// a random moment mid-pass (random victim, weighted by Table-1 rates) and
+// account for the downlink: science data captured, and whether the outage
+// broke the link (>15 s => session lost). Tree I's ~25 s recoveries lose
+// the session nearly every time; tree IV/V's ~6 s recoveries keep it.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/mercury_trees.h"
+#include "orbit/pass_predictor.h"
+#include "sim/simulator.h"
+#include "station/downlink.h"
+#include "station/experiment.h"
+
+namespace {
+
+using mercury::core::MercuryTree;
+using mercury::station::DownlinkSession;
+using mercury::station::OracleKind;
+using mercury::station::SessionReport;
+using mercury::util::Duration;
+
+struct PassOutcome {
+  int passes = 0;
+  int lost = 0;
+  double captured = 0.0;
+  double offered = 0.0;
+};
+
+/// One pass with a mid-pass failure; returns the session report.
+SessionReport run_pass(MercuryTree tree, std::uint64_t seed) {
+  mercury::sim::Simulator sim(seed);
+  mercury::station::TrialSpec spec;
+  spec.tree = tree;
+  spec.oracle = OracleKind::kPerfect;
+  mercury::station::MercuryRig rig(sim, spec);
+  rig.start();
+
+  // Take a real predicted pass for its realistic duration/shape, but shift
+  // its window to start right away: the downlink accounting samples station
+  // function over the window, so idling through hours of virtual time
+  // before AOS would only burn ping events.
+  static const Duration kPassDuration = [] {
+    mercury::sim::Simulator probe_sim(1);
+    mercury::station::TrialSpec probe_spec;
+    mercury::station::MercuryRig probe(probe_sim, probe_spec);
+    const auto passes = mercury::orbit::predict_passes(
+        probe.station().site(), probe.station().satellite(), probe_sim.now(),
+        probe_sim.now() + Duration::hours(24.0));
+    return passes.front().duration();
+  }();
+  mercury::orbit::Pass pass;
+  pass.aos = sim.now() + Duration::seconds(30.0);
+  pass.los = pass.aos + kPassDuration;
+  pass.max_elevation_time = pass.aos + kPassDuration / 2.0;
+
+  DownlinkSession session(rig.station(), pass);
+  session.start();
+
+  // Inject one failure at a uniformly random moment of the pass; weight the
+  // victim by Table-1 failure shares (fedr-class failures dominate).
+  auto& rng = sim.rng();
+  const double at = rng.uniform(0.0, pass.duration().to_seconds() * 0.8);
+  sim.run_until(pass.aos + Duration::seconds(at));
+
+  const bool split = mercury::core::uses_split_fedrcom(tree);
+  const double roll = rng.next_double();
+  std::string victim;
+  if (roll < 0.70) {
+    victim = split ? "fedr" : "fedrcom";  // the 10-minute-MTTF class
+  } else if (roll < 0.80) {
+    victim = "ses";
+  } else if (roll < 0.90) {
+    victim = "str";
+  } else {
+    victim = "rtu";
+  }
+  rig.station().inject_crash(victim);
+
+  sim.run_until(pass.los + Duration::seconds(1.0));
+  return session.report();
+}
+
+}  // namespace
+
+int main() {
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+  using mercury::util::format_fixed;
+
+  print_header(
+      "Ablation — pass economics (§5.2): one mid-pass failure per pass,\n"
+      "link breaks after a 15 s outage; 60 passes per tree, perfect oracle");
+
+  const std::vector<int> widths = {6, 14, 12, 16, 18};
+  print_row({"Tree", "passes lost", "data kept", "mean outage (s)",
+             "worst outage (s)"},
+            widths);
+  print_rule(widths);
+
+  std::uint64_t seed = 77'000;
+  for (MercuryTree tree :
+       {MercuryTree::kTreeI, MercuryTree::kTreeII, MercuryTree::kTreeIV,
+        MercuryTree::kTreeV}) {
+    PassOutcome outcome;
+    double outage_sum = 0.0;
+    double worst = 0.0;
+    for (int i = 0; i < 60; ++i) {
+      const SessionReport report = run_pass(tree, ++seed);
+      ++outcome.passes;
+      outcome.lost += report.link_broken ? 1 : 0;
+      outcome.captured += report.captured_bits;
+      outcome.offered += report.offered_bits;
+      outage_sum += report.outage.to_seconds();
+      worst = std::max(worst, report.longest_outage.to_seconds());
+    }
+    print_row({mercury::core::to_string(tree),
+               std::to_string(outcome.lost) + "/" + std::to_string(outcome.passes),
+               format_fixed(100.0 * outcome.captured / outcome.offered, 1) + "%",
+               format_fixed(outage_sum / outcome.passes, 2),
+               format_fixed(worst, 2)},
+              widths);
+  }
+
+  std::printf(
+      "\nTree I's full reboots (~25 s) exceed the 15 s link-break budget on\n"
+      "every failure: the session is lost. Trees IV/V recover in ~6 s even\n"
+      "for tracking-subsystem failures, so the pass survives with most of\n"
+      "its data — §5.2's argument for optimizing MTTR, quantified.\n");
+  return 0;
+}

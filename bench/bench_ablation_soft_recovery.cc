@@ -1,0 +1,81 @@
+// Ablation: §7 recursive recovery — when is a soft rung worth it?
+//
+// The recoverer can try a component's custom soft procedure (a ~0.25 s
+// reconnect) before climbing the restart tree. If the failure was
+// soft-curable, that beats a restart by one to twenty seconds; if not, it
+// wastes a soft round plus a re-detection (~1 s). The sweep varies the
+// fraction of soft-curable failures in the workload and reports the mean
+// recovery time under both policies — the crossover shows how common
+// soft-curable transients must be before the extra rung pays.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/mercury_trees.h"
+#include "station/experiment.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace names = mercury::core::component_names;
+using mercury::station::FailureMode;
+using mercury::station::OracleKind;
+using mercury::station::TrialSpec;
+
+/// Mean recovery over a workload with the given soft-curable share; the
+/// failing component cycles over the station (rate-weighted toward fedr).
+double measure(bool soft_policy, double soft_fraction, std::uint64_t seed) {
+  mercury::util::Rng workload(seed);
+  mercury::util::SampleStats stats;
+  const std::string victims[] = {names::kFedr, names::kFedr, names::kFedr,
+                                 names::kSes,  names::kStr,  names::kRtu,
+                                 names::kPbcom};
+  for (int i = 0; i < 120; ++i) {
+    TrialSpec spec;
+    spec.tree = mercury::core::MercuryTree::kTreeIV;
+    spec.oracle = OracleKind::kHeuristic;
+    spec.enable_soft_recovery = soft_policy;
+    spec.fail_component = victims[workload.uniform_int(0, 6)];
+    spec.mode = workload.chance(soft_fraction) ? FailureMode::kStaleAttachment
+                                               : FailureMode::kCrash;
+    spec.seed = seed + static_cast<std::uint64_t>(i) * 13;
+    stats.add(mercury::station::run_trial(spec).recovery);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main() {
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+  using mercury::util::format_fixed;
+
+  print_header(
+      "Ablation — §7 recursive recovery: mean MTTR vs share of soft-curable\n"
+      "failures (tree IV, heuristic oracle, 120 mixed trials per cell)");
+
+  const std::vector<int> widths = {14, 18, 18, 12};
+  print_row({"soft share", "restart-only (s)", "soft-first (s)", "winner"},
+            widths);
+  print_rule(widths);
+
+  std::uint64_t seed = 60'000;
+  for (double fraction : {0.0, 0.1, 0.2, 0.3, 0.5, 0.8}) {
+    seed += 1'000;
+    const double restart_only = measure(false, fraction, seed);
+    const double soft_first = measure(true, fraction, seed);
+    print_row({format_fixed(fraction, 2), format_fixed(restart_only, 2),
+               format_fixed(soft_first, 2),
+               soft_first < restart_only ? "soft-first" : "restart-only"},
+              widths);
+  }
+
+  std::printf(
+      "\nExpected: restart-only wins at soft share 0 (the soft rung only\n"
+      "wastes a round); soft-first takes over once 15-25%% of failures are\n"
+      "soft-curable — each such failure saves an entire restart (5-21 s)\n"
+      "against a ~1 s penalty on the rest. \"Restart is just one example of\n"
+      "a recovery procedure.\" (§7)\n");
+  return 0;
+}

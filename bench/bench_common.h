@@ -1,0 +1,47 @@
+// Shared table-printing helpers for the reproduction benches.
+//
+// Each bench regenerates one table or figure from the paper, printing the
+// paper's reported value next to our measured value so the comparison is
+// auditable straight from the bench output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace mercury::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    line += util::pad_left(cells[i], static_cast<std::size_t>(width));
+    line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline void print_rule(const std::vector<int>& widths) {
+  std::string line;
+  for (int width : widths) {
+    line += std::string(static_cast<std::size_t>(width), '-');
+    line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+/// "measured (paper X)" cell.
+inline std::string vs_paper(double measured, double paper) {
+  return util::format_fixed(measured, 2) + " (" + util::format_fixed(paper, 2) + ")";
+}
+
+}  // namespace mercury::bench

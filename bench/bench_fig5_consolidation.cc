@@ -1,0 +1,67 @@
+// Figure 5 reproduction: group consolidation of ses and str (tree III ->
+// tree IV).
+//
+// §4.3: "with tree III it took on average 9.50 and 9.76 seconds to recover
+// from a ses and str failure, respectively; with tree IV the system
+// recovers in 6.25 and 6.11 seconds" — sequential detect/restart/detect/
+// restart (MTTR_ses + MTTR_str flavored) collapses to a parallel restart
+// (max(MTTR_ses, MTTR_str) flavored).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/mercury_trees.h"
+#include "core/transformations.h"
+#include "station/experiment.h"
+
+int main() {
+  namespace names = mercury::core::component_names;
+  using namespace mercury::core;
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+  using mercury::bench::vs_paper;
+  using mercury::station::OracleKind;
+  using mercury::station::TrialSpec;
+
+  print_header("Figure 5 — group consolidation: ses + str (tree III -> IV)");
+
+  auto tree_iv = consolidate_group(make_tree_iii(), names::kSes, names::kStr);
+  std::printf("\nTree III:\n%s", make_tree_iii().render().c_str());
+  std::printf("\nTree IV (= consolidate_group(tree III, ses, str)):\n%s",
+              tree_iv.value().render().c_str());
+
+  const std::vector<int> widths = {10, 18, 18, 14};
+  print_row({"Failed", "tree III (paper)", "tree IV (paper)", "restarts III->IV"},
+            widths);
+  print_rule(widths);
+
+  const double paper_iii[] = {9.50, 9.76};
+  const double paper_iv[] = {6.25, 6.11};
+  const std::string components[] = {names::kSes, names::kStr};
+  std::uint64_t seed = 900;
+  for (int i = 0; i < 2; ++i) {
+    TrialSpec spec;
+    spec.oracle = OracleKind::kPerfect;
+    spec.fail_component = components[i];
+
+    spec.tree = MercuryTree::kTreeIII;
+    spec.seed = seed += 13;
+    const auto r3 = mercury::station::run_trial(spec);
+    const double m3 = mercury::station::run_trials(spec, 100).mean();
+
+    spec.tree = MercuryTree::kTreeIV;
+    spec.seed = seed += 13;
+    const auto r4 = mercury::station::run_trial(spec);
+    const double m4 = mercury::station::run_trials(spec, 100).mean();
+
+    print_row({components[i], vs_paper(m3, paper_iii[i]), vs_paper(m4, paper_iv[i]),
+               std::to_string(r3.restarts) + " -> " + std::to_string(r4.restarts)},
+              widths);
+  }
+
+  std::printf(
+      "\nTree III needs two recovery actions per incident (the cure wedges\n"
+      "the peer: an induced failure, §4.3); tree IV encodes the correlation\n"
+      "into one consolidated cell and restarts both in parallel.\n");
+  return 0;
+}

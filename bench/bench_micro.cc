@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark): the hot paths under the
+// reproduction — XML codec, event kernel, tree queries, analytic scoring,
+// and a full end-to-end recovery trial.
+#include <benchmark/benchmark.h>
+
+#include "core/availability.h"
+#include "core/mercury_trees.h"
+#include "core/optimizer.h"
+#include "msg/message.h"
+#include "orbit/pass_predictor.h"
+#include "sim/simulator.h"
+#include "station/experiment.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace {
+
+void BM_XmlEncodeDecode(benchmark::State& state) {
+  mercury::msg::Message message =
+      mercury::msg::make_command("rtu", "fedr", 42, "tune");
+  message.body.set_attr("freq_hz", 437.09e6);
+  for (auto _ : state) {
+    const std::string wire = mercury::msg::encode(message);
+    auto decoded = mercury::msg::decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_XmlEncodeDecode);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    mercury::sim::Simulator sim(1);
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(mercury::util::Duration::millis(i), "e", [] {});
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMicrosecond);
+
+void BM_TreeGroupQuery(benchmark::State& state) {
+  const auto tree = mercury::core::make_tree_v();
+  for (auto _ : state) {
+    auto node = tree.lowest_cell_covering_all(
+        {mercury::core::component_names::kFedr,
+         mercury::core::component_names::kPbcom});
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_TreeGroupQuery);
+
+void BM_AnalyticSystemMttr(benchmark::State& state) {
+  const auto tree = mercury::core::make_tree_iv();
+  const auto model = mercury::core::mercury_system_model(true, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mercury::core::predicted_system_mttr(tree, model));
+  }
+}
+BENCHMARK(BM_AnalyticSystemMttr);
+
+void BM_OptimizerFullSearch(benchmark::State& state) {
+  namespace names = mercury::core::component_names;
+  const auto model = mercury::core::mercury_system_model(true, 0.3);
+  const std::vector<std::string> components = {names::kMbus, names::kSes,
+                                               names::kStr,  names::kRtu,
+                                               names::kFedr, names::kPbcom};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mercury::core::optimize_tree(components, model, 1));
+  }
+}
+BENCHMARK(BM_OptimizerFullSearch)->Unit(benchmark::kMillisecond);
+
+void BM_PassPrediction(benchmark::State& state) {
+  const auto station = mercury::orbit::GroundStation::stanford();
+  const mercury::orbit::Propagator satellite(
+      mercury::orbit::KeplerianElements::circular_leo(800.0, 60.0));
+  for (auto _ : state) {
+    auto passes = mercury::orbit::predict_passes(
+        station, satellite, mercury::util::TimePoint::origin(),
+        mercury::util::TimePoint::from_seconds(86400.0));
+    benchmark::DoNotOptimize(passes);
+  }
+}
+BENCHMARK(BM_PassPrediction)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndRecoveryTrial(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    mercury::station::TrialSpec spec;
+    spec.tree = mercury::core::MercuryTree::kTreeIV;
+    spec.oracle = mercury::station::OracleKind::kPerfect;
+    spec.fail_component = mercury::core::component_names::kSes;
+    spec.seed = seed++;
+    benchmark::DoNotOptimize(mercury::station::run_trial(spec));
+  }
+}
+BENCHMARK(BM_EndToEndRecoveryTrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Real-process supervision latency (POSIX backend).
+//
+// The simulator carries the paper's numbers; this bench carries the proof
+// that the mechanism is real: the same restart-tree machinery supervising
+// actual fork/exec children, with SIGKILL fault injection and wall-clock
+// recovery times. Workers start in 40-120 ms, so the numbers here are
+// milliseconds, but the anatomy is identical: detection (ping period 60 ms
+// + timeout 50 ms) + respawn + READY.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "core/restart_tree.h"
+#include "posix/supervisor.h"
+#include "util/stats.h"
+
+#ifndef MERCURY_WORKER_BIN
+#error "MERCURY_WORKER_BIN must point at the mercury_worker binary"
+#endif
+
+int main() {
+  using namespace mercury;
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+  using util::format_fixed;
+
+  print_header(
+      "POSIX backend — wall-clock recovery of real processes\n"
+      "3 workers (startup 40/60/120 ms), ping 60 ms / timeout 50 ms,\n"
+      "20 SIGKILL injections per scenario");
+
+  const std::string worker = MERCURY_WORKER_BIN;
+  core::RestartTree tree("R_real");
+  const auto pair = tree.add_cell(tree.root(), "R_[est,trk]");
+  tree.attach_component(pair, "est");
+  tree.attach_component(pair, "trk");
+  const auto proxy_cell = tree.add_cell(tree.root(), "R_proxy");
+  tree.attach_component(proxy_cell, "proxy");
+
+  std::vector<posix::WorkerSpec> workers = {
+      {"est", {worker, "--name", "est", "--startup-ms", "40"}},
+      {"trk", {worker, "--name", "trk", "--startup-ms", "60"}},
+      {"proxy", {worker, "--name", "proxy", "--startup-ms", "120"}},
+  };
+
+  posix::SupervisorConfig config;
+  config.ping_period = posix::Millis{60};
+  config.ping_timeout = posix::Millis{50};
+  // Injections are distinct incidents: keep the escalation window just
+  // above the ~110 ms re-detection time so the spacing between rounds can
+  // stay short without reading as failure persistence.
+  config.escalation_window = posix::Millis{300};
+  posix::PosixSupervisor supervisor(tree, workers, config);
+  if (auto status = supervisor.start_all(); !status.ok()) {
+    std::fprintf(stderr, "startup failed: %s\n", status.error().message().c_str());
+    return 1;
+  }
+
+  const auto measure = [&](const std::string& victim, int rounds) {
+    util::SampleStats downtime_ms;
+    for (int i = 0; i < rounds; ++i) {
+      const std::size_t before = supervisor.history().size();
+      supervisor.kill_worker(victim);
+      if (!supervisor.run_until(
+              [&] {
+                return supervisor.history().size() > before && supervisor.all_up();
+              },
+              posix::Millis{5000})) {
+        std::fprintf(stderr, "recovery of %s timed out\n", victim.c_str());
+        std::exit(1);
+      }
+      downtime_ms.add(
+          static_cast<double>(supervisor.history().back().downtime.count()));
+      supervisor.run_for(posix::Millis{400});  // clear the escalation window
+    }
+    return downtime_ms;
+  };
+
+  const std::vector<int> widths = {10, 18, 10, 10, 10, 16};
+  print_row({"victim", "cell restarted", "mean ms", "p50 ms", "max ms",
+             "detect+spawn"},
+            widths);
+  print_rule(widths);
+  struct Scenario {
+    const char* victim;
+    const char* cell;
+    int startup_ms;
+  };
+  for (const Scenario& scenario :
+       {Scenario{"proxy", "R_proxy", 120}, Scenario{"trk", "R_[est,trk]", 60}}) {
+    const auto stats = measure(scenario.victim, 20);
+    print_row({scenario.victim, scenario.cell, format_fixed(stats.mean(), 1),
+               format_fixed(stats.median(), 1), format_fixed(stats.max(), 1),
+               "~" + std::to_string(scenario.startup_ms) + "ms + detect"},
+              widths);
+  }
+
+  std::printf("\npings sent %llu, pongs received %llu, hard failures %zu\n",
+              static_cast<unsigned long long>(supervisor.pings_sent()),
+              static_cast<unsigned long long>(supervisor.pongs_received()),
+              supervisor.hard_failures().size());
+  std::printf(
+      "\nNote the consolidated cell: killing trk restarts est too — the\n"
+      "tree semantics are byte-identical to the simulated station's.\n"
+      "(Downtime here is report->READY; add ~0-110 ms detection phase for\n"
+      "the kill->report gap the simulator's MTTR includes.)\n");
+  return 0;
+}

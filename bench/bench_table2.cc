@@ -1,0 +1,73 @@
+// Table 2 reproduction: "Tree II recovery: time to detect failed component
+// plus time to recover system (in seconds)" — tree I vs tree II, 100
+// SIGKILL trials per failed component.
+//
+//   Paper:   Failed node  mbus   ses    str    rtu    fedrcom
+//            MTTR^I       24.75  24.75  24.75  24.75  24.75
+//            MTTR^II       5.73   9.50   9.76   5.59  20.93
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/mercury_trees.h"
+#include "station/experiment.h"
+
+namespace {
+
+using mercury::core::MercuryTree;
+using mercury::station::OracleKind;
+using mercury::station::TrialSpec;
+
+constexpr int kTrials = 100;
+
+double measure(MercuryTree tree, const std::string& component, std::uint64_t seed) {
+  TrialSpec spec;
+  spec.tree = tree;
+  spec.oracle = OracleKind::kPerfect;
+  spec.fail_component = component;
+  spec.seed = seed;
+  return mercury::station::run_trials(spec, kTrials).mean();
+}
+
+}  // namespace
+
+int main() {
+  namespace names = mercury::core::component_names;
+  using mercury::bench::print_header;
+  using mercury::bench::print_row;
+  using mercury::bench::print_rule;
+  using mercury::bench::vs_paper;
+
+  print_header(
+      "Table 2 — recovery time in seconds, measured (paper), 100 trials each\n"
+      "trees I and II, perfect oracle, fail-silent SIGKILL per component");
+
+  const std::vector<std::string> components = {names::kMbus, names::kSes,
+                                               names::kStr, names::kRtu,
+                                               names::kFedrcom};
+  const std::vector<double> paper_tree_i = {24.75, 24.75, 24.75, 24.75, 24.75};
+  const std::vector<double> paper_tree_ii = {5.73, 9.50, 9.76, 5.59, 20.93};
+
+  const std::vector<int> widths = {10, 15, 15, 15, 15, 15};
+  print_row({"Failed", "mbus", "ses", "str", "rtu", "fedrcom"}, widths);
+  print_rule(widths);
+
+  std::vector<std::string> row_i = {"MTTR^I"};
+  std::vector<std::string> row_ii = {"MTTR^II"};
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    row_i.push_back(
+        vs_paper(measure(MercuryTree::kTreeI, components[i], 1000 + i),
+                 paper_tree_i[i]));
+  }
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    row_ii.push_back(
+        vs_paper(measure(MercuryTree::kTreeII, components[i], 2000 + i),
+                 paper_tree_ii[i]));
+  }
+  print_row(row_i, widths);
+  print_row(row_ii, widths);
+
+  std::printf(
+      "\nShape checks: tree II beats tree I everywhere; rtu/mbus ~4x faster;\n"
+      "fedrcom remains the slow tail (its restart dominates its own MTTR).\n");
+  return 0;
+}

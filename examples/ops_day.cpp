@@ -1,0 +1,132 @@
+// A day of ground-station operations, end to end.
+//
+//   $ ./build/examples/ops_day
+//
+// Everything in one run: the pass schedule for a Sapphire-like satellite
+// (loaded from a TLE), background failures at the Table-1 rates, the
+// FD/REC recovery machinery on tree V, §7 health beacons driving proactive
+// rejuvenation — gated so planned restarts only happen in the maintenance
+// windows *between* passes (§5.2) — and the downlink accounting that says
+// what it all cost in science data.
+#include <cstdio>
+
+#include "core/health_monitor.h"
+#include "core/mercury_trees.h"
+#include "orbit/tle.h"
+#include "sim/simulator.h"
+#include "station/downlink.h"
+#include "station/experiment.h"
+#include "station/fault_injector.h"
+#include "station/health_reporter.h"
+#include "station/pass_schedule.h"
+
+int main() {
+  using namespace mercury;
+  namespace names = core::component_names;
+  using util::Duration;
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+
+  sim::Simulator sim(/*seed=*/404);
+
+  // --- The satellite, from a TLE --------------------------------------------
+  // A Sapphire-like amateur LEO bird (valid checksums; epoch mapped to t=0).
+  const char* kTle =
+      "SAPPHIRE-LIKE\n"
+      "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927\n"
+      "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537\n";
+  auto tle = orbit::parse_tle(kTle);
+  if (!tle.ok()) {
+    std::fprintf(stderr, "TLE: %s\n", tle.error().message().c_str());
+    return 1;
+  }
+  std::printf("Tracking %s (catalog %d), a = %.0f km, i = %.1f deg\n",
+              tle.value().name.c_str(), tle.value().catalog_number,
+              tle.value().semi_major_axis_km(), tle.value().inclination_deg);
+
+  station::TrialSpec spec;
+  spec.tree = core::MercuryTree::kTreeV;
+  spec.oracle = station::OracleKind::kHeuristic;
+  spec.enable_soft_recovery = true;
+  station::MercuryRig rig(sim, spec);
+  rig.start();
+
+  // --- The day's pass schedule ------------------------------------------------
+  const orbit::Propagator satellite(tle.value().to_elements(sim.now()),
+                                    orbit::PerturbationModel::kJ2Secular);
+  const auto schedule = station::PassSchedule::for_satellite(
+      tle.value().name, rig.station().site(), satellite, sim.now(),
+      sim.now() + Duration::days(1.0));
+  std::printf("\n%zu passes over %s today:\n", schedule.pass_count(),
+              rig.station().site().name().c_str());
+  for (const auto& scheduled : schedule.passes()) {
+    std::printf("  AOS %7.0fs  LOS %7.0fs  (%.1f min, max el %.1f deg)\n",
+                scheduled.pass.aos.to_seconds(), scheduled.pass.los.to_seconds(),
+                scheduled.pass.duration().to_seconds() / 60.0,
+                orbit::rad_to_deg(scheduled.pass.max_elevation_rad));
+  }
+
+  // --- Background failures + health-driven rejuvenation -----------------------
+  station::InjectorConfig injector_config;
+  station::FaultInjector injector(rig.station(), injector_config);
+  injector.start();
+
+  station::StationHealthReporter reporter(rig.station(), "hm");
+  core::HealthPolicy policy;
+  policy.memory_limit_mb = 90.0;  // fedr leaks into this after ~5 min
+  core::HealthMonitor monitor(sim, rig.station().bus(), "hm", policy);
+  monitor.set_rejuvenator([&rig](const std::string& component) {
+    return rig.rec().planned_restart(component);
+  });
+  // §5.2 gate: planned restarts need a 60 s clearance before the next AOS.
+  monitor.set_maintenance_window([&] {
+    return schedule.window_open(sim.now(), Duration::seconds(60.0));
+  });
+  rig.station().add_bus_restart_listener([&] { monitor.reattach(); });
+  reporter.start();
+  monitor.start();
+
+  // --- Downlink accounting per pass --------------------------------------------
+  std::vector<std::unique_ptr<station::DownlinkSession>> sessions;
+  for (const auto& scheduled : schedule.passes()) {
+    sessions.push_back(
+        std::make_unique<station::DownlinkSession>(rig.station(), scheduled.pass));
+    sessions.back()->start();
+  }
+
+  sim.run_for(Duration::days(1.0));
+
+  // --- The day in numbers -------------------------------------------------------
+  std::printf("\n--- end of day ---\n");
+  std::printf("failures injected: %llu (fedr %llu, ses %llu, str %llu, rtu %llu)\n",
+              static_cast<unsigned long long>(injector.total_injected()),
+              static_cast<unsigned long long>(injector.injected(names::kFedr)),
+              static_cast<unsigned long long>(injector.injected(names::kSes)),
+              static_cast<unsigned long long>(injector.injected(names::kStr)),
+              static_cast<unsigned long long>(injector.injected(names::kRtu)));
+  std::printf("recovery actions: %llu (%llu escalations, %llu soft, %llu planned "
+              "rejuvenations, %llu deferred to maintenance windows)\n",
+              static_cast<unsigned long long>(rig.rec().restarts_executed()),
+              static_cast<unsigned long long>(rig.rec().escalations()),
+              static_cast<unsigned long long>(rig.rec().soft_recoveries()),
+              static_cast<unsigned long long>(rig.rec().planned_restarts()),
+              static_cast<unsigned long long>(monitor.rejuvenations_deferred()));
+  std::printf("hard failures parked: %zu\n", rig.rec().hard_failures().size());
+
+  double captured = 0.0;
+  double offered = 0.0;
+  int lost = 0;
+  for (const auto& session : sessions) {
+    captured += session->report().captured_bits;
+    offered += session->report().offered_bits;
+    lost += session->report().link_broken ? 1 : 0;
+  }
+  std::printf("science data: %.1f of %.1f Mbit captured (%.1f%%), %d/%zu "
+              "sessions lost to link breaks\n",
+              captured / 1e6, offered / 1e6,
+              offered > 0 ? 100.0 * captured / offered : 100.0, lost,
+              sessions.size());
+  std::printf("\nThe §5.2 economics in action: reactive recovery keeps passes\n"
+              "alive (~6 s MTTR on tree V), and the health monitor parks its\n"
+              "planned fedr restarts in the gaps between passes.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: assemble the recursively restartable Mercury station, kill a
+// component, and watch the failure detector and recoverer bring it back.
+//
+//   $ ./build/examples/quickstart
+//
+// What you see: FD's liveness pings detect the fail-silent ses crash; REC
+// consults the restart tree (tree IV: ses and str share a consolidated
+// cell, §4.3) and restarts both in parallel; the pair resynchronizes and
+// the station reports functional ~6 seconds after the kill — versus ~25 s
+// for the monolithic tree I.
+#include <cstdio>
+
+#include "core/mercury_trees.h"
+#include "core/timeline.h"
+#include "sim/simulator.h"
+#include "station/experiment.h"
+#include "util/log.h"
+
+int main() {
+  using namespace mercury;
+  namespace names = core::component_names;
+
+  // Logs go to stderr; unbuffer stdout so the narration interleaves.
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+
+  // Verbose logging so the recovery sequence is visible.
+  util::Logger::instance().set_level(util::LogLevel::kInfo);
+
+  sim::Simulator sim(/*seed=*/2024);
+
+  station::TrialSpec spec;
+  spec.tree = core::MercuryTree::kTreeIV;
+  spec.oracle = station::OracleKind::kPerfect;
+  station::MercuryRig rig(sim, spec);
+
+  std::printf("Restart tree (tree IV of the paper):\n%s\n",
+              rig.rec().tree().render().c_str());
+
+  core::RecoveryTimeline timeline;
+  timeline.observe(rig.station().board());
+
+  rig.start();
+  sim.run_for(util::Duration::seconds(5.0));
+
+  std::printf("\n>>> t=%.2fs: injecting fail-silent crash of ses (SIGKILL)\n\n",
+              sim.now().to_seconds());
+  const util::TimePoint injected = sim.now();
+  rig.station().inject_crash(names::kSes);
+
+  while (!rig.station().all_functional()) {
+    if (!sim.step()) break;
+  }
+
+  std::printf("\n>>> recovered in %.2f s (detection + parallel ses+str restart "
+              "+ resync)\n",
+              (sim.now() - injected).to_seconds());
+  std::printf(">>> recovery actions taken: %llu, escalations: %llu\n",
+              static_cast<unsigned long long>(rig.rec().restarts_executed()),
+              static_cast<unsigned long long>(rig.rec().escalations()));
+  for (const auto& record : rig.rec().history()) {
+    std::printf("    restarted cell %s for reported failure of %s\n",
+                rig.rec().tree().cell(record.node).label.c_str(),
+                record.reported_component.c_str());
+  }
+
+  timeline.ingest(rig.rec(), rig.rec().tree());
+  std::printf("\nIncident timeline:\n%s", timeline.render_listing().c_str());
+  std::printf("\nAvailability strip (%.0fs window around the incident):\n%s",
+              (sim.now() - injected).to_seconds() + 4.0,
+              timeline
+                  .render_gantt(injected - util::Duration::seconds(2.0),
+                                sim.now() + util::Duration::seconds(2.0), 64)
+                  .c_str());
+  return 0;
+}

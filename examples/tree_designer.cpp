@@ -1,0 +1,84 @@
+// Designing a restart tree for your own system.
+//
+//   $ ./build/examples/tree_designer
+//
+// The RR core is not Mercury-specific: describe your components (restart
+// durations), your failure classes (manifest component, cure set, rate),
+// and your couplings, and the library (a) evolves a tree by hand with the
+// §4 transformations, scoring each step with the analytic model, and (b)
+// searches the whole transformation-expressible space for the minimum-MTTR
+// tree. Here: a small e-commerce stack — the §7 "complex e-business
+// infrastructure" the authors point at.
+#include <cstdio>
+
+#include "core/availability.h"
+#include "core/optimizer.h"
+#include "core/restart_tree.h"
+#include "core/transformations.h"
+
+int main() {
+  using namespace mercury::core;
+
+  // --- Describe the system -------------------------------------------------
+  SystemModel model;
+  model.detection_latency_s = 0.5;
+  model.contention_slope = 0.05;
+  model.restart_duration_s = {
+      {"lb", 2.0},       // load balancer: fast restart
+      {"web", 4.0},      // stateless web tier
+      {"app", 8.0},      // app server: slow JVM warmup
+      {"cache", 3.0},    // cache: fast but cold after restart
+      {"db", 25.0},      // database: slow recovery, very stable
+  };
+  const double per_hour = 1.0 / 3600.0;
+  model.failure_classes = {
+      {"web", {"web"}, 2.0 * per_hour},            // buggy templates
+      {"app", {"app"}, 1.0 * per_hour},            // memory leaks
+      {"app", {"app", "cache"}, 0.5 * per_hour},   // stale-cache corruption:
+                                                   // manifests in app, needs
+                                                   // joint cure
+      {"cache", {"cache"}, 0.5 * per_hour},
+      {"lb", {"lb"}, 0.1 * per_hour},
+      {"db", {"db"}, 0.02 * per_hour},
+  };
+  // web and cache resynchronize sessions at startup (a Mercury ses/str-like
+  // coupling): restarting one wedges the other.
+  model.coupled_pairs.push_back(CoupledPairModel{"cache", "web", 1.0, 0.1});
+  model.oracle_p_low = 0.2;  // our hypothetical oracle errs 20% of the time
+
+  // --- Evolve a tree by hand with the paper's transformations -------------
+  RestartTree monolith("R_stack");
+  for (const auto& [name, cost] : model.restart_duration_s) {
+    monolith.attach_component(monolith.root(), name);
+  }
+  std::printf("Monolith (restart everything on any failure):\n%s",
+              monolith.render().c_str());
+  std::printf("predicted MTTR: %.2f s\n\n", predicted_system_mttr(monolith, model));
+
+  auto augmented = depth_augment(monolith, monolith.root());
+  std::printf("After depth augmentation:\n%s", augmented.value().render().c_str());
+  std::printf("predicted MTTR: %.2f s\n\n",
+              predicted_system_mttr(augmented.value(), model));
+
+  auto consolidated = consolidate_group(augmented.value(), "web", "cache");
+  std::printf("After consolidating the coupled web+cache pair:\n%s",
+              consolidated.value().render().c_str());
+  std::printf("predicted MTTR: %.2f s\n\n",
+              predicted_system_mttr(consolidated.value(), model));
+
+  // --- Or just search ------------------------------------------------------
+  const auto result =
+      optimize_tree({"lb", "web", "app", "cache", "db"}, model, 2);
+  std::printf("Optimizer best (of %llu candidates):\n%s",
+              static_cast<unsigned long long>(result.candidates_evaluated),
+              result.ranking.front().tree.render().c_str());
+  std::printf("predicted MTTR: %.2f s\n", result.ranking.front().predicted_mttr_s);
+  std::printf("\nNote how the search (a) keeps db on its own cell so nothing\n"
+              "drags a 25 s restart in, and (b) shields the app-manifesting\n"
+              "{app,cache} joint failures from the 20%% faulty oracle the way\n"
+              "the paper's tree V shields pbcom (promotion: cache under app+).\n"
+              "It judged that trade worth more than consolidating the\n"
+              "web+cache coupling — with different rates the balance flips;\n"
+              "rerun with your own numbers.\n");
+  return 0;
+}

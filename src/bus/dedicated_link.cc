@@ -1,0 +1,41 @@
+#include "bus/dedicated_link.h"
+
+#include <cassert>
+
+namespace mercury::bus {
+
+DedicatedLink::DedicatedLink(sim::Simulator& sim, std::string end_a,
+                             std::string end_b, util::Duration latency)
+    : sim_(sim), end_a_(std::move(end_a)), end_b_(std::move(end_b)),
+      latency_(latency) {
+  assert(end_a_ != end_b_);
+}
+
+void DedicatedLink::bind(const std::string& name, Receiver receiver) {
+  assert(name == end_a_ || name == end_b_);
+  if (name == end_a_) {
+    receiver_a_ = std::move(receiver);
+  } else {
+    receiver_b_ = std::move(receiver);
+  }
+}
+
+void DedicatedLink::unbind(const std::string& name) {
+  assert(name == end_a_ || name == end_b_);
+  if (name == end_a_) {
+    receiver_a_ = nullptr;
+  } else {
+    receiver_b_ = nullptr;
+  }
+}
+
+void DedicatedLink::send(const msg::Message& message) {
+  assert(message.from == end_a_ || message.from == end_b_);
+  const bool to_b = message.from == end_a_;
+  sim_.schedule_after(latency_, "link.deliver", [this, to_b, message] {
+    const Receiver& receiver = to_b ? receiver_b_ : receiver_a_;
+    if (receiver) receiver(message);
+  });
+}
+
+}  // namespace mercury::bus

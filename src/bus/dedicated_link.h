@@ -1,0 +1,50 @@
+// Dedicated FD<->REC channel (paper §2.2).
+//
+// "For improved isolation, FD and REC communicate over a separate dedicated
+// TCP connection, not over mbus; mbus itself is monitored as well."
+//
+// A DedicatedLink is a reliable point-to-point pipe between exactly two
+// named parties, independent of mbus, so failure detection keeps working
+// while the bus is being restarted.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "msg/message.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace mercury::bus {
+
+class DedicatedLink {
+ public:
+  using Receiver = std::function<void(const msg::Message&)>;
+
+  DedicatedLink(sim::Simulator& sim, std::string end_a, std::string end_b,
+                util::Duration latency = util::Duration::millis(1.0));
+
+  DedicatedLink(const DedicatedLink&) = delete;
+  DedicatedLink& operator=(const DedicatedLink&) = delete;
+
+  /// Bind a receiver to one end; `name` must be one of the two parties.
+  void bind(const std::string& name, Receiver receiver);
+  void unbind(const std::string& name);
+
+  /// Send from one party to the other. message.from must be a party; it is
+  /// delivered to the opposite end if bound, else dropped.
+  void send(const msg::Message& message);
+
+  const std::string& end_a() const { return end_a_; }
+  const std::string& end_b() const { return end_b_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string end_a_;
+  std::string end_b_;
+  util::Duration latency_;
+  Receiver receiver_a_;
+  Receiver receiver_b_;
+};
+
+}  // namespace mercury::bus

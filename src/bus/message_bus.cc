@@ -1,0 +1,107 @@
+#include "bus/message_bus.h"
+
+#include "util/log.h"
+
+namespace mercury::bus {
+
+using util::LogLevel;
+using util::LogLine;
+
+MessageBus::MessageBus(sim::Simulator& sim, BusConfig config)
+    : sim_(sim), config_(config), rng_(sim.rng().fork("mbus")) {}
+
+void MessageBus::attach(const std::string& name, Receiver receiver) {
+  endpoints_[name] = std::move(receiver);
+}
+
+void MessageBus::detach(const std::string& name) { endpoints_.erase(name); }
+
+bool MessageBus::attached(const std::string& name) const {
+  return endpoints_.contains(name);
+}
+
+std::vector<std::string> MessageBus::endpoint_names() const {
+  std::vector<std::string> names;
+  names.reserve(endpoints_.size());
+  for (const auto& [name, receiver] : endpoints_) names.push_back(name);
+  return names;
+}
+
+void MessageBus::send(const msg::Message& message) {
+  ++stats_.sent;
+  if (!online_) {
+    ++stats_.dropped_bus_down;
+    return;
+  }
+  const std::string wire = msg::encode(message);
+  if (wire.size() > config_.max_wire_bytes) {
+    ++stats_.dropped_oversize;
+    LogLine(LogLevel::kWarn, sim_.now(), "mbus")
+        << "dropping oversize message from " << message.from << " ("
+        << wire.size() << " bytes)";
+    return;
+  }
+
+  std::vector<std::string> targets;
+  if (message.to == "*") {
+    for (const auto& [name, receiver] : endpoints_) {
+      if (name != message.from) targets.push_back(name);
+    }
+  } else {
+    targets.push_back(message.to);
+  }
+
+  for (const auto& target : targets) {
+    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
+      ++stats_.dropped_lossy;
+      continue;
+    }
+    const Duration latency =
+        config_.latency +
+        Duration::seconds(rng_.uniform(0.0, config_.latency_jitter.to_seconds()));
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule_after(latency, "mbus.deliver:" + target,
+                        [this, epoch, target, wire] { deliver(epoch, target, wire); });
+  }
+}
+
+void MessageBus::deliver(std::uint64_t epoch, const std::string& to,
+                         const std::string& wire) {
+  if (!online_ || epoch != epoch_) {
+    ++stats_.dropped_bus_down;
+    return;
+  }
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    ++stats_.dropped_no_endpoint;
+    return;
+  }
+  auto decoded = msg::decode(wire);
+  if (!decoded.ok()) {
+    // Should be unreachable: we encoded it ourselves. Count as a drop rather
+    // than crash the bus on a malformed frame.
+    ++stats_.dropped_no_endpoint;
+    LogLine(LogLevel::kError, sim_.now(), "mbus")
+        << "undecodable frame: " << decoded.error().message();
+    return;
+  }
+  ++stats_.delivered;
+  // Copy the receiver: the callback may detach/re-attach endpoints.
+  Receiver receiver = it->second;
+  receiver(decoded.value());
+}
+
+void MessageBus::crash() {
+  if (!online_) return;
+  online_ = false;
+  ++epoch_;  // voids in-flight deliveries
+  endpoints_.clear();
+  LogLine(LogLevel::kInfo, sim_.now(), "mbus") << "bus crashed";
+}
+
+void MessageBus::restart() {
+  online_ = true;
+  LogLine(LogLevel::kInfo, sim_.now(), "mbus") << "bus restarted";
+}
+
+}  // namespace mercury::bus

@@ -1,0 +1,100 @@
+// mbus — the Mercury software message bus (paper §2.1).
+//
+// "Messages are exchanged over a TCP/IP-based software messaging bus."
+// Components attach under a well-known name and receive XML command-language
+// messages. Delivery is asynchronous with a small configurable latency.
+//
+// Failure semantics mirror the paper's mbus process:
+//   * The bus itself can crash (fail-silent). While down, every message is
+//     dropped — senders get no error, exactly like writes into a dead TCP
+//     endpoint that hasn't RST yet.
+//   * When the bus restarts, previously attached components must re-attach
+//     (their Component base class does this automatically on reconnect).
+//   * Messages to unattached or crashed destinations are silently dropped.
+//
+// The bus also exposes delivery/drop counters used by tests and by the
+// health-beacon extension.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "msg/message.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace mercury::bus {
+
+using util::Duration;
+
+struct BusConfig {
+  /// One-way delivery latency; jitter is uniform in [0, latency_jitter).
+  Duration latency = Duration::millis(3.0);
+  Duration latency_jitter = Duration::millis(2.0);
+  /// Message size limit; oversized messages are dropped and counted.
+  std::size_t max_wire_bytes = 64 * 1024;
+  /// Independent per-delivery loss probability (a congested or flaky bus).
+  /// Mercury's TCP bus is lossless in steady state (0.0), but the
+  /// robustness ablation uses this to show why single-miss failure
+  /// detection (the paper's choice) needs a reliable transport.
+  double loss_probability = 0.0;
+};
+
+struct BusStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_bus_down = 0;
+  std::uint64_t dropped_no_endpoint = 0;
+  std::uint64_t dropped_oversize = 0;
+  std::uint64_t dropped_lossy = 0;
+};
+
+class MessageBus {
+ public:
+  using Receiver = std::function<void(const msg::Message&)>;
+
+  MessageBus(sim::Simulator& sim, BusConfig config);
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Attach a named endpoint. Re-attaching an existing name replaces the
+  /// receiver (a restarted component takes over its old name).
+  void attach(const std::string& name, Receiver receiver);
+  void detach(const std::string& name);
+  bool attached(const std::string& name) const;
+  std::vector<std::string> endpoint_names() const;
+
+  /// Route a message. `to == "*"` broadcasts to every endpoint except the
+  /// sender. Messages are serialized to the wire format and re-parsed at
+  /// delivery, so only data representable in the command language crosses
+  /// the bus (and size limits apply to real encoded bytes).
+  void send(const msg::Message& message);
+
+  /// Crash the bus: drops all in-flight messages and everything sent while
+  /// down. Endpoints remain registered (the TCP peers don't know yet).
+  void crash();
+  /// Restart the bus: comes back empty; endpoints must re-attach to be
+  /// reachable again (mirrors reconnect-after-restart).
+  void restart();
+  bool online() const { return online_; }
+
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  void deliver(std::uint64_t epoch, const std::string& to, const std::string& wire);
+
+  sim::Simulator& sim_;
+  BusConfig config_;
+  util::Rng rng_;
+  bool online_ = true;
+  /// Incremented on crash; in-flight deliveries from an older epoch are void.
+  std::uint64_t epoch_ = 0;
+  std::map<std::string, Receiver> endpoints_;
+  BusStats stats_;
+};
+
+}  // namespace mercury::bus

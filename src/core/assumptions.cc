@@ -1,0 +1,63 @@
+#include "core/assumptions.h"
+
+#include <algorithm>
+
+namespace mercury::core {
+
+AssumptionReport check_a_cure(const RestartTree& tree, const SystemModel& model) {
+  AssumptionReport report;
+  const auto all = tree.all_components();
+  for (const auto& failure : model.failure_classes) {
+    for (const auto& member : failure.cure_set) {
+      if (!std::binary_search(all.begin(), all.end(), member)) {
+        report.holds = false;
+        report.violations.push_back("failure at " + failure.manifest +
+                                    " needs restart of '" + member +
+                                    "', which the tree cannot restart");
+      }
+    }
+  }
+  return report;
+}
+
+AssumptionReport check_a_independent(const RestartTree& tree,
+                                     const SystemModel& model) {
+  AssumptionReport report;
+  for (const auto& pair : model.coupled_pairs) {
+    const auto cell_a = tree.find_component(pair.a);
+    const auto cell_b = tree.find_component(pair.b);
+    if (!cell_a || !cell_b) continue;  // a side is absent (e.g. fused)
+    if (*cell_a == *cell_b) continue;  // consolidated: restart together
+    report.holds = false;
+    report.violations.push_back(
+        "restarting " + pair.a + "'s cell alone wedges " + pair.b +
+        " (startup resynchronization); cells " + tree.cell(*cell_a).label +
+        " and " + tree.cell(*cell_b).label + " are separate");
+  }
+  return report;
+}
+
+AssumptionReport check_a_oracle(double oracle_p_low, double oracle_p_high) {
+  AssumptionReport report;
+  if (oracle_p_low > 0.0 || oracle_p_high > 0.0) {
+    report.holds = false;
+    report.violations.push_back(
+        "oracle guesses wrong with probability " +
+        std::to_string(oracle_p_low + oracle_p_high) +
+        "; the minimal restart policy is not guaranteed");
+  }
+  return report;
+}
+
+AssumptionReport check_a_entire(bool has_functional_redundancy) {
+  AssumptionReport report;
+  if (has_functional_redundancy) {
+    report.holds = false;
+    report.violations.push_back(
+        "functional redundancy present: a component failure need not take "
+        "the whole system down");
+  }
+  return report;
+}
+
+}  // namespace mercury::core

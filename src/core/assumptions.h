@@ -1,0 +1,46 @@
+// The paper's explicit assumptions (§4), as checkable predicates.
+//
+//   A_cure:        all failures are detectable by FD and curable by restart.
+//   A_entire:      a failure in any component makes the whole system
+//                  temporarily unavailable (no functional redundancy).
+//   A_oracle:      the oracle always recommends the minimal restart policy.
+//   A_independent: restarting a group does not induce failures in other
+//                  groups.
+//
+// Table 3 annotates each tree with the assumptions it embodies; these
+// checks regenerate those annotations from the (tree, system-model) pair
+// instead of by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/availability.h"
+#include "core/restart_tree.h"
+
+namespace mercury::core {
+
+struct AssumptionReport {
+  bool holds = true;
+  std::vector<std::string> violations;
+};
+
+/// A_cure: every failure class's cure set is covered by the tree (the root
+/// group contains it), so *some* restart cures everything.
+AssumptionReport check_a_cure(const RestartTree& tree, const SystemModel& model);
+
+/// A_independent: no coupled pair is split across restart cells in a way
+/// that makes one side's restart wedge the other (both on one cell, or not
+/// both in the tree). §4.3 shows tree III violating this for ses/str.
+AssumptionReport check_a_independent(const RestartTree& tree,
+                                     const SystemModel& model);
+
+/// A_oracle is a property of the oracle, not the tree: it holds exactly for
+/// the minimal restart policy. `oracle_p_low`/`p_high` > 0 violate it.
+AssumptionReport check_a_oracle(double oracle_p_low, double oracle_p_high);
+
+/// A_entire holds for Mercury by construction (no redundancy); provided for
+/// symmetry and for systems that add hot standbys.
+AssumptionReport check_a_entire(bool has_functional_redundancy);
+
+}  // namespace mercury::core

@@ -1,0 +1,111 @@
+// Availability algebra (paper §3.2, §4.1) and an analytic MTTR model.
+//
+// "Availability is generally thought of as the ratio MTTF/(MTTF + MTTR)."
+// For a restart group G with components c_i:
+//
+//     MTTF_G <= min(MTTF_ci)          (any member failing fails the group)
+//     MTTR_G >= max(MTTR_ci)          (the group recovers when its slowest
+//                                      member has)
+//     MTTR_G^II <= sum f_ci MTTR_ci   (§4.1: with per-component cells and a
+//                                      perfect oracle, recovery costs only
+//                                      the failed member's MTTR, weighted by
+//                                      the probability the failure is
+//                                      minimally c_i-curable)
+//
+// The analytic model mirrors the simulator's recovery path (detection +
+// contended restart + coupling epilogues + oracle-mistake rounds) closely
+// enough to rank trees; the tree optimizer (optimizer.h) searches with it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/restart_tree.h"
+
+namespace mercury::core {
+
+// --- §3.2 bounds -----------------------------------------------------------
+
+/// min over components; empty input -> +infinity.
+double group_mttf_upper_bound(const std::vector<double>& component_mttfs);
+
+/// max over components; empty input -> 0.
+double group_mttr_lower_bound(const std::vector<double>& component_mttrs);
+
+/// §4.1: expected group MTTR under per-component cells and a perfect
+/// oracle: sum_i f_i * mttr_i. Requires f to sum to ~1 (A_cure).
+double expected_group_mttr(const std::vector<double>& f,
+                           const std::vector<double>& mttr);
+
+/// MTTF / (MTTF + MTTR).
+double availability(double mttf, double mttr);
+
+/// Downtime fraction over a horizon given a failure rate (1/MTTF) and MTTR.
+double downtime_fraction(double mttf, double mttr);
+
+// --- Analytic recovery model -------------------------------------------------
+
+/// One class of failures the system experiences.
+struct FailureClassModel {
+  std::string manifest;
+  std::vector<std::string> cure_set;
+  /// Relative rate (occurrences per unit time; only ratios matter for the
+  /// system MTTR, absolute values matter for availability).
+  double rate = 1.0;
+};
+
+/// Symmetric startup coupling between two components (ses/str): restarting
+/// one forces a detect+restart round for the other unless both restart in
+/// the same group.
+struct CoupledPairModel {
+  std::string a;
+  std::string b;
+  /// Extra handshake when both restart together (collide negotiation).
+  double together_epilogue_s = 0.0;
+  /// Extra handshake when the second restarts into a waiting first.
+  double sequential_epilogue_s = 0.0;
+};
+
+struct SystemModel {
+  /// Typical restart duration per component, seconds.
+  std::map<std::string, double> restart_duration_s;
+  /// Mean failure-detection latency, seconds.
+  double detection_latency_s = 0.66;
+  /// Contention: durations scale by 1 + slope * max(0, group size - 2).
+  double contention_slope = 0.0628;
+  std::vector<FailureClassModel> failure_classes;
+  std::vector<CoupledPairModel> coupled_pairs;
+  /// Probability the oracle guesses too low on a fresh failure.
+  double oracle_p_low = 0.0;
+  /// Extra readiness epilogue per component (e.g. fedr reconnect when pbcom
+  /// restarts under it), seconds.
+  std::map<std::string, double> dependent_reconnect_s;
+};
+
+/// Contended duration of restarting `group` concurrently: the slowest
+/// member's duration times the contention factor.
+double group_restart_duration(const SystemModel& model,
+                              const std::vector<std::string>& group);
+
+/// Predicted mean recovery time for one failure class under `tree`.
+/// Follows the minimal policy, oracle mistakes, escalation, and coupling.
+double predicted_recovery_time(const RestartTree& tree, const SystemModel& model,
+                               const FailureClassModel& failure);
+
+/// Rate-weighted mean recovery time across all failure classes.
+double predicted_system_mttr(const RestartTree& tree, const SystemModel& model);
+
+/// Predicted steady-state availability given absolute class rates
+/// (failures per second).
+double predicted_availability(const RestartTree& tree, const SystemModel& model);
+
+/// The Mercury system model with the paper's calibrated numbers (Table 1
+/// rates, Table 2 restart durations, §4 couplings), for the split-fedrcom
+/// configuration. `joint_fraction` is the share of pbcom-manifesting
+/// failures that need a joint {fedr,pbcom} cure (§4.4).
+SystemModel mercury_system_model(bool split_fedrcom, double oracle_p_low = 0.0,
+                                 double joint_fraction = 0.25);
+
+}  // namespace mercury::core

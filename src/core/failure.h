@@ -1,0 +1,60 @@
+// Failure model: what a failure is, where it manifests, what cures it.
+//
+// The paper reasons about failures via f_ci — "the probability that a
+// manifested failure in [a group] is minimally c_i-curable" (§4.1). We make
+// that explicit: every failure has a *manifest* component (the one that
+// stops answering liveness pings) and a *cure set* (the minimal set of
+// components whose restart, after the failure's onset, cures it). Examples
+// from Mercury:
+//
+//   crash of ses            -> manifest ses,   cure {ses}
+//   fedr/pbcom joint bug    -> manifest pbcom, cure {fedr, pbcom}   (§4.4)
+//   str wedged by ses resync-> manifest str,   cure {str}           (§4.3,
+//                              induced by the curing action itself)
+//
+// A_cure (§4): every failure here is restart-curable by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace mercury::core {
+
+using FailureId = std::uint64_t;
+
+struct FailureSpec {
+  /// Component that appears fail-silent (stops answering pings).
+  std::string manifest;
+  /// Minimal set of components whose post-onset restart cures the failure.
+  /// Always contains at least `manifest`.
+  std::vector<std::string> cure_set;
+  /// Curable by the component's *soft* recovery procedure too (§7's
+  /// recursive recovery: "each component is recovered using a custom
+  /// procedure; restart is just one example"). E.g. a stale bus attachment
+  /// needs only a reconnect. A restart still cures it — restart is the
+  /// stronger rung of the ladder.
+  bool soft_curable = false;
+  /// Free-form tag for logs/telemetry ("crash", "joint", "induced-resync").
+  std::string kind = "crash";
+};
+
+FailureSpec make_crash(std::string component);
+FailureSpec make_joint(std::string manifest, std::vector<std::string> cure_set);
+/// A soft-curable transient: the component's process is healthy but its
+/// session/attachment state is stale (cure: soft recovery or restart).
+FailureSpec make_stale_attachment(std::string component);
+
+struct ActiveFailure {
+  FailureId id = 0;
+  FailureSpec spec;
+  util::TimePoint onset;
+  /// Cure-set members that have completed a restart since onset.
+  std::vector<std::string> restarted;
+
+  bool cured() const { return restarted.size() == spec.cure_set.size(); }
+};
+
+}  // namespace mercury::core

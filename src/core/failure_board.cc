@@ -1,0 +1,124 @@
+#include "core/failure_board.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mercury::core {
+
+FailureSpec make_crash(std::string component) {
+  FailureSpec spec;
+  spec.cure_set = {component};
+  spec.manifest = std::move(component);
+  spec.kind = "crash";
+  return spec;
+}
+
+FailureSpec make_stale_attachment(std::string component) {
+  FailureSpec spec = make_crash(std::move(component));
+  spec.soft_curable = true;
+  spec.kind = "stale-attachment";
+  return spec;
+}
+
+FailureSpec make_joint(std::string manifest, std::vector<std::string> cure_set) {
+  FailureSpec spec;
+  spec.manifest = std::move(manifest);
+  spec.cure_set = std::move(cure_set);
+  std::sort(spec.cure_set.begin(), spec.cure_set.end());
+  spec.cure_set.erase(std::unique(spec.cure_set.begin(), spec.cure_set.end()),
+                      spec.cure_set.end());
+  assert(std::binary_search(spec.cure_set.begin(), spec.cure_set.end(),
+                            spec.manifest) &&
+         "cure set must include the manifest component");
+  spec.kind = "joint";
+  return spec;
+}
+
+FailureId FailureBoard::inject(FailureSpec spec, util::TimePoint now) {
+  assert(!spec.manifest.empty());
+  assert(!spec.cure_set.empty());
+  ActiveFailure failure;
+  failure.id = next_id_++;
+  failure.spec = std::move(spec);
+  failure.onset = now;
+  active_.push_back(failure);
+  for (const auto& listener : inject_listeners_) listener(active_.back());
+  return failure.id;
+}
+
+void FailureBoard::on_restart_complete(const std::string& component,
+                                       util::TimePoint now) {
+  std::vector<ActiveFailure> cured;
+  for (auto& failure : active_) {
+    const auto& cure_set = failure.spec.cure_set;
+    if (std::find(cure_set.begin(), cure_set.end(), component) == cure_set.end()) {
+      continue;
+    }
+    if (std::find(failure.restarted.begin(), failure.restarted.end(), component) ==
+        failure.restarted.end()) {
+      failure.restarted.push_back(component);
+    }
+    if (failure.cured()) cured.push_back(failure);
+  }
+  if (cured.empty()) return;
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [](const ActiveFailure& f) { return f.cured(); }),
+                active_.end());
+  total_cured_ += cured.size();
+  for (const auto& failure : cured) {
+    for (const auto& listener : cure_listeners_) listener(failure, now);
+  }
+}
+
+void FailureBoard::on_soft_recovery_complete(const std::string& component,
+                                             util::TimePoint now) {
+  std::vector<ActiveFailure> cured;
+  for (const auto& failure : active_) {
+    if (failure.spec.soft_curable && failure.spec.manifest == component) {
+      cured.push_back(failure);
+    }
+  }
+  if (cured.empty()) return;
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [&](const ActiveFailure& f) {
+                                 return f.spec.soft_curable &&
+                                        f.spec.manifest == component;
+                               }),
+                active_.end());
+  total_cured_ += cured.size();
+  for (const auto& failure : cured) {
+    for (const auto& listener : cure_listeners_) listener(failure, now);
+  }
+}
+
+bool FailureBoard::manifests_at(const std::string& component) const {
+  return std::any_of(active_.begin(), active_.end(), [&](const ActiveFailure& f) {
+    return f.spec.manifest == component;
+  });
+}
+
+std::vector<ActiveFailure> FailureBoard::active_at(const std::string& component) const {
+  std::vector<ActiveFailure> out;
+  for (const auto& failure : active_) {
+    if (failure.spec.manifest == component) out.push_back(failure);
+  }
+  return out;
+}
+
+bool FailureBoard::clear(FailureId id) {
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [id](const ActiveFailure& f) { return f.id == id; });
+  if (it == active_.end()) return false;
+  active_.erase(it);
+  return true;
+}
+
+void FailureBoard::add_cure_listener(CureListener listener) {
+  cure_listeners_.push_back(std::move(listener));
+}
+
+void FailureBoard::add_inject_listener(InjectListener listener) {
+  inject_listeners_.push_back(std::move(listener));
+}
+
+}  // namespace mercury::core

@@ -1,0 +1,68 @@
+// FailureBoard: the ground truth of which failures are active.
+//
+// Components consult the board to decide whether they answer pings (a
+// manifesting component is fail-silent); the process manager reports restart
+// completions so the board can apply the cure rule: a failure clears once
+// every member of its cure set has completed a restart after the failure's
+// onset. A partial cure (e.g. restarting only pbcom for a {fedr,pbcom}
+// failure) leaves the failure active, so FD re-detects it and the recoverer
+// escalates — exactly the §4.4 faulty-oracle dynamics.
+//
+// The perfect oracle (an idealization the paper assumes in A_oracle) reads
+// cure sets from the board; realistic oracles never do.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/failure.h"
+#include "util/time.h"
+
+namespace mercury::core {
+
+class FailureBoard {
+ public:
+  using CureListener = std::function<void(const ActiveFailure&, util::TimePoint)>;
+  using InjectListener = std::function<void(const ActiveFailure&)>;
+
+  /// Activate a failure; returns its id.
+  FailureId inject(FailureSpec spec, util::TimePoint now);
+
+  /// Record that `component` completed a restart; cures any failure whose
+  /// cure set is now fully restarted. Fires cure listeners.
+  void on_restart_complete(const std::string& component, util::TimePoint now);
+
+  /// Record that `component` completed its soft recovery procedure; cures
+  /// only failures marked soft_curable that manifest at the component.
+  void on_soft_recovery_complete(const std::string& component,
+                                 util::TimePoint now);
+
+  /// True if some active failure manifests at `component` (it must appear
+  /// fail-silent).
+  bool manifests_at(const std::string& component) const;
+
+  /// Active failures manifesting at `component` (usually zero or one).
+  std::vector<ActiveFailure> active_at(const std::string& component) const;
+
+  const std::vector<ActiveFailure>& active() const { return active_; }
+  bool any_active() const { return !active_.empty(); }
+
+  /// Forcibly clear a failure (used by tests); returns false if unknown.
+  bool clear(FailureId id);
+
+  void add_cure_listener(CureListener listener);
+  void add_inject_listener(InjectListener listener);
+
+  std::uint64_t total_injected() const { return next_id_ - 1; }
+  std::uint64_t total_cured() const { return total_cured_; }
+
+ private:
+  std::vector<ActiveFailure> active_;
+  std::vector<CureListener> cure_listeners_;
+  std::vector<InjectListener> inject_listeners_;
+  FailureId next_id_ = 1;
+  std::uint64_t total_cured_ = 0;
+};
+
+}  // namespace mercury::core

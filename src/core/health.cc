@@ -1,0 +1,53 @@
+#include "core/health.h"
+
+namespace mercury::core {
+
+using util::Error;
+using util::Result;
+
+msg::Message encode_beacon(const HealthBeacon& beacon, const std::string& to) {
+  msg::Message message;
+  message.kind = msg::Kind::kTelemetry;
+  message.from = beacon.component;
+  message.to = to;
+  message.seq = beacon.seq;
+  message.verb = "health";
+  message.body.set_attr("uptime_s", beacon.uptime_s);
+  message.body.set_attr("memory_mb", beacon.memory_mb);
+  message.body.set_attr("queue_depth", beacon.queue_depth);
+  message.body.set_attr("latency_ms", beacon.internal_latency_ms);
+  message.body.set_attr("connectivity", std::string{beacon.connectivity_ok ? "ok" : "bad"});
+  message.body.set_attr("consistency", std::string{beacon.consistency_ok ? "ok" : "bad"});
+  message.body.set_attr("hard_failure",
+                        std::string{beacon.hard_failure_suspected ? "1" : "0"});
+  for (const auto& warning : beacon.warnings) {
+    message.body.add_child(xml::Element("warning")).set_text(warning);
+  }
+  return message;
+}
+
+Result<HealthBeacon> decode_beacon(const msg::Message& message) {
+  if (message.kind != msg::Kind::kTelemetry || message.verb != "health") {
+    return Error("not a health beacon");
+  }
+  HealthBeacon beacon;
+  beacon.component = message.from;
+  beacon.seq = message.seq;
+
+  const auto uptime = message.body.attr_double("uptime_s");
+  const auto memory = message.body.attr_double("memory_mb");
+  if (!uptime || !memory) return Error("beacon missing uptime_s/memory_mb");
+  beacon.uptime_s = *uptime;
+  beacon.memory_mb = *memory;
+  beacon.queue_depth = message.body.attr_double("queue_depth").value_or(0.0);
+  beacon.internal_latency_ms = message.body.attr_double("latency_ms").value_or(0.0);
+  beacon.connectivity_ok = message.body.attr_or("connectivity", "ok") == "ok";
+  beacon.consistency_ok = message.body.attr_or("consistency", "ok") == "ok";
+  beacon.hard_failure_suspected = message.body.attr_or("hard_failure", "0") == "1";
+  for (const auto* child : message.body.children_named("warning")) {
+    beacon.warnings.push_back(child->text());
+  }
+  return beacon;
+}
+
+}  // namespace mercury::core

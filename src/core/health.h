@@ -1,0 +1,55 @@
+// Component health summary beacons (paper §7).
+//
+// "We are in the process of implementing component health summary beacons,
+// which include a digest of internal metrics such as resource usage, data
+// structure consistency, connectivity checks, latency between key code
+// points, warnings of suspect behavior that has not yet caused a failure,
+// and if applicable, information about detectable hard failures."
+//
+// Beacons ride mbus as telemetry messages (verb "health"); the
+// HealthMonitor consumes them and turns sustained degradation into
+// *proactive* rejuvenation requests — planned restarts taken before the
+// aging component fails on its own, scheduled into maintenance windows
+// (§5.2: planned downtime is cheaper than unplanned downtime).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msg/message.h"
+#include "util/result.h"
+#include "util/time.h"
+
+namespace mercury::core {
+
+struct HealthBeacon {
+  std::string component;
+  std::uint64_t seq = 0;
+  /// Seconds since this component's last (re)start.
+  double uptime_s = 0.0;
+  /// Resource usage digest.
+  double memory_mb = 0.0;
+  double queue_depth = 0.0;
+  /// Latency between key code points, milliseconds.
+  double internal_latency_ms = 0.0;
+  /// Connectivity checks (peer links, serial port, ...).
+  bool connectivity_ok = true;
+  /// Data-structure consistency self-checks.
+  bool consistency_ok = true;
+  /// Warnings of suspect behavior that has not yet caused a failure.
+  std::vector<std::string> warnings;
+  /// Detectable hard failure (e.g. the radio hardware stopped responding).
+  bool hard_failure_suspected = false;
+
+  bool operator==(const HealthBeacon&) const = default;
+};
+
+/// Beacon -> command-language telemetry message (to the health monitor).
+msg::Message encode_beacon(const HealthBeacon& beacon, const std::string& to);
+
+/// Telemetry message -> beacon. Fails unless kind == telemetry and
+/// verb == "health" with the required fields.
+util::Result<HealthBeacon> decode_beacon(const msg::Message& message);
+
+}  // namespace mercury::core

@@ -1,0 +1,140 @@
+#include "core/health_monitor.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace mercury::core {
+
+using util::LogLevel;
+using util::LogLine;
+
+HealthMonitor::HealthMonitor(sim::Simulator& sim, bus::MessageBus& bus,
+                             std::string endpoint, HealthPolicy policy)
+    : sim_(sim), bus_(bus), endpoint_(std::move(endpoint)), policy_(policy) {}
+
+HealthMonitor::~HealthMonitor() = default;
+
+void HealthMonitor::start() {
+  reattach();
+  retry_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, "hm.retry", policy_.retry_period, [this] { drain_pending(); });
+  retry_task_->start();
+}
+
+void HealthMonitor::reattach() {
+  bus_.attach(endpoint_,
+              [this](const msg::Message& message) { on_message(message); });
+}
+
+void HealthMonitor::set_rejuvenator(
+    std::function<bool(const std::string&)> rejuvenator) {
+  rejuvenator_ = std::move(rejuvenator);
+}
+
+void HealthMonitor::set_maintenance_window(std::function<bool()> window_open) {
+  window_open_ = std::move(window_open);
+}
+
+void HealthMonitor::set_hard_failure_handler(
+    std::function<void(const std::string&)> handler) {
+  hard_handler_ = std::move(handler);
+}
+
+std::optional<HealthBeacon> HealthMonitor::latest(
+    const std::string& component) const {
+  const auto it = components_.find(component);
+  if (it == components_.end()) return std::nullopt;
+  return it->second.latest;
+}
+
+void HealthMonitor::on_message(const msg::Message& message) {
+  auto beacon = decode_beacon(message);
+  if (!beacon.ok()) return;  // not a beacon (or malformed): ignore
+  ++beacons_received_;
+
+  ComponentState& state = components_[beacon.value().component];
+  if (beacon.value().warnings.empty()) {
+    state.consecutive_warning_beacons = 0;
+  } else {
+    ++state.consecutive_warning_beacons;
+  }
+  state.latest = std::move(beacon).value();
+  evaluate(state.latest->component, state);
+}
+
+void HealthMonitor::evaluate(const std::string& component, ComponentState& state) {
+  const HealthBeacon& beacon = *state.latest;
+
+  if (beacon.hard_failure_suspected) {
+    // Restarting cannot recover from a hard failure in hardware (§7):
+    // surface it to the operator path instead of rejuvenating.
+    if (std::find(hard_reports_.begin(), hard_reports_.end(), component) ==
+        hard_reports_.end()) {
+      hard_reports_.push_back(component);
+      LogLine(LogLevel::kError, sim_.now(), "hm")
+          << component << " reports a suspected hard failure";
+      if (hard_handler_) hard_handler_(component);
+    }
+    return;
+  }
+
+  bool degraded = false;
+  std::string reason;
+  if (beacon.memory_mb > policy_.memory_limit_mb) {
+    degraded = true;
+    reason = "memory " + util::format_fixed(beacon.memory_mb, 1) + " MB";
+  } else if (beacon.queue_depth > policy_.queue_limit) {
+    degraded = true;
+    reason = "queue depth " + util::format_fixed(beacon.queue_depth, 0);
+  } else if (policy_.act_on_failed_self_check &&
+             (!beacon.connectivity_ok || !beacon.consistency_ok)) {
+    degraded = true;
+    reason = !beacon.connectivity_ok ? "connectivity check failed"
+                                     : "consistency check failed";
+  } else if (state.consecutive_warning_beacons >=
+             policy_.warning_beacons_before_action) {
+    degraded = true;
+    reason = std::to_string(state.consecutive_warning_beacons) +
+             " consecutive warning beacons";
+  }
+  if (!degraded) return;
+
+  if (sim_.now() - state.last_rejuvenation < policy_.min_spacing) return;
+  LogLine(LogLevel::kInfo, sim_.now(), "hm")
+      << component << " degraded (" << reason << "); requesting rejuvenation";
+  request(component, state);
+}
+
+void HealthMonitor::request(const std::string& component, ComponentState& state) {
+  if (!window_open_()) {
+    if (!state.pending) {
+      state.pending = true;
+      ++deferred_;
+      LogLine(LogLevel::kInfo, sim_.now(), "hm")
+          << "maintenance window closed; deferring " << component
+          << " rejuvenation (§5.2: planned downtime waits for cheap time)";
+    }
+    return;
+  }
+  if (rejuvenator_ && !rejuvenator_(component)) {
+    // Recoverer busy with reactive work; retry shortly.
+    state.pending = true;
+    return;
+  }
+  state.pending = false;
+  state.last_rejuvenation = sim_.now();
+  ++rejuvenations_;
+}
+
+void HealthMonitor::drain_pending() {
+  if (!window_open_()) return;
+  for (auto& [component, state] : components_) {
+    if (state.pending && sim_.now() - state.last_rejuvenation >= policy_.min_spacing) {
+      request(component, state);
+    }
+  }
+}
+
+}  // namespace mercury::core

@@ -1,0 +1,131 @@
+#include "core/mercury_trees.h"
+
+#include <cassert>
+
+namespace mercury::core {
+
+namespace names = component_names;
+
+std::string to_string(MercuryTree tree) {
+  switch (tree) {
+    case MercuryTree::kTreeI: return "I";
+    case MercuryTree::kTreeII: return "II";
+    case MercuryTree::kTreeIIPrime: return "II'";
+    case MercuryTree::kTreeIII: return "III";
+    case MercuryTree::kTreeIV: return "IV";
+    case MercuryTree::kTreeV: return "V";
+  }
+  return "?";
+}
+
+bool uses_split_fedrcom(MercuryTree tree) {
+  return tree != MercuryTree::kTreeI && tree != MercuryTree::kTreeII;
+}
+
+RestartTree make_tree_i() {
+  RestartTree tree("R_mercury");
+  tree.attach_component(tree.root(), names::kMbus);
+  tree.attach_component(tree.root(), names::kFedrcom);
+  tree.attach_component(tree.root(), names::kSes);
+  tree.attach_component(tree.root(), names::kStr);
+  tree.attach_component(tree.root(), names::kRtu);
+  return tree;
+}
+
+RestartTree make_tree_ii() {
+  RestartTree tree("R_mercury");
+  for (const auto& name :
+       {names::kMbus, names::kFedrcom, names::kSes, names::kStr, names::kRtu}) {
+    const NodeId cell = tree.add_cell(tree.root(), "R_" + name);
+    tree.attach_component(cell, name);
+  }
+  return tree;
+}
+
+RestartTree make_tree_ii_prime() {
+  RestartTree tree("R_mercury");
+  for (const auto& name : {names::kMbus, names::kFedr, names::kPbcom, names::kSes,
+                           names::kStr, names::kRtu}) {
+    const NodeId cell = tree.add_cell(tree.root(), "R_" + name);
+    tree.attach_component(cell, name);
+  }
+  return tree;
+}
+
+RestartTree make_tree_iii() {
+  RestartTree tree("R_mercury");
+  for (const auto& name : {names::kMbus, names::kSes, names::kStr, names::kRtu}) {
+    const NodeId cell = tree.add_cell(tree.root(), "R_" + name);
+    tree.attach_component(cell, name);
+  }
+  const NodeId joint = tree.add_cell(tree.root(), "R_[fedr,pbcom]");
+  const NodeId fedr = tree.add_cell(joint, "R_fedr");
+  tree.attach_component(fedr, names::kFedr);
+  const NodeId pbcom = tree.add_cell(joint, "R_pbcom");
+  tree.attach_component(pbcom, names::kPbcom);
+  return tree;
+}
+
+RestartTree make_tree_iv() {
+  RestartTree tree("R_mercury");
+  const NodeId mbus = tree.add_cell(tree.root(), "R_mbus");
+  tree.attach_component(mbus, names::kMbus);
+
+  // Group consolidation: ses and str share one leaf cell, so either failure
+  // restarts both in parallel (Fig. 5).
+  const NodeId ses_str = tree.add_cell(tree.root(), "R_[ses,str]");
+  tree.attach_component(ses_str, names::kSes);
+  tree.attach_component(ses_str, names::kStr);
+
+  const NodeId rtu = tree.add_cell(tree.root(), "R_rtu");
+  tree.attach_component(rtu, names::kRtu);
+
+  const NodeId joint = tree.add_cell(tree.root(), "R_[fedr,pbcom]");
+  const NodeId fedr = tree.add_cell(joint, "R_fedr");
+  tree.attach_component(fedr, names::kFedr);
+  const NodeId pbcom = tree.add_cell(joint, "R_pbcom");
+  tree.attach_component(pbcom, names::kPbcom);
+  return tree;
+}
+
+RestartTree make_tree_v() {
+  RestartTree tree("R_mercury");
+  const NodeId mbus = tree.add_cell(tree.root(), "R_mbus");
+  tree.attach_component(mbus, names::kMbus);
+
+  const NodeId ses_str = tree.add_cell(tree.root(), "R_[ses,str]");
+  tree.attach_component(ses_str, names::kSes);
+  tree.attach_component(ses_str, names::kStr);
+
+  const NodeId rtu = tree.add_cell(tree.root(), "R_rtu");
+  tree.attach_component(rtu, names::kRtu);
+
+  // Node promotion (Fig. 6): pbcom rides the joint cell itself, so every
+  // pbcom restart necessarily takes fedr with it; fedr keeps its own cheap
+  // leaf. A guess-too-low pbcom-only restart is no longer expressible.
+  const NodeId promoted = tree.add_cell(tree.root(), "R_pbcom+");
+  tree.attach_component(promoted, names::kPbcom);
+  const NodeId fedr = tree.add_cell(promoted, "R_fedr");
+  tree.attach_component(fedr, names::kFedr);
+  return tree;
+}
+
+RestartTree make_mercury_tree(MercuryTree tree) {
+  switch (tree) {
+    case MercuryTree::kTreeI: return make_tree_i();
+    case MercuryTree::kTreeII: return make_tree_ii();
+    case MercuryTree::kTreeIIPrime: return make_tree_ii_prime();
+    case MercuryTree::kTreeIII: return make_tree_iii();
+    case MercuryTree::kTreeIV: return make_tree_iv();
+    case MercuryTree::kTreeV: return make_tree_v();
+  }
+  assert(false && "unknown tree");
+  return make_tree_i();
+}
+
+std::vector<MercuryTree> published_trees() {
+  return {MercuryTree::kTreeI, MercuryTree::kTreeII, MercuryTree::kTreeIII,
+          MercuryTree::kTreeIV, MercuryTree::kTreeV};
+}
+
+}  // namespace mercury::core

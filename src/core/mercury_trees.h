@@ -1,0 +1,52 @@
+// The five restart trees of the paper's evaluation (§4, Table 3).
+//
+//   Tree I   — trivial: one cell, all five components; only full reboots.
+//   Tree II  — simple depth augmentation: one leaf per component (Fig. 3).
+//   Tree II' — tree II with fedrcom split into fedr+pbcom as top-level
+//              leaves (intermediate tree in Fig. 4).
+//   Tree III — subtree depth augmentation: joint [fedr,pbcom] node (Fig. 4).
+//   Tree IV  — group consolidation of ses+str into one leaf (Fig. 5).
+//   Tree V   — node promotion: pbcom promoted onto the joint node, fedr
+//              beneath it (Fig. 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/restart_tree.h"
+
+namespace mercury::core {
+
+/// Well-known Mercury component names.
+namespace component_names {
+inline const std::string kMbus = "mbus";
+inline const std::string kFedrcom = "fedrcom";  // fused (trees I, II)
+inline const std::string kFedr = "fedr";        // split (trees II'..V)
+inline const std::string kPbcom = "pbcom";      // split (trees II'..V)
+inline const std::string kSes = "ses";
+inline const std::string kStr = "str";
+inline const std::string kRtu = "rtu";
+inline const std::string kFd = "fd";
+inline const std::string kRec = "rec";
+}  // namespace component_names
+
+enum class MercuryTree { kTreeI, kTreeII, kTreeIIPrime, kTreeIII, kTreeIV, kTreeV };
+
+std::string to_string(MercuryTree tree);
+
+/// True for trees that use the split fedr/pbcom pair instead of fedrcom.
+bool uses_split_fedrcom(MercuryTree tree);
+
+RestartTree make_tree_i();
+RestartTree make_tree_ii();
+RestartTree make_tree_ii_prime();
+RestartTree make_tree_iii();
+RestartTree make_tree_iv();
+RestartTree make_tree_v();
+
+RestartTree make_mercury_tree(MercuryTree tree);
+
+/// All five published trees in evaluation order (II' excluded).
+std::vector<MercuryTree> published_trees();
+
+}  // namespace mercury::core

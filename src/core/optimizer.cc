@@ -1,0 +1,149 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace mercury::core {
+namespace {
+
+using Block = std::vector<std::string>;
+using Partition = std::vector<Block>;
+
+/// Enumerate set partitions (restricted growth strings).
+void enumerate_partitions(const std::vector<std::string>& items,
+                          const std::function<void(const Partition&)>& visit) {
+  Partition partition;
+  std::function<void(std::size_t)> recurse = [&](std::size_t index) {
+    if (index == items.size()) {
+      visit(partition);
+      return;
+    }
+    // Index-based: recursion temporarily appends blocks, which would
+    // invalidate range-for iterators. Size is restored on return, so the
+    // bound re-evaluates correctly each iteration.
+    const std::size_t blocks_here = partition.size();
+    for (std::size_t b = 0; b < blocks_here; ++b) {
+      partition[b].push_back(items[index]);
+      recurse(index + 1);
+      partition[b].pop_back();
+    }
+    partition.push_back({items[index]});
+    recurse(index + 1);
+    partition.pop_back();
+  };
+  recurse(0);
+}
+
+std::string block_label(const Block& block) {
+  std::string label = "R_[";
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (i > 0) label += ",";
+    label += block[i];
+  }
+  return label + "]";
+}
+
+/// All shapes for one block, appended under `parent` of a copy of `base`.
+std::vector<RestartTree> expand_block(const RestartTree& base, NodeId parent,
+                                      const Block& block) {
+  std::vector<RestartTree> shapes;
+
+  if (block.size() == 1) {
+    RestartTree tree = base;
+    const NodeId leaf = tree.add_cell(parent, "R_" + block[0]);
+    tree.attach_component(leaf, block[0]);
+    shapes.push_back(std::move(tree));
+    return shapes;
+  }
+
+  // Consolidated leaf.
+  {
+    RestartTree tree = base;
+    const NodeId leaf = tree.add_cell(parent, block_label(block));
+    for (const auto& component : block) tree.attach_component(leaf, component);
+    shapes.push_back(std::move(tree));
+  }
+  // Joint cell with per-member leaves.
+  {
+    RestartTree tree = base;
+    const NodeId joint = tree.add_cell(parent, block_label(block));
+    for (const auto& component : block) {
+      const NodeId leaf = tree.add_cell(joint, "R_" + component);
+      tree.attach_component(leaf, component);
+    }
+    shapes.push_back(std::move(tree));
+  }
+  // Promoted: each member in turn rides the internal cell.
+  for (const auto& promoted : block) {
+    RestartTree tree = base;
+    const NodeId cell = tree.add_cell(parent, "R_" + promoted + "+");
+    tree.attach_component(cell, promoted);
+    for (const auto& component : block) {
+      if (component == promoted) continue;
+      const NodeId leaf = tree.add_cell(cell, "R_" + component);
+      tree.attach_component(leaf, component);
+    }
+    shapes.push_back(std::move(tree));
+  }
+  return shapes;
+}
+
+}  // namespace
+
+std::vector<RestartTree> enumerate_candidate_trees(
+    const std::vector<std::string>& components) {
+  std::vector<RestartTree> candidates;
+  enumerate_partitions(components, [&](const Partition& partition) {
+    // Expand block by block, taking the cross product of shapes.
+    std::vector<RestartTree> partial{RestartTree("R_system")};
+    for (const auto& block : partition) {
+      std::vector<RestartTree> next;
+      for (const auto& tree : partial) {
+        auto shapes = expand_block(tree, tree.root(), block);
+        for (auto& shape : shapes) next.push_back(std::move(shape));
+      }
+      partial = std::move(next);
+    }
+    for (auto& tree : partial) {
+      assert(tree.validate().ok());
+      candidates.push_back(std::move(tree));
+    }
+  });
+  return candidates;
+}
+
+OptimizeResult optimize_tree(const std::vector<std::string>& components,
+                             const SystemModel& model, std::size_t top_k) {
+  OptimizeResult result;
+  std::vector<CandidateTree> scored;
+  for (auto& tree : enumerate_candidate_trees(components)) {
+    const double mttr = predicted_system_mttr(tree, model);
+    scored.push_back(CandidateTree{std::move(tree), mttr});
+    ++result.candidates_evaluated;
+  }
+  // Primary: predicted MTTR. Tie-break: prefer trees whose restarts touch
+  // fewer components overall (sum of group sizes), then fewer cells — the
+  // "cleanest" tree among equals, so degenerate promotions that happen to
+  // cost nothing under the model don't outrank the canonical shapes.
+  const auto restart_weight = [](const RestartTree& tree) {
+    std::size_t weight = 0;
+    for (NodeId id : tree.preorder()) weight += tree.group_components(id).size();
+    return weight;
+  };
+  std::sort(scored.begin(), scored.end(),
+            [&](const CandidateTree& a, const CandidateTree& b) {
+              if (a.predicted_mttr_s != b.predicted_mttr_s) {
+                return a.predicted_mttr_s < b.predicted_mttr_s;
+              }
+              const std::size_t wa = restart_weight(a.tree);
+              const std::size_t wb = restart_weight(b.tree);
+              if (wa != wb) return wa < wb;
+              return a.tree.size() < b.tree.size();
+            });
+  if (scored.size() > top_k) scored.resize(top_k);
+  result.ranking = std::move(scored);
+  return result;
+}
+
+}  // namespace mercury::core

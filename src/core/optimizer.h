@@ -1,0 +1,47 @@
+// Restart-tree optimizer (paper §7: "We also plan to identify specific
+// algorithms for transforming restart trees").
+//
+// Enumerates the restart trees expressible with the paper's three
+// transformations — depth-2/3 trees whose top-level blocks are a set
+// partition of the components, each block shaped as
+//
+//   * a consolidated leaf   (group consolidation),
+//   * a joint cell with one leaf per member   (depth augmentation), or
+//   * a promoted cell: one member rides the internal cell, the rest get
+//     leaves below it   (node promotion),
+//
+// and scores each candidate with the analytic model. For Mercury's failure
+// model with a faulty oracle, the search rediscovers tree V's shape (the
+// ablation bench demonstrates this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/availability.h"
+#include "core/restart_tree.h"
+
+namespace mercury::core {
+
+struct CandidateTree {
+  RestartTree tree;
+  double predicted_mttr_s = 0.0;
+};
+
+struct OptimizeResult {
+  /// Best-first ranking (up to top_k entries).
+  std::vector<CandidateTree> ranking;
+  std::uint64_t candidates_evaluated = 0;
+};
+
+/// Exhaustive search over the transformation-expressible trees for the
+/// given components, minimizing the model-predicted system MTTR.
+OptimizeResult optimize_tree(const std::vector<std::string>& components,
+                             const SystemModel& model, std::size_t top_k = 5);
+
+/// Enumerate the candidate trees without scoring (for tests and tooling).
+std::vector<RestartTree> enumerate_candidate_trees(
+    const std::vector<std::string>& components);
+
+}  // namespace mercury::core

@@ -1,0 +1,151 @@
+// The oracle: Mercury's restart policy (paper §3.3).
+//
+// "A recoverer does not make any decisions as to which component needs to
+// be restarted — that is captured in the oracle, which represents the
+// restart policy. Based on information about which component has failed,
+// the oracle tells the recoverer which node in the tree to restart."
+//
+// Four oracles:
+//
+//   HeuristicOracle — the realistic one: restart the failed component's own
+//     cell first; on recurrence the recoverer escalates to the parent. Under
+//     A_independent this *is* the minimal restart policy for crash failures.
+//
+//   PerfectOracle — the paper's idealization behind A_oracle: it knows each
+//     failure's cure set (it reads the FailureBoard — ground truth only a
+//     simulator can expose) and recommends the lowest cell covering it.
+//
+//   FaultyOracle — the §4.4 experiment: wraps another oracle and, with
+//     probability p_low / p_high, replaces a fresh recommendation with a
+//     guess-too-low (a descendant toward the failed component) or a
+//     guess-too-high (the parent). Escalations are answered correctly —
+//     the §4.4 faulty oracle "restarts pbcom, then realizes the failure is
+//     persisting, and moves up the tree."
+//
+//   LearningOracle — the §7 future-work extension: estimates f_ci online
+//     from cure/no-cure feedback and picks the cell minimizing expected
+//     recovery time under those estimates.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/failure_board.h"
+#include "core/restart_tree.h"
+#include "util/rng.h"
+
+namespace mercury::core {
+
+struct OracleQuery {
+  const RestartTree* tree = nullptr;
+  std::string failed_component;
+  /// 0 for a fresh failure; >0 when the recoverer is escalating after the
+  /// failure survived the previous restart.
+  int escalation_level = 0;
+  /// The node restarted at the previous level (set when escalating).
+  std::optional<NodeId> previous_node;
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Recommend the cell to restart. Must return a valid cell of query.tree
+  /// whose group contains the failed component.
+  virtual NodeId choose(const OracleQuery& query) = 0;
+
+  /// Outcome feedback: the chain that began at `component` restarted `node`;
+  /// `cured` reports whether the failure stayed away. Default: ignored.
+  virtual void feedback(const std::string& component, NodeId node, bool cured) {
+    (void)component;
+    (void)node;
+    (void)cured;
+  }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// §3.3 escalation: "the oracle moves up the tree and requests the restart
+  /// of the node's parent", saturating at the root.
+  static NodeId escalate(const OracleQuery& query);
+  /// The failed component's own cell (fallback root if unattached).
+  static NodeId attachment_cell(const OracleQuery& query);
+};
+
+/// Leaf-first policy with no failure-model knowledge.
+class HeuristicOracle : public Oracle {
+ public:
+  NodeId choose(const OracleQuery& query) override;
+  std::string name() const override { return "heuristic"; }
+};
+
+/// Minimal restart policy (A_oracle): lowest cell covering the failure's
+/// cure set, read from the ground-truth board.
+class PerfectOracle : public Oracle {
+ public:
+  explicit PerfectOracle(const FailureBoard& board) : board_(&board) {}
+  NodeId choose(const OracleQuery& query) override;
+  std::string name() const override { return "perfect"; }
+
+ private:
+  const FailureBoard* board_;
+};
+
+/// Wraps an oracle and injects guess-too-low / guess-too-high mistakes.
+class FaultyOracle : public Oracle {
+ public:
+  FaultyOracle(Oracle& inner, util::Rng rng, double p_low, double p_high = 0.0);
+  NodeId choose(const OracleQuery& query) override;
+  std::string name() const override;
+
+  std::uint64_t mistakes_made() const { return mistakes_; }
+
+ private:
+  Oracle* inner_;
+  util::Rng rng_;
+  double p_low_;
+  double p_high_;
+  std::uint64_t mistakes_ = 0;
+};
+
+/// Online f_ci estimation (§7): epsilon-greedy over the failed component's
+/// root path, scoring each cell by expected recovery time under the learned
+/// cure probabilities and supplied restart-cost hints.
+class LearningOracle : public Oracle {
+ public:
+  /// `restart_cost_hint`: component -> typical restart seconds (operators
+  /// know these; the paper measures them in Table 2).
+  LearningOracle(util::Rng rng, std::map<std::string, double> restart_cost_hint,
+                 double explore_probability = 0.1);
+
+  NodeId choose(const OracleQuery& query) override;
+  void feedback(const std::string& component, NodeId node, bool cured) override;
+  std::string name() const override { return "learning"; }
+
+  /// Learned cure probability (Laplace-smoothed) for failures manifesting
+  /// at `component` cured by restarting `node`.
+  double cure_estimate(const std::string& component, NodeId node) const;
+
+  /// Adjust exploration (e.g. anneal to 0 once estimates converge).
+  void set_explore_probability(double p) { explore_probability_ = p; }
+  double explore_probability() const { return explore_probability_; }
+
+ private:
+  struct Arm {
+    int attempts = 0;
+    int cures = 0;
+  };
+
+  double group_cost(const RestartTree& tree, NodeId node) const;
+  double expected_recovery(const OracleQuery& query, NodeId node) const;
+
+  util::Rng rng_;
+  std::map<std::string, double> cost_hint_;
+  double explore_probability_;
+  /// (failed component, node) -> outcomes. NodeIds are stable because the
+  /// tree is fixed for the lifetime of a run.
+  std::map<std::pair<std::string, NodeId>, Arm> arms_;
+};
+
+}  // namespace mercury::core

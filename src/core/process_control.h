@@ -1,0 +1,54 @@
+// ProcessControl: the recoverer's handle on the system's processes.
+//
+// In the paper, REC "restarts the chosen modules" by killing and re-exec'ing
+// their JVM processes. This interface abstracts that: the simulated station
+// implements it against the event kernel, and the POSIX backend implements
+// it with fork/exec/SIGKILL on real child processes. The recoverer (core) is
+// identical over both.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mercury::core {
+
+class ProcessControl {
+ public:
+  virtual ~ProcessControl() = default;
+
+  /// All managed component names.
+  virtual std::vector<std::string> component_names() const = 0;
+
+  /// Kill and restart the named components concurrently, as one restart
+  /// group. `on_complete` fires once every component in the group has
+  /// finished starting up (whole-system restarts experience contention —
+  /// a property of the implementation, not of this interface).
+  virtual void restart_group(const std::vector<std::string>& names,
+                             std::function<void()> on_complete) = 0;
+
+  /// True while any restart group is still in flight.
+  virtual bool restart_in_progress() const = 0;
+
+  /// Components currently being restarted (subset of component_names()).
+  virtual std::vector<std::string> restarting_now() const = 0;
+
+  // --- Recursive recovery (§7) --------------------------------------------
+  // "With recursive recovery, we can accommodate a wider range of recovery
+  // semantics, since each component is recovered using a custom procedure;
+  // restart is just one example of a recovery procedure."
+
+  /// Whether components offer a soft recovery procedure (cheaper than a
+  /// restart; cures only soft-curable failures). Default: restart-only.
+  virtual bool supports_soft_recovery() const { return false; }
+
+  /// Run `component`'s soft recovery procedure; `on_complete` fires when it
+  /// finishes. Only call when supports_soft_recovery() is true.
+  virtual void soft_recover(const std::string& component,
+                            std::function<void()> on_complete) {
+    (void)component;
+    if (on_complete) on_complete();
+  }
+};
+
+}  // namespace mercury::core

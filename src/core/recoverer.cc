@@ -1,0 +1,319 @@
+#include "core/recoverer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace mercury::core {
+
+using util::LogLevel;
+using util::LogLine;
+
+Recoverer::Recoverer(sim::Simulator& sim, bus::DedicatedLink& link,
+                     RestartTree tree, Oracle& oracle,
+                     ProcessControl& process_control, RecConfig config)
+    : sim_(sim),
+      link_(link),
+      tree_(std::move(tree)),
+      oracle_(oracle),
+      process_control_(process_control),
+      config_(std::move(config)) {
+  assert(tree_.validate().ok());
+}
+
+Recoverer::~Recoverer() = default;
+
+void Recoverer::start() {
+  link_.bind(config_.rec_name,
+             [this](const msg::Message& message) { on_link_message(message); });
+}
+
+void Recoverer::crash() {
+  alive_ = false;
+  LogLine(LogLevel::kInfo, sim_.now(), "rec") << "crashed (fail-silent)";
+}
+
+void Recoverer::restart_complete() {
+  alive_ = true;
+  // The generalized procedural knowledge survives in the restart tree file;
+  // in-memory chain state is process state and is lost.
+  queue_.clear();
+  last_.reset();
+  LogLine(LogLevel::kInfo, sim_.now(), "rec") << "restarted";
+}
+
+void Recoverer::on_link_message(const msg::Message& message) {
+  if (message.kind == msg::Kind::kPing) {
+    if (alive_) link_.send(msg::make_pong(message, config_.rec_name));
+    return;
+  }
+  if (message.kind == msg::Kind::kPong) {
+    if (alive_ && message.from == config_.fd_name &&
+        message.seq == fd_outstanding_seq_) {
+      fd_outstanding_seq_ = 0;
+      if (fd_timeout_.valid()) {
+        sim_.cancel(fd_timeout_);
+        fd_timeout_ = sim::EventId{};
+      }
+    }
+    return;
+  }
+  if (!alive_) return;
+  if (message.kind == msg::Kind::kCommand && message.verb == "report-failure") {
+    const std::string component = message.body.attr_or("component", "");
+    if (!component.empty()) handle_report(component);
+  }
+}
+
+void Recoverer::handle_report(const std::string& component) {
+  // A hard failure is parked for the operator; restarting it forever is
+  // exactly what the paper's policy must prevent.
+  if (std::find(hard_failures_.begin(), hard_failures_.end(), component) !=
+      hard_failures_.end()) {
+    return;
+  }
+
+  if (current_.has_value()) {
+    const auto& in_flight = current_->components;
+    if (std::find(in_flight.begin(), in_flight.end(), component) !=
+        in_flight.end()) {
+      return;  // already being restarted
+    }
+    if (std::find(queue_.begin(), queue_.end(), component) == queue_.end()) {
+      queue_.push_back(component);
+    }
+    return;
+  }
+
+  CurrentRestart restart;
+  restart.reported_component = component;
+  restart.report_time = sim_.now();
+
+  // Escalation (§3.3): the failure survived a restart that covered this
+  // component and has resurfaced promptly.
+  const bool escalating =
+      last_.has_value() &&
+      std::find(last_->components.begin(), last_->components.end(), component) !=
+          last_->components.end() &&
+      (sim_.now() - last_->complete_time) < config_.escalation_window;
+
+  if (escalating && last_->soft) {
+    // The soft procedure (§7's cheapest rung) did not cure it: climb to the
+    // restart ladder. The oracle has not guessed yet, so this is a fresh
+    // choose, not a tree escalation.
+    restart.escalation_level = 1;
+    ++escalations_;
+    OracleQuery query;
+    query.tree = &tree_;
+    query.failed_component = component;
+    restart.node = oracle_.choose(query);
+    execute(std::move(restart));
+    return;
+  }
+
+  if (escalating) {
+    restart.escalation_level = last_->escalation_level + 1;
+    ++escalations_;
+    if (!last_->feedback_sent) {
+      oracle_.feedback(last_->chain_component, last_->node, /*cured=*/false);
+      last_->feedback_sent = true;
+    }
+    if (last_->node == tree_.root()) {
+      // The whole system was already restarted and this component promptly
+      // failed again. Count uncured root restarts *per component*: a fresh,
+      // unrelated crash landing just after a reboot must not get an
+      // innocent component parked (it merely rides the escalation).
+      RootRestartHistory& history = root_history_[component];
+      if (sim_.now() - history.last < config_.root_retry_window) {
+        ++history.count;
+      } else {
+        history.count = 1;
+      }
+      history.last = sim_.now();
+      if (history.count >= config_.max_root_restarts) {
+        LogLine(LogLevel::kError, sim_.now(), "rec")
+            << "hard failure: " << component << " persists after "
+            << history.count << " full restarts; giving up";
+        hard_failures_.push_back(component);
+        return;
+      }
+    }
+    OracleQuery query;
+    query.tree = &tree_;
+    query.failed_component = component;
+    query.escalation_level = restart.escalation_level;
+    query.previous_node = last_->node;
+    restart.node = oracle_.choose(query);
+  } else {
+    // Fresh failure. With recursive recovery enabled, the first rung is the
+    // component's own soft procedure; the restart tree is the ladder above.
+    if (config_.enable_soft_recovery &&
+        process_control_.supports_soft_recovery()) {
+      execute_soft(std::move(restart));
+      return;
+    }
+    OracleQuery query;
+    query.tree = &tree_;
+    query.failed_component = component;
+    restart.node = oracle_.choose(query);
+  }
+
+  execute(std::move(restart));
+}
+
+void Recoverer::execute_soft(CurrentRestart restart) {
+  restart.soft = true;
+  restart.components = {restart.reported_component};
+  const auto cell = tree_.lowest_cell_covering(restart.reported_component);
+  restart.node = cell ? *cell : tree_.root();
+  ++soft_recoveries_;
+  LogLine(LogLevel::kInfo, sim_.now(), "rec")
+      << "soft recovery of " << restart.reported_component
+      << " (recursive-recovery rung 0)";
+  send_mask(restart.components, true);
+  const std::string component = restart.reported_component;
+  current_ = restart;
+  process_control_.soft_recover(component, [this] { on_restart_complete(); });
+}
+
+bool Recoverer::planned_restart(const std::string& component) {
+  if (!alive_) return false;
+  if (current_.has_value()) return false;  // reactive work has priority
+  const auto cell = tree_.lowest_cell_covering(component);
+  if (!cell) return false;
+  CurrentRestart restart;
+  restart.reported_component = component;
+  restart.node = *cell;
+  restart.planned = true;
+  restart.report_time = sim_.now();
+  ++planned_restarts_;
+  execute(std::move(restart));
+  return true;
+}
+
+void Recoverer::execute(CurrentRestart restart) {
+  restart.components = tree_.group_components(restart.node);
+  assert(!restart.components.empty());
+  LogLine(LogLevel::kInfo, sim_.now(), "rec")
+      << "restarting cell " << tree_.cell(restart.node).label << " ("
+      << util::join(restart.components, ",") << ") for failure of "
+      << restart.reported_component
+      << (restart.escalation_level > 0
+              ? " [escalation level " + std::to_string(restart.escalation_level) + "]"
+              : "");
+
+  send_mask(restart.components, true);
+  current_ = restart;
+  process_control_.restart_group(restart.components,
+                                 [this] { on_restart_complete(); });
+}
+
+void Recoverer::on_restart_complete() {
+  assert(current_.has_value());
+  const CurrentRestart finished = *current_;
+  current_.reset();
+
+  send_mask(finished.components, false);
+
+  RecoveryRecord record;
+  record.reported_component = finished.reported_component;
+  record.node = finished.node;
+  record.restarted = finished.components;
+  record.escalation_level = finished.escalation_level;
+  record.planned = finished.planned;
+  record.soft = finished.soft;
+  record.report_time = finished.report_time;
+  record.complete_time = sim_.now();
+  history_.push_back(record);
+
+  LastRestart last;
+  last.node = finished.node;
+  last.components = finished.components;
+  last.escalation_level = finished.escalation_level;
+  last.soft = finished.soft;
+  last.complete_time = sim_.now();
+  last.chain_component = finished.escalation_level > 0 && last_.has_value()
+                             ? last_->chain_component
+                             : finished.reported_component;
+  // Soft actions carry no oracle recommendation; never feed the oracle
+  // about a node it did not choose.
+  last.feedback_sent = finished.soft;
+  last_ = last;
+
+  // Positive feedback once the escalation window passes without recurrence.
+  const util::TimePoint completed_at = sim_.now();
+  sim_.schedule_after(config_.escalation_window, "rec.feedback",
+                      [this, completed_at] {
+                        if (last_.has_value() &&
+                            last_->complete_time == completed_at &&
+                            !last_->feedback_sent) {
+                          oracle_.feedback(last_->chain_component, last_->node,
+                                           /*cured=*/true);
+                          last_->feedback_sent = true;
+                        }
+                      });
+
+  drain_queue();
+}
+
+void Recoverer::drain_queue() {
+  while (!queue_.empty() && !current_.has_value()) {
+    const std::string component = queue_.front();
+    queue_.pop_front();
+    // Reports about components the finishing restart covered are stale: the
+    // restart either cured them, or FD will re-detect and escalate.
+    if (last_.has_value() &&
+        std::find(last_->components.begin(), last_->components.end(), component) !=
+            last_->components.end()) {
+      continue;
+    }
+    handle_report(component);
+  }
+}
+
+void Recoverer::send_mask(const std::vector<std::string>& components, bool mask) {
+  msg::Message command = msg::make_command(config_.rec_name, config_.fd_name,
+                                           seq_++, mask ? "mask" : "unmask");
+  command.body.set_attr("components", util::join(components, ","));
+  link_.send(command);
+}
+
+void Recoverer::set_fd_restarter(std::function<void()> restarter) {
+  fd_restarter_ = std::move(restarter);
+}
+
+void Recoverer::monitor_fd() {
+  fd_loop_ = std::make_unique<sim::PeriodicTask>(
+      sim_, "rec.ping-fd", config_.fd_ping_period, [this] { ping_fd(); });
+  fd_loop_->start();
+}
+
+void Recoverer::ping_fd() {
+  if (!alive_) return;
+  if (fd_restart_in_flight_) return;
+  if (fd_outstanding_seq_ != 0) return;
+  const std::uint64_t seq = seq_++;
+  fd_outstanding_seq_ = seq;
+  link_.send(msg::make_ping(config_.rec_name, config_.fd_name, seq));
+  fd_timeout_ = sim_.schedule_after(config_.fd_ping_timeout, "rec.fd-timeout",
+                                    [this, seq] {
+                                      if (fd_outstanding_seq_ == seq) {
+                                        fd_outstanding_seq_ = 0;
+                                        on_fd_timeout();
+                                      }
+                                    });
+}
+
+void Recoverer::on_fd_timeout() {
+  if (!alive_ || !fd_restarter_) return;
+  LogLine(LogLevel::kWarn, sim_.now(), "rec")
+      << "fd unresponsive; initiating fd recovery";
+  fd_restart_in_flight_ = true;
+  fd_restarter_();
+  sim_.schedule_after(config_.fd_ping_period * 5.0, "rec.fd-grace",
+                      [this] { fd_restart_in_flight_ = false; });
+}
+
+}  // namespace mercury::core

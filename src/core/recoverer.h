@@ -1,0 +1,189 @@
+// REC — the recoverer (paper §2.2, §3.3).
+//
+// "REC uses a restart tree data structure and a simple policy to choose
+// which module(s) to restart upon being notified of a failure. The policy
+// also keeps track of past restarts to prevent infinite restarts of 'hard'
+// failures."
+//
+// On a failure report from FD (over the dedicated link) REC:
+//   1. consults the oracle for a cell of the restart tree — or, if the same
+//      component failed again right after a restart that covered it,
+//      escalates to the parent cell (§3.3);
+//   2. masks the cell's restart group in FD, restarts the group through
+//      ProcessControl, and unmasks on completion;
+//   3. serializes recovery actions: reports arriving mid-restart are queued
+//      (deduplicated), and reports about components the finishing restart
+//      already covered are dropped — if their failure persists, FD will
+//      re-detect it and the escalation logic takes over;
+//   4. gives up on a chain that keeps failing after `max_root_restarts`
+//      full-system restarts, parking it as a hard failure for the operator.
+//
+// REC also answers FD's pings and monitors FD in return (§2.2's two special
+// cases); the FD restart action is injected by the harness.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/dedicated_link.h"
+#include "core/oracle.h"
+#include "core/process_control.h"
+#include "core/restart_tree.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace mercury::core {
+
+struct RecConfig {
+  /// A report for a component covered by the previous restart, arriving
+  /// within this window of the restart's completion, is treated as "the
+  /// failure still manifests" and escalates (§3.3). Sized just above the
+  /// worst-case re-detection latency (ping period + timeout + link), so an
+  /// unrelated fresh failure rarely masquerades as a persisting one.
+  util::Duration escalation_window = util::Duration::seconds(2.5);
+  /// Recursive recovery (§7): try the failed component's *soft* recovery
+  /// procedure before any restart. Cheap when the failure is soft-curable
+  /// (a reconnect beats a 20 s restart); costs one soft-procedure-plus-
+  /// redetect round when it is not. Requires ProcessControl support.
+  bool enable_soft_recovery = false;
+  /// Full-system restarts tolerated per recurring component failure before
+  /// declaring a hard failure.
+  int max_root_restarts = 2;
+  /// How long uncured-root-restart counts accumulate per component; a
+  /// component whose failures outlive this many root restarts inside the
+  /// window is parked.
+  util::Duration root_retry_window = util::Duration::seconds(90.0);
+  util::Duration fd_ping_period = util::Duration::seconds(1.0);
+  util::Duration fd_ping_timeout = util::Duration::millis(300.0);
+  std::string fd_name = "fd";
+  std::string rec_name = "rec";
+};
+
+/// One completed recovery action, for logs and experiment audits.
+struct RecoveryRecord {
+  std::string reported_component;
+  NodeId node = kInvalidNode;
+  std::vector<std::string> restarted;
+  int escalation_level = 0;
+  /// Proactive rejuvenation (health monitor) rather than reactive recovery.
+  bool planned = false;
+  /// Soft recovery procedure (§7 recursive recovery) rather than a restart.
+  bool soft = false;
+  util::TimePoint report_time;
+  util::TimePoint complete_time;
+};
+
+class Recoverer {
+ public:
+  Recoverer(sim::Simulator& sim, bus::DedicatedLink& link, RestartTree tree,
+            Oracle& oracle, ProcessControl& process_control, RecConfig config);
+  ~Recoverer();
+
+  Recoverer(const Recoverer&) = delete;
+  Recoverer& operator=(const Recoverer&) = delete;
+
+  /// Bind the link endpoint and begin answering/monitoring FD.
+  void start();
+
+  /// Proactive (planned) restart of the component's own cell — the §7
+  /// rejuvenation path, driven by the health monitor. Declined (returns
+  /// false) while reactive recovery is in flight; accepted restarts flow
+  /// through the same mask/restart/unmask machinery and count toward the
+  /// escalation context like any other restart.
+  bool planned_restart(const std::string& component);
+
+  const RestartTree& tree() const { return tree_; }
+
+  // --- REC as a process ---------------------------------------------------
+  bool alive() const { return alive_; }
+  void crash();
+  void restart_complete();
+
+  /// Hook invoked when REC decides FD is dead ("we wrote REC to issue
+  /// liveness pings to FD and detect its failure, after which it can
+  /// initiate FD recovery").
+  void set_fd_restarter(std::function<void()> restarter);
+  void monitor_fd();
+
+  // --- Introspection ------------------------------------------------------
+  const std::vector<RecoveryRecord>& history() const { return history_; }
+  std::uint64_t restarts_executed() const { return history_.size(); }
+  std::uint64_t escalations() const { return escalations_; }
+  std::uint64_t planned_restarts() const { return planned_restarts_; }
+  std::uint64_t soft_recoveries() const { return soft_recoveries_; }
+  bool restart_in_progress() const { return current_.has_value(); }
+  /// Chains declared unrecoverable-by-restart.
+  const std::vector<std::string>& hard_failures() const { return hard_failures_; }
+
+ private:
+  struct CurrentRestart {
+    std::string reported_component;
+    NodeId node = kInvalidNode;
+    std::vector<std::string> components;
+    int escalation_level = 0;
+    bool planned = false;
+    bool soft = false;
+    util::TimePoint report_time;
+  };
+  struct LastRestart {
+    NodeId node = kInvalidNode;
+    std::vector<std::string> components;
+    int escalation_level = 0;
+    bool soft = false;
+    util::TimePoint complete_time;
+    std::string chain_component;  // component that opened the chain
+    bool feedback_sent = false;
+  };
+  /// Per-component record of recent root-level restarts triggered by that
+  /// component's failures, for the hard-failure give-up. Keyed by the
+  /// *reported* component so an unrelated crash landing right after a full
+  /// reboot cannot get an innocent component parked.
+  struct RootRestartHistory {
+    int count = 0;
+    util::TimePoint last = util::TimePoint::origin() - util::Duration::hours(1.0);
+  };
+
+  void on_link_message(const msg::Message& message);
+  void handle_report(const std::string& component);
+  void execute(CurrentRestart restart);
+  void execute_soft(CurrentRestart restart);
+  void on_restart_complete();
+  void send_mask(const std::vector<std::string>& components, bool mask);
+  void drain_queue();
+  void ping_fd();
+  void on_fd_timeout();
+
+  sim::Simulator& sim_;
+  bus::DedicatedLink& link_;
+  RestartTree tree_;
+  Oracle& oracle_;
+  ProcessControl& process_control_;
+  RecConfig config_;
+  bool alive_ = true;
+  std::uint64_t seq_ = 1;
+
+  std::optional<CurrentRestart> current_;
+  std::optional<LastRestart> last_;
+  std::map<std::string, RootRestartHistory> root_history_;
+  std::deque<std::string> queue_;
+  std::vector<RecoveryRecord> history_;
+  std::vector<std::string> hard_failures_;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t planned_restarts_ = 0;
+  std::uint64_t soft_recoveries_ = 0;
+
+  // FD monitoring.
+  std::function<void()> fd_restarter_;
+  std::unique_ptr<sim::PeriodicTask> fd_loop_;
+  std::uint64_t fd_outstanding_seq_ = 0;
+  sim::EventId fd_timeout_;
+  bool fd_restart_in_flight_ = false;
+};
+
+}  // namespace mercury::core

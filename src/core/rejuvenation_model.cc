@@ -1,0 +1,123 @@
+#include "core/rejuvenation_model.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace mercury::core {
+namespace {
+
+constexpr int kFresh = 0;
+constexpr int kAged = 1;
+constexpr int kRejuvenating = 2;
+constexpr int kRepairing = 3;
+constexpr int kStates = 4;
+
+/// Solve the dense linear system A x = b by Gaussian elimination with
+/// partial pivoting. Small fixed size; no library dependency.
+std::array<double, kStates> solve_linear(
+    std::array<std::array<double, kStates>, kStates> a,
+    std::array<double, kStates> b) {
+  for (int col = 0; col < kStates; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < kStates; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    assert(std::abs(a[col][col]) > 1e-300 && "singular generator matrix");
+    for (int row = col + 1; row < kStates; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (int k = col; k < kStates; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::array<double, kStates> x{};
+  for (int row = kStates - 1; row >= 0; --row) {
+    double sum = b[row];
+    for (int k = row + 1; k < kStates; ++k) sum -= a[row][k] * x[k];
+    x[row] = sum / a[row][row];
+  }
+  return x;
+}
+
+}  // namespace
+
+RejuvenationSteadyState solve_rejuvenation(const RejuvenationModel& model) {
+  assert(model.rejuvenation_duration_s > 0.0);
+  assert(model.repair_duration_s > 0.0);
+  const double sigma = 1.0 / model.rejuvenation_duration_s;
+  const double mu = 1.0 / model.repair_duration_s;
+
+  // Generator Q: Q[i][j] = rate i -> j, diagonal = -row sum.
+  std::array<std::array<double, kStates>, kStates> q{};
+  q[kFresh][kAged] = model.aging_rate;
+  q[kFresh][kRepairing] = model.fresh_failure_rate;
+  q[kAged][kRepairing] = model.aged_failure_rate;
+  q[kAged][kRejuvenating] = model.rejuvenation_rate;
+  q[kRejuvenating][kFresh] = sigma;
+  q[kRepairing][kFresh] = mu;
+  for (int i = 0; i < kStates; ++i) {
+    double out = 0.0;
+    for (int j = 0; j < kStates; ++j) {
+      if (j != i) out += q[i][j];
+    }
+    q[i][i] = -out;
+  }
+
+  // pi Q = 0 with sum(pi) = 1: build A = Q^T, replace the last equation by
+  // the normalization row.
+  std::array<std::array<double, kStates>, kStates> a{};
+  std::array<double, kStates> b{};
+  for (int i = 0; i < kStates; ++i) {
+    for (int j = 0; j < kStates; ++j) a[i][j] = q[j][i];
+  }
+  for (int j = 0; j < kStates; ++j) a[kStates - 1][j] = 1.0;
+  b[kStates - 1] = 1.0;
+
+  const auto pi = solve_linear(a, b);
+  RejuvenationSteadyState steady;
+  steady.p_fresh = pi[kFresh];
+  steady.p_aged = pi[kAged];
+  steady.p_rejuvenating = pi[kRejuvenating];
+  steady.p_repairing = pi[kRepairing];
+  return steady;
+}
+
+double optimal_rejuvenation_rate(RejuvenationModel model, double unplanned_weight,
+                                 double max_rate) {
+  const auto objective = [&](double rate) {
+    model.rejuvenation_rate = rate;
+    return solve_rejuvenation(model).weighted_downtime(unplanned_weight);
+  };
+
+  // Golden-section search; the objective is unimodal in the rate (more
+  // rejuvenation monotonically trades repair time for rejuvenation time).
+  constexpr double kInvPhi = 0.6180339887498949;
+  double lo = 0.0;
+  double hi = max_rate;
+  double x1 = hi - (hi - lo) * kInvPhi;
+  double x2 = lo + (hi - lo) * kInvPhi;
+  double f1 = objective(x1);
+  double f2 = objective(x2);
+  for (int i = 0; i < 200 && hi - lo > 1e-9 * max_rate; ++i) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - (hi - lo) * kInvPhi;
+      f1 = objective(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + (hi - lo) * kInvPhi;
+      f2 = objective(x2);
+    }
+  }
+  const double best = (lo + hi) / 2.0;
+  // Snap to "never rejuvenate" when the boundary is at least as good.
+  return objective(0.0) <= objective(best) + 1e-15 ? 0.0 : best;
+}
+
+}  // namespace mercury::core

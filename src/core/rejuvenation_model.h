@@ -1,0 +1,72 @@
+// Analytic rejuvenation model (paper §7).
+//
+// "Interesting work in software rejuvenation focuses on analytic modeling
+// of system uptime to derive optimal rejuvenation policies that maximize
+// availability under a modelled workload [Garg et al.]. ... we expect to
+// explore a more detailed analytic model in future work."
+//
+// We model one aging component as a four-state continuous-time Markov
+// chain:
+//
+//            alpha                lambda_aged
+//   FRESH ----------> AGED ---------------------> REPAIRING
+//     |                |                             |
+//     | lambda_fresh   | rho (rejuvenation policy)   | 1/repair
+//     v                v                             v
+//   REPAIRING      REJUVENATING ------ 1/rejuv ---> FRESH
+//
+// Aging (FRESH -> AGED) raises the failure hazard; the policy knob `rho`
+// is the rate at which an aged component is proactively rejuvenated (the
+// health monitor's trigger). Rejuvenation and repair both cost downtime,
+// but unplanned repair downtime is worth more (§5.2), so the optimum
+// minimizes a *weighted* downtime, not raw unavailability.
+#pragma once
+
+namespace mercury::core {
+
+struct RejuvenationModel {
+  /// FRESH -> AGED rate, 1/s (1 / typical time-to-degradation).
+  double aging_rate = 1.0 / 300.0;
+  /// Failure rate while fresh, 1/s.
+  double fresh_failure_rate = 1.0 / 3600.0;
+  /// Failure rate while aged, 1/s (the raised hazard).
+  double aged_failure_rate = 1.0 / 480.0;
+  /// Policy: AGED -> REJUVENATING rate, 1/s (0 = reactive only).
+  double rejuvenation_rate = 0.0;
+  /// Planned restart duration, s (no detection latency).
+  double rejuvenation_duration_s = 5.8;
+  /// Unplanned repair duration, s (detection + restart).
+  double repair_duration_s = 6.5;
+};
+
+struct RejuvenationSteadyState {
+  double p_fresh = 0.0;
+  double p_aged = 0.0;
+  double p_rejuvenating = 0.0;
+  double p_repairing = 0.0;
+
+  double availability() const { return p_fresh + p_aged; }
+  /// Fraction of time in planned (schedulable) downtime.
+  double planned_downtime() const { return p_rejuvenating; }
+  /// Fraction of time in unplanned downtime.
+  double unplanned_downtime() const { return p_repairing; }
+  /// §5.2 objective: unplanned seconds cost `unplanned_weight` x planned.
+  double weighted_downtime(double unplanned_weight) const {
+    return unplanned_weight * p_repairing + p_rejuvenating;
+  }
+  /// Unplanned failures per second (flux into REPAIRING).
+  double unplanned_failure_rate(const RejuvenationModel& model) const {
+    return p_fresh * model.fresh_failure_rate + p_aged * model.aged_failure_rate;
+  }
+};
+
+/// Steady-state distribution of the chain (pi Q = 0, sum pi = 1).
+RejuvenationSteadyState solve_rejuvenation(const RejuvenationModel& model);
+
+/// The rejuvenation rate minimizing weighted downtime, found by golden-
+/// section search over [0, max_rate]. Returns 0 when rejuvenation never
+/// pays (e.g. no hazard increase with age — the memoryless case).
+double optimal_rejuvenation_rate(RejuvenationModel model, double unplanned_weight,
+                                 double max_rate = 1.0);
+
+}  // namespace mercury::core

@@ -1,0 +1,284 @@
+#include "core/restart_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace mercury::core {
+
+using util::Error;
+using util::Status;
+
+RestartTree::RestartTree() : RestartTree("root") {}
+
+RestartTree::RestartTree(std::string root_label) {
+  Cell root;
+  root.label = std::move(root_label);
+  cells_.push_back(std::move(root));
+}
+
+const RestartTree::Cell& RestartTree::cell(NodeId id) const {
+  assert(id < cells_.size());
+  return cells_[id];
+}
+
+NodeId RestartTree::add_cell(NodeId parent, std::string label) {
+  assert(parent < cells_.size());
+  const NodeId id = static_cast<NodeId>(cells_.size());
+  Cell cell;
+  cell.label = std::move(label);
+  cell.parent = parent;
+  cells_.push_back(std::move(cell));
+  cells_[parent].children.push_back(id);
+  return id;
+}
+
+void RestartTree::attach_component(NodeId id, std::string component) {
+  assert(id < cells_.size());
+  auto& components = cells_[id].components;
+  const auto it = std::lower_bound(components.begin(), components.end(), component);
+  if (it != components.end() && *it == component) return;
+  components.insert(it, std::move(component));
+}
+
+void RestartTree::detach_component(const std::string& component) {
+  for (auto& cell : cells_) {
+    const auto it = std::find(cell.components.begin(), cell.components.end(), component);
+    if (it != cell.components.end()) {
+      cell.components.erase(it);
+      return;
+    }
+  }
+}
+
+void RestartTree::set_label(NodeId id, std::string label) {
+  assert(id < cells_.size());
+  cells_[id].label = std::move(label);
+}
+
+Status RestartTree::remove_empty_cell(NodeId id) {
+  if (id >= cells_.size()) return Error("no such cell");
+  if (id == root()) return Error("cannot remove the root cell");
+  if (!cells_[id].children.empty()) return Error("cell has children");
+  if (!cells_[id].components.empty()) return Error("cell has components");
+
+  const NodeId parent = cells_[id].parent;
+  auto& siblings = cells_[parent].children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), id));
+  cells_.erase(cells_.begin() + id);
+
+  // Compact: every index greater than `id` shifts down by one.
+  const auto remap = [id](NodeId& n) {
+    if (n != kInvalidNode && n > id) --n;
+  };
+  for (auto& cell : cells_) {
+    remap(cell.parent);
+    for (NodeId& child : cell.children) remap(child);
+  }
+  return Status::ok_status();
+}
+
+void RestartTree::collect_components(NodeId id, std::vector<std::string>& out) const {
+  const Cell& c = cells_[id];
+  out.insert(out.end(), c.components.begin(), c.components.end());
+  for (NodeId child : c.children) collect_components(child, out);
+}
+
+std::vector<std::string> RestartTree::group_components(NodeId id) const {
+  assert(id < cells_.size());
+  std::vector<std::string> out;
+  collect_components(id, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<NodeId> RestartTree::find_component(const std::string& component) const {
+  for (NodeId id = 0; id < cells_.size(); ++id) {
+    const auto& components = cells_[id].components;
+    if (std::binary_search(components.begin(), components.end(), component)) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> RestartTree::lowest_cell_covering(
+    const std::string& component) const {
+  return find_component(component);
+}
+
+std::optional<NodeId> RestartTree::lowest_cell_covering_all(
+    const std::vector<std::string>& components) const {
+  if (components.empty()) return root();
+  // Lowest common covering cell = deepest common ancestor of the attachment
+  // cells. Walk the first component's root path and pick the deepest cell
+  // whose group covers everything.
+  const auto first = find_component(components.front());
+  if (!first) return std::nullopt;
+  for (NodeId id : path_to_root(*first)) {
+    const auto group = group_components(id);
+    const bool covers = std::all_of(
+        components.begin(), components.end(), [&](const std::string& c) {
+          return std::binary_search(group.begin(), group.end(), c);
+        });
+    if (covers) return id;
+  }
+  return std::nullopt;
+}
+
+NodeId RestartTree::parent(NodeId id) const {
+  assert(id < cells_.size());
+  return cells_[id].parent;
+}
+
+bool RestartTree::is_leaf(NodeId id) const {
+  assert(id < cells_.size());
+  return cells_[id].children.empty();
+}
+
+bool RestartTree::is_ancestor(NodeId ancestor, NodeId descendant) const {
+  NodeId cur = descendant;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    cur = cells_[cur].parent;
+  }
+  return false;
+}
+
+std::size_t RestartTree::depth(NodeId id) const {
+  std::size_t d = 0;
+  while (cells_[id].parent != kInvalidNode) {
+    id = cells_[id].parent;
+    ++d;
+  }
+  return d;
+}
+
+std::vector<NodeId> RestartTree::path_to_root(NodeId id) const {
+  std::vector<NodeId> path;
+  NodeId cur = id;
+  while (cur != kInvalidNode) {
+    path.push_back(cur);
+    cur = cells_[cur].parent;
+  }
+  return path;
+}
+
+std::vector<NodeId> RestartTree::preorder() const {
+  std::vector<NodeId> order;
+  order.reserve(cells_.size());
+  std::function<void(NodeId)> visit = [&](NodeId id) {
+    order.push_back(id);
+    for (NodeId child : cells_[id].children) visit(child);
+  };
+  visit(root());
+  return order;
+}
+
+std::vector<std::string> RestartTree::all_components() const {
+  return group_components(root());
+}
+
+Status RestartTree::validate() const {
+  if (cells_.empty()) return Error("tree has no root");
+  if (cells_[0].parent != kInvalidNode) return Error("root has a parent");
+
+  // Parent/child links consistent, all cells reachable from the root.
+  std::set<NodeId> reachable;
+  std::function<Status(NodeId)> visit = [&](NodeId id) -> Status {
+    if (id >= cells_.size()) return Error("child id out of range");
+    if (!reachable.insert(id).second) {
+      return Error("cell " + cells_[id].label + " reachable twice (cycle?)");
+    }
+    for (NodeId child : cells_[id].children) {
+      if (child >= cells_.size()) return Error("child id out of range");
+      if (cells_[child].parent != id) {
+        return Error("cell " + cells_[child].label + " has inconsistent parent link");
+      }
+      if (auto s = visit(child); !s.ok()) return s;
+    }
+    return Status::ok_status();
+  };
+  if (auto s = visit(root()); !s.ok()) return s;
+  if (reachable.size() != cells_.size()) {
+    return Error("tree contains unreachable cells");
+  }
+
+  // Components attached at most once.
+  std::set<std::string> seen;
+  for (const auto& cell : cells_) {
+    for (const auto& component : cell.components) {
+      if (!seen.insert(component).second) {
+        return Error("component '" + component + "' attached more than once");
+      }
+    }
+  }
+
+  // No useless cells: every cell's subtree must restart something.
+  for (NodeId id = 0; id < cells_.size(); ++id) {
+    if (group_components(id).empty()) {
+      return Error("cell " + cells_[id].label + " has an empty restart group");
+    }
+  }
+  return Status::ok_status();
+}
+
+std::string RestartTree::render() const {
+  std::ostringstream os;
+  std::function<void(NodeId, std::string, bool)> visit = [&](NodeId id,
+                                                             const std::string& prefix,
+                                                             bool last) {
+    const Cell& c = cells_[id];
+    if (id == root()) {
+      os << c.label;
+    } else {
+      os << prefix << (last ? "`-- " : "|-- ") << c.label;
+    }
+    if (!c.components.empty()) {
+      os << "  {";
+      for (std::size_t i = 0; i < c.components.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << c.components[i];
+      }
+      os << "}";
+    }
+    os << "\n";
+    const std::string child_prefix =
+        id == root() ? "" : prefix + (last ? "    " : "|   ");
+    for (std::size_t i = 0; i < c.children.size(); ++i) {
+      visit(c.children[i], child_prefix, i + 1 == c.children.size());
+    }
+  };
+  visit(root(), "", true);
+  return os.str();
+}
+
+std::vector<std::vector<std::string>> group_signature(const RestartTree& tree) {
+  std::vector<std::vector<std::string>> groups;
+  groups.reserve(tree.size());
+  for (NodeId id : tree.preorder()) {
+    groups.push_back(tree.group_components(id));
+  }
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+bool equivalent(const RestartTree& a, const RestartTree& b) {
+  return group_signature(a) == group_signature(b);
+}
+
+bool RestartTree::operator==(const RestartTree& other) const {
+  if (cells_.size() != other.cells_.size()) return false;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& a = cells_[i];
+    const Cell& b = other.cells_[i];
+    if (a.label != b.label || a.components != b.components ||
+        a.parent != b.parent || a.children != b.children) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mercury::core

@@ -1,0 +1,130 @@
+// Restart trees (paper §3.1).
+//
+// "A recursively restartable system can be described by a restart tree — a
+// hierarchy of restartable components, in which nodes are highly
+// fault-isolated and a restart at a node will restart the entire
+// corresponding subtree."
+//
+// Nodes are restart *cells*; each cell may have software components attached
+// (the round nodes in the paper's figures) and child cells. "Pushing the
+// button" on a cell restarts every component attached anywhere in its
+// subtree. A subtree is a restart *group* (§3.2).
+//
+// The tree is a value type: transformations (§4) are pure functions from
+// tree to tree, which makes the algebra property-testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mercury::core {
+
+/// Index of a cell within a RestartTree. Stable across copies of the same
+/// tree; invalidated by structural edits.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class RestartTree {
+ public:
+  struct Cell {
+    /// Human-readable cell label, e.g. "R_BC" or "[ses,str]".
+    std::string label;
+    /// Components restarted when this cell (or an ancestor) restarts,
+    /// attached directly to this cell. Sorted, unique.
+    std::vector<std::string> components;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
+  };
+
+  RestartTree();
+  explicit RestartTree(std::string root_label);
+
+  NodeId root() const { return 0; }
+  std::size_t size() const { return cells_.size(); }
+  const Cell& cell(NodeId id) const;
+
+  /// Add a child cell under `parent`; returns its id.
+  NodeId add_cell(NodeId parent, std::string label);
+
+  /// Attach a component name to a cell. A component may be attached to at
+  /// most one cell in the tree (checked by validate()).
+  void attach_component(NodeId id, std::string component);
+
+  /// Detach a component wherever it is attached; no-op if absent.
+  void detach_component(const std::string& component);
+
+  void set_label(NodeId id, std::string label);
+
+  /// Remove a cell that has no children and no attached components (the
+  /// empty husk left behind by reduction transformations). Fails on the
+  /// root or a non-empty cell. Invalidates all NodeIds.
+  util::Status remove_empty_cell(NodeId id);
+
+  // --- Queries -----------------------------------------------------------
+
+  /// All components in the subtree rooted at `id` — the restart group's
+  /// membership, i.e. what a restart at `id` restarts. Sorted.
+  std::vector<std::string> group_components(NodeId id) const;
+
+  /// Cell a component is attached to, or nullopt.
+  std::optional<NodeId> find_component(const std::string& component) const;
+
+  /// Lowest cell whose restart group contains the component (the cell it is
+  /// attached to). For choosing the minimal restart for a failure at that
+  /// component.
+  std::optional<NodeId> lowest_cell_covering(const std::string& component) const;
+
+  /// Lowest cell whose restart group is a superset of `components`
+  /// (the minimal cure node for a failure with that cure set). nullopt if
+  /// even the root does not cover them.
+  std::optional<NodeId> lowest_cell_covering_all(
+      const std::vector<std::string>& components) const;
+
+  NodeId parent(NodeId id) const;
+  bool is_leaf(NodeId id) const;
+  bool is_ancestor(NodeId ancestor, NodeId descendant) const;
+  /// Depth of `id` (root = 0).
+  std::size_t depth(NodeId id) const;
+  /// Path from `id` up to and including the root.
+  std::vector<NodeId> path_to_root(NodeId id) const;
+
+  /// All cell ids in pre-order.
+  std::vector<NodeId> preorder() const;
+
+  /// Every component attached anywhere in the tree. Sorted.
+  std::vector<std::string> all_components() const;
+
+  /// Number of restart groups = number of cells (each subtree is a group;
+  /// §3.2: the example 5-cell tree "contains 5 restart groups").
+  std::size_t group_count() const { return cells_.size(); }
+
+  /// Structural invariants: single root, acyclic parent/child links, every
+  /// component attached exactly once, no empty-subtree cells (a cell with no
+  /// components anywhere below it restarts nothing).
+  util::Status validate() const;
+
+  /// ASCII rendering for logs and bench output.
+  std::string render() const;
+
+  bool operator==(const RestartTree& other) const;
+
+ private:
+  void collect_components(NodeId id, std::vector<std::string>& out) const;
+  std::vector<Cell> cells_;
+};
+
+/// The tree's restart semantics as data: the sorted multiset of restart
+/// groups (each group = sorted component set of one cell's subtree). Two
+/// trees with the same signature offer exactly the same restart choices,
+/// regardless of labels or cell numbering.
+std::vector<std::vector<std::string>> group_signature(const RestartTree& tree);
+
+/// Same restart semantics (equal group signatures).
+bool equivalent(const RestartTree& a, const RestartTree& b);
+
+}  // namespace mercury::core

@@ -1,0 +1,157 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace mercury::core {
+
+std::string_view to_string(TimelineEventKind kind) {
+  switch (kind) {
+    case TimelineEventKind::kFailureInjected: return "FAIL";
+    case TimelineEventKind::kFailureCured: return "CURE";
+    case TimelineEventKind::kRestartBegun: return "RESTART";
+    case TimelineEventKind::kRestartCompleted: return "DONE";
+    case TimelineEventKind::kSoftRecovery: return "SOFT";
+    case TimelineEventKind::kPlannedRestart: return "PLANNED";
+  }
+  return "?";
+}
+
+void RecoveryTimeline::observe(FailureBoard& board) {
+  board.add_inject_listener([this](const ActiveFailure& failure) {
+    record(TimelineEvent{failure.onset, TimelineEventKind::kFailureInjected,
+                         failure.spec.manifest,
+                         failure.spec.kind + ", cure {" +
+                             util::join(failure.spec.cure_set, ",") + "}"});
+  });
+  board.add_cure_listener(
+      [this](const ActiveFailure& failure, util::TimePoint now) {
+        record(TimelineEvent{
+            now, TimelineEventKind::kFailureCured, failure.spec.manifest,
+            "after " + (now - failure.onset).str()});
+      });
+}
+
+void RecoveryTimeline::ingest(const Recoverer& rec, const RestartTree& tree) {
+  const auto& history = rec.history();
+  for (std::size_t i = ingested_records_; i < history.size(); ++i) {
+    const RecoveryRecord& record_entry = history[i];
+    const std::string cell = tree.cell(record_entry.node).label;
+    TimelineEventKind begin_kind = TimelineEventKind::kRestartBegun;
+    if (record_entry.soft) begin_kind = TimelineEventKind::kSoftRecovery;
+    if (record_entry.planned) begin_kind = TimelineEventKind::kPlannedRestart;
+    record(TimelineEvent{
+        record_entry.report_time, begin_kind, cell,
+        "for " + record_entry.reported_component +
+            (record_entry.escalation_level > 0
+                 ? " [escalation " + std::to_string(record_entry.escalation_level) + "]"
+                 : "")});
+    record(TimelineEvent{record_entry.complete_time,
+                         TimelineEventKind::kRestartCompleted, cell,
+                         "{" + util::join(record_entry.restarted, ",") + "} in " +
+                             (record_entry.complete_time - record_entry.report_time)
+                                 .str()});
+  }
+  ingested_records_ = history.size();
+}
+
+void RecoveryTimeline::record(TimelineEvent event) {
+  events_.push_back(std::move(event));
+}
+
+std::vector<TimelineEvent> RecoveryTimeline::events() const {
+  std::vector<TimelineEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.at < b.at;
+                   });
+  return sorted;
+}
+
+void RecoveryTimeline::clear() {
+  events_.clear();
+  ingested_records_ = 0;
+}
+
+std::string RecoveryTimeline::render_listing() const {
+  std::ostringstream os;
+  const auto sorted = events();
+  util::TimePoint previous;
+  bool first = true;
+  for (const auto& event : sorted) {
+    os << "[" << util::pad_left(util::format_fixed(event.at.to_seconds(), 3), 10)
+       << "s]";
+    if (first) {
+      os << "          ";
+      first = false;
+    } else {
+      os << " (+" << util::pad_left(
+                         util::format_fixed((event.at - previous).to_seconds(), 3),
+                         7)
+         << ")";
+    }
+    previous = event.at;
+    os << " " << util::pad_right(std::string{to_string(event.kind)}, 8) << " "
+       << util::pad_right(event.subject, 16) << " " << event.detail << "\n";
+  }
+  return os.str();
+}
+
+std::string RecoveryTimeline::render_gantt(util::TimePoint from,
+                                           util::TimePoint to,
+                                           std::size_t width) const {
+  // Reconstruct per-component down intervals from FAIL/CURE pairs.
+  struct Interval {
+    util::TimePoint begin;
+    util::TimePoint end;
+  };
+  std::map<std::string, std::vector<Interval>> down;
+  std::map<std::string, std::vector<util::TimePoint>> open;
+  for (const auto& event : events()) {
+    if (event.kind == TimelineEventKind::kFailureInjected) {
+      open[event.subject].push_back(event.at);
+    } else if (event.kind == TimelineEventKind::kFailureCured) {
+      auto& opens = open[event.subject];
+      if (!opens.empty()) {
+        down[event.subject].push_back(Interval{opens.front(), event.at});
+        opens.erase(opens.begin());
+      }
+    }
+  }
+  // Failures never cured run to the horizon.
+  for (auto& [component, opens] : open) {
+    for (const auto& begin : opens) {
+      down[component].push_back(Interval{begin, to});
+    }
+  }
+
+  std::ostringstream os;
+  const double t0 = from.to_seconds();
+  const double t1 = to.to_seconds();
+  if (t1 <= t0) return "";
+  for (const auto& [component, intervals] : down) {
+    std::string strip(width, '-');
+    for (const auto& interval : intervals) {
+      const double begin = std::max(interval.begin.to_seconds(), t0);
+      const double end = std::min(interval.end.to_seconds(), t1);
+      if (end <= begin) continue;
+      auto begin_col = static_cast<std::size_t>((begin - t0) / (t1 - t0) *
+                                                static_cast<double>(width));
+      auto end_col = static_cast<std::size_t>((end - t0) / (t1 - t0) *
+                                              static_cast<double>(width));
+      begin_col = std::min(begin_col, width - 1);
+      end_col = std::min(std::max(end_col, begin_col + 1), width);
+      for (std::size_t col = begin_col; col < end_col; ++col) strip[col] = '#';
+    }
+    os << util::pad_right(component, 10) << " |" << strip << "|\n";
+  }
+  os << util::pad_right("", 10) << "  " << util::format_fixed(t0, 1) << "s"
+     << std::string(width > 16 ? width - 14 : 1, ' ') << util::format_fixed(t1, 1)
+     << "s\n";
+  return os.str();
+}
+
+}  // namespace mercury::core

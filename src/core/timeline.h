@@ -1,0 +1,72 @@
+// RecoveryTimeline: structured incident forensics.
+//
+// The paper measures recovery with two log lines ("we log the time when the
+// signal is sent; once the component determines it is functionally ready,
+// it logs a timestamped message", §4.1). Operators debugging a recovery
+// want the whole causal chain: injection, detection, the recoverer's
+// choices, restart completion, cure — plus a per-component Gantt strip of
+// who was down when. The timeline subscribes to the failure board and
+// ingests the recoverer's history; nothing in the control path depends on
+// it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/failure_board.h"
+#include "core/recoverer.h"
+#include "util/time.h"
+
+namespace mercury::core {
+
+enum class TimelineEventKind {
+  kFailureInjected,
+  kFailureCured,
+  kRestartBegun,      // derived from recovery records (report time)
+  kRestartCompleted,
+  kSoftRecovery,
+  kPlannedRestart,
+};
+
+std::string_view to_string(TimelineEventKind kind);
+
+struct TimelineEvent {
+  util::TimePoint at;
+  TimelineEventKind kind = TimelineEventKind::kFailureInjected;
+  /// Component (failures) or cell label + group (recovery actions).
+  std::string subject;
+  std::string detail;
+};
+
+class RecoveryTimeline {
+ public:
+  /// Subscribe to the board's inject/cure streams. Call before injecting.
+  void observe(FailureBoard& board);
+
+  /// Ingest the recoverer's completed actions (idempotent: records already
+  /// imported are skipped; call again any time).
+  void ingest(const Recoverer& rec, const RestartTree& tree);
+
+  void record(TimelineEvent event);
+
+  /// Events sorted by time (stable for equal timestamps).
+  std::vector<TimelineEvent> events() const;
+  std::size_t size() const { return events_.size(); }
+  void clear();
+
+  /// Human-readable listing: one line per event, with time deltas.
+  std::string render_listing() const;
+
+  /// Per-component availability strip over [from, to): '#' while a failure
+  /// manifesting at the component was active, '-' otherwise. One row per
+  /// component seen in failure events.
+  std::string render_gantt(util::TimePoint from, util::TimePoint to,
+                           std::size_t width = 72) const;
+
+ private:
+  std::vector<TimelineEvent> events_;
+  std::size_t ingested_records_ = 0;
+};
+
+}  // namespace mercury::core

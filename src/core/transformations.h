@@ -1,0 +1,71 @@
+// Restart-tree transformations (paper §4, Table 3).
+//
+// Three techniques evolve a restart tree to reduce system MTTR:
+//
+//   * depth augmentation (§4.1)         — add cells so components (or
+//     sub-components) can restart independently; use when f_A + f_B > 0 or
+//     f_{A,B} > 0.
+//   * group consolidation (§4.3)        — merge cells whose components
+//     always fail together; use when f_A + f_B << f_{A,B}.
+//   * node promotion (§4.4)             — lift a high-MTTR component onto
+//     its parent cell so a faulty oracle cannot guess-too-low on it.
+//
+// All transformations are pure: they take a tree by value and return a new
+// tree (or an error when preconditions fail), leaving the input untouched.
+// This keeps the §4 algebra testable: e.g. consolidation after augmentation
+// commutes with the corresponding direct construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/restart_tree.h"
+#include "util/result.h"
+
+namespace mercury::core {
+
+/// Simple depth augmentation (§4.1, Fig. 3): give every component that is
+/// attached to `cell` its own child leaf, so each can restart independently.
+/// Precondition: `cell` has at least two attached components.
+util::Result<RestartTree> depth_augment(RestartTree tree, NodeId cell);
+
+/// Subtree depth augmentation via component split (§4.2, Fig. 4): replace
+/// `component` with `parts` under a new joint cell at the component's old
+/// attachment point. The joint cell cures correlated failures of the parts
+/// (f_{A,B} > 0) without a full-tree restart; each part also gets its own
+/// leaf (f_A + f_B > 0).
+/// Precondition: `component` exists; `parts` has at least two distinct new
+/// names not already in the tree.
+util::Result<RestartTree> split_component(RestartTree tree,
+                                          const std::string& component,
+                                          const std::vector<std::string>& parts);
+
+/// Group consolidation (§4.3, Fig. 5): merge the cells of `a` and `b` into a
+/// single leaf, so a failure in either restarts both in parallel.
+/// Precondition: `a` and `b` are attached to distinct sibling leaf cells.
+util::Result<RestartTree> consolidate_group(RestartTree tree, const std::string& a,
+                                            const std::string& b);
+
+/// Node promotion (§4.4, Fig. 6): move `component` from its leaf onto the
+/// leaf's parent cell and delete the leaf. After promotion, every restart
+/// that touches `component` also restarts its former siblings' subtrees —
+/// the guess-too-low mistake on `component` becomes inexpressible.
+/// Precondition: `component` is attached to a leaf whose parent is not the
+/// attachment point of the same component and has other descendants.
+util::Result<RestartTree> promote_component(RestartTree tree,
+                                            const std::string& component);
+
+/// The paper's full evolution: tree I --depth_augment--> II
+/// --split fedrcom--> II' --join fedr,pbcom--> III --consolidate ses,str-->
+/// IV --promote pbcom--> V. Returns all six stages; stage[i] validated.
+/// (Exercised by tests to prove the published trees are reachable through
+/// the transformation algebra rather than hand-built.)
+util::Result<std::vector<RestartTree>> evolve_mercury_trees();
+
+/// Regroup two sibling top-level leaves under a new joint cell (the step
+/// from tree II' to tree III: insert the [fedr,pbcom] cell).
+util::Result<RestartTree> group_under_joint(RestartTree tree, const std::string& a,
+                                            const std::string& b,
+                                            const std::string& joint_label);
+
+}  // namespace mercury::core

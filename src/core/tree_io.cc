@@ -1,0 +1,96 @@
+#include "core/tree_io.h"
+
+#include "xml/element.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mercury::core {
+
+using util::Error;
+using util::Result;
+
+namespace {
+
+void write_cell(const RestartTree& tree, NodeId id, xml::Element& parent) {
+  xml::Element cell("cell");
+  cell.set_attr("label", tree.cell(id).label);
+  for (const auto& component : tree.cell(id).components) {
+    cell.add_child(xml::Element("component")).set_attr("name", component);
+  }
+  xml::Element& stored = parent.add_child(std::move(cell));
+  for (NodeId child : tree.cell(id).children) {
+    write_cell(tree, child, stored);
+  }
+}
+
+util::Status read_cell(const xml::Element& element, RestartTree& tree,
+                       NodeId parent, bool is_root) {
+  if (element.name() != "cell") {
+    return Error("expected <cell>, got <" + element.name() + ">");
+  }
+  const auto label = element.attr("label");
+  if (!label || label->empty()) return Error("<cell> missing 'label'");
+
+  NodeId id;
+  if (is_root) {
+    id = tree.root();
+    tree.set_label(id, *label);
+  } else {
+    id = tree.add_cell(parent, *label);
+  }
+
+  for (const auto& child : element.children()) {
+    if (child->name() == "component") {
+      const auto name = child->attr("name");
+      if (!name || name->empty()) return Error("<component> missing 'name'");
+      if (tree.find_component(*name).has_value()) {
+        return Error("component '" + *name + "' attached twice");
+      }
+      tree.attach_component(id, *name);
+    } else if (child->name() == "cell") {
+      if (auto status = read_cell(*child, tree, id, /*is_root=*/false);
+          !status.ok()) {
+        return status;
+      }
+    } else {
+      return Error("unexpected <" + child->name() + "> inside <cell>");
+    }
+  }
+  return util::Status::ok_status();
+}
+
+}  // namespace
+
+std::string tree_to_xml(const RestartTree& tree) {
+  xml::Element root("restart-tree");
+  write_cell(tree, tree.root(), root);
+  xml::WriteOptions options;
+  options.pretty = true;
+  options.declaration = true;
+  return xml::write(root, options);
+}
+
+Result<RestartTree> tree_from_xml(std::string_view xml_text) {
+  auto document = xml::parse(xml_text);
+  if (!document.ok()) return document.error().wrap("loading restart tree");
+  const xml::Element& root = document.value();
+  if (root.name() != "restart-tree") {
+    return Error("expected <restart-tree> root, got <" + root.name() + ">");
+  }
+  if (root.child_count() != 1 || root.children()[0]->name() != "cell") {
+    return Error("<restart-tree> must contain exactly one root <cell>");
+  }
+
+  RestartTree tree;
+  if (auto status = read_cell(*root.children()[0], tree, tree.root(),
+                              /*is_root=*/true);
+      !status.ok()) {
+    return status.error().wrap("loading restart tree");
+  }
+  if (auto status = tree.validate(); !status.ok()) {
+    return status.error().wrap("loaded restart tree invalid");
+  }
+  return tree;
+}
+
+}  // namespace mercury::core

@@ -1,0 +1,37 @@
+// Restart-tree persistence in the station's own XML dialect.
+//
+// "REC uses a restart tree data structure and a simple policy to choose
+// which module(s) to restart" (§2.2) — operationally that tree is
+// configuration: operators evolve it (§4) and REC reloads it after its own
+// restarts. Format:
+//
+//   <restart-tree>
+//     <cell label="R_mercury">
+//       <cell label="R_[ses,str]">
+//         <component name="ses"/>
+//         <component name="str"/>
+//       </cell>
+//       ...
+//     </cell>
+//   </restart-tree>
+//
+// Round-trips exactly (labels, attachment points, child order) and
+// validates on load, so a hand-edited tree that violates the structural
+// invariants is rejected with a useful message instead of driving REC.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/restart_tree.h"
+#include "util/result.h"
+
+namespace mercury::core {
+
+/// Serialize (pretty-printed XML document).
+std::string tree_to_xml(const RestartTree& tree);
+
+/// Parse + validate.
+util::Result<RestartTree> tree_from_xml(std::string_view xml_text);
+
+}  // namespace mercury::core

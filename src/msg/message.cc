@@ -1,0 +1,145 @@
+#include "msg/message.h"
+
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mercury::msg {
+
+using util::Error;
+using util::Result;
+
+std::string_view to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kPing: return "ping";
+    case Kind::kPong: return "pong";
+    case Kind::kCommand: return "command";
+    case Kind::kAck: return "ack";
+    case Kind::kNack: return "nack";
+    case Kind::kTelemetry: return "telemetry";
+    case Kind::kEvent: return "event";
+  }
+  return "?";
+}
+
+Result<Kind> kind_from_string(std::string_view s) {
+  if (s == "ping") return Kind::kPing;
+  if (s == "pong") return Kind::kPong;
+  if (s == "command") return Kind::kCommand;
+  if (s == "ack") return Kind::kAck;
+  if (s == "nack") return Kind::kNack;
+  if (s == "telemetry") return Kind::kTelemetry;
+  if (s == "event") return Kind::kEvent;
+  return Error("unknown message kind '" + std::string{s} + "'");
+}
+
+std::string encode(const Message& message) {
+  xml::Element root("msg");
+  root.set_attr("type", std::string{to_string(message.kind)});
+  root.set_attr("from", message.from);
+  root.set_attr("to", message.to);
+  root.set_attr("seq", static_cast<long long>(message.seq));
+  if (!message.verb.empty()) root.set_attr("verb", message.verb);
+  if (message.in_reply_to) {
+    root.set_attr("reply-to", static_cast<long long>(*message.in_reply_to));
+  }
+  root.add_child(message.body);
+  return xml::write(root);
+}
+
+Result<Message> decode(std::string_view wire) {
+  auto doc = xml::parse(wire);
+  if (!doc.ok()) return doc.error().wrap("decoding message");
+  const xml::Element& root = doc.value();
+  if (root.name() != "msg") {
+    return Error("expected <msg> root, got <" + root.name() + ">");
+  }
+
+  Message message;
+  const auto type = root.attr("type");
+  if (!type) return Error("<msg> missing 'type' attribute");
+  auto kind = kind_from_string(*type);
+  if (!kind.ok()) return kind.error();
+  message.kind = kind.value();
+
+  const auto from = root.attr("from");
+  const auto to = root.attr("to");
+  if (!from || from->empty()) return Error("<msg> missing 'from' attribute");
+  if (!to || to->empty()) return Error("<msg> missing 'to' attribute");
+  message.from = *from;
+  message.to = *to;
+
+  const auto seq = root.attr_int("seq");
+  if (!seq || *seq < 0) return Error("<msg> missing or invalid 'seq' attribute");
+  message.seq = static_cast<std::uint64_t>(*seq);
+
+  message.verb = root.attr_or("verb", "");
+  if (const auto reply = root.attr_int("reply-to")) {
+    if (*reply < 0) return Error("<msg> invalid 'reply-to' attribute");
+    message.in_reply_to = static_cast<std::uint64_t>(*reply);
+  }
+
+  if (const xml::Element* body = root.child("body")) {
+    message.body = *body;
+  }
+  return message;
+}
+
+Message make_ping(std::string from, std::string to, std::uint64_t seq) {
+  Message m;
+  m.kind = Kind::kPing;
+  m.from = std::move(from);
+  m.to = std::move(to);
+  m.seq = seq;
+  return m;
+}
+
+Message make_pong(const Message& ping, std::string from) {
+  Message m;
+  m.kind = Kind::kPong;
+  m.from = std::move(from);
+  m.to = ping.from;
+  m.seq = ping.seq;  // pongs reuse the ping's sequence number
+  m.in_reply_to = ping.seq;
+  return m;
+}
+
+Message make_command(std::string from, std::string to, std::uint64_t seq,
+                     std::string verb) {
+  Message m;
+  m.kind = Kind::kCommand;
+  m.from = std::move(from);
+  m.to = std::move(to);
+  m.seq = seq;
+  m.verb = std::move(verb);
+  return m;
+}
+
+Message make_ack(const Message& command, std::string from) {
+  Message m;
+  m.kind = Kind::kAck;
+  m.from = std::move(from);
+  m.to = command.from;
+  m.seq = command.seq;
+  m.verb = command.verb;
+  m.in_reply_to = command.seq;
+  return m;
+}
+
+Message make_nack(const Message& command, std::string from, std::string reason) {
+  Message m = make_ack(command, std::move(from));
+  m.kind = Kind::kNack;
+  m.body.set_attr("reason", std::move(reason));
+  return m;
+}
+
+Message make_event(std::string from, std::uint64_t seq, std::string name) {
+  Message m;
+  m.kind = Kind::kEvent;
+  m.from = std::move(from);
+  m.to = "*";
+  m.seq = seq;
+  m.verb = std::move(name);
+  return m;
+}
+
+}  // namespace mercury::msg

@@ -1,0 +1,20 @@
+#include "orbit/doppler.h"
+
+#include "orbit/elements.h"
+
+namespace mercury::orbit {
+
+double doppler_shifted_hz(double nominal_hz, double range_rate_km_s) {
+  // First-order Doppler: f_rx = f_tx * (1 - v/c). v << c for LEO (~7 km/s).
+  return nominal_hz * (1.0 - range_rate_km_s / constants::kSpeedOfLightKmPerSec);
+}
+
+double doppler_offset_hz(double nominal_hz, double range_rate_km_s) {
+  return doppler_shifted_hz(nominal_hz, range_rate_km_s) - nominal_hz;
+}
+
+double uplink_precompensated_hz(double nominal_hz, double range_rate_km_s) {
+  return nominal_hz / (1.0 - range_rate_km_s / constants::kSpeedOfLightKmPerSec);
+}
+
+}  // namespace mercury::orbit

@@ -1,0 +1,23 @@
+// Doppler shift for radio tuning.
+//
+// rtu "tunes the radios during a satellite pass" (paper §2.1): as the
+// satellite approaches and recedes, the apparent frequency sweeps across
+// several kHz at UHF; the tuner must follow it to keep the 38.4 kbps link.
+#pragma once
+
+#include "orbit/frames.h"
+
+namespace mercury::orbit {
+
+/// Doppler-shifted receive frequency for a carrier at `nominal_hz` given the
+/// range rate (positive = receding => shifted down).
+double doppler_shifted_hz(double nominal_hz, double range_rate_km_s);
+
+/// Shift relative to nominal, Hz (negative when receding).
+double doppler_offset_hz(double nominal_hz, double range_rate_km_s);
+
+/// Uplink pre-compensation: the frequency to transmit so the satellite
+/// receives `nominal_hz`.
+double uplink_precompensated_hz(double nominal_hz, double range_rate_km_s);
+
+}  // namespace mercury::orbit

@@ -1,0 +1,70 @@
+// Classical (Keplerian) orbital elements and physical constants.
+//
+// The ses component "calculates satellite position, radio frequencies, and
+// antenna pointing angles" (paper §2.1). This module is the physics it runs
+// on. Two-body propagation is accurate enough for a ground-station
+// simulation over single passes (minutes); we deliberately omit J2/ drag
+// perturbations, which matter over days, not over the ~15-minute passes the
+// station tracks.
+#pragma once
+
+#include <numbers>
+
+#include "util/time.h"
+
+namespace mercury::orbit {
+
+namespace constants {
+/// Earth gravitational parameter, km^3/s^2 (WGS-84).
+inline constexpr double kMuEarth = 398600.4418;
+/// Earth equatorial radius, km (WGS-84).
+inline constexpr double kEarthRadiusKm = 6378.137;
+/// WGS-84 flattening.
+inline constexpr double kEarthFlattening = 1.0 / 298.257223563;
+/// Earth rotation rate, rad/s (sidereal).
+inline constexpr double kEarthRotationRadPerSec = 7.2921158553e-5;
+/// Second zonal harmonic (oblateness), dimensionless.
+inline constexpr double kJ2 = 1.08262668e-3;
+/// Speed of light, km/s.
+inline constexpr double kSpeedOfLightKmPerSec = 299792.458;
+}  // namespace constants
+
+inline constexpr double deg_to_rad(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+inline constexpr double rad_to_deg(double rad) {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// Wrap an angle to [0, 2*pi).
+double wrap_two_pi(double rad);
+/// Wrap an angle to (-pi, pi].
+double wrap_pi(double rad);
+
+/// Classical orbital elements at a reference epoch.
+struct KeplerianElements {
+  double semi_major_axis_km = 0.0;
+  double eccentricity = 0.0;       ///< [0, 1) — elliptical orbits only
+  double inclination_rad = 0.0;
+  double raan_rad = 0.0;           ///< right ascension of ascending node
+  double arg_perigee_rad = 0.0;
+  double mean_anomaly_rad = 0.0;   ///< at epoch
+  util::TimePoint epoch;           ///< simulation time of the elements
+
+  /// Mean motion, rad/s.
+  double mean_motion_rad_per_sec() const;
+  /// Orbital period.
+  util::Duration period() const;
+  /// Perigee/apogee altitude above the equatorial radius, km.
+  double perigee_altitude_km() const;
+  double apogee_altitude_km() const;
+
+  /// Elements for a circular low-earth orbit at the given altitude and
+  /// inclination — the regime of Opal/Sapphire, the satellites Mercury
+  /// tracked.
+  static KeplerianElements circular_leo(double altitude_km, double inclination_deg,
+                                        double raan_deg = 0.0,
+                                        double mean_anomaly_deg = 0.0);
+};
+
+}  // namespace mercury::orbit

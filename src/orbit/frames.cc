@@ -1,0 +1,81 @@
+#include "orbit/frames.h"
+
+#include <cmath>
+
+#include "orbit/elements.h"
+
+namespace mercury::orbit {
+
+Geodetic Geodetic::from_degrees(double lat_deg, double lon_deg, double alt_km) {
+  return Geodetic{deg_to_rad(lat_deg), deg_to_rad(lon_deg), alt_km};
+}
+
+double earth_rotation_angle(util::TimePoint t) {
+  return wrap_two_pi(constants::kEarthRotationRadPerSec * t.to_seconds());
+}
+
+Vec3 eci_to_ecef(const Vec3& eci, util::TimePoint t) {
+  const double theta = earth_rotation_angle(t);
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  // Rotation about +Z by -theta (frame rotates with the Earth).
+  return Vec3{c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z};
+}
+
+Vec3 ecef_to_eci(const Vec3& ecef, util::TimePoint t) {
+  const double theta = earth_rotation_angle(t);
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  return Vec3{c * ecef.x - s * ecef.y, s * ecef.x + c * ecef.y, ecef.z};
+}
+
+Vec3 geodetic_to_ecef(const Geodetic& g) {
+  const double a = constants::kEarthRadiusKm;
+  const double f = constants::kEarthFlattening;
+  const double e2 = f * (2.0 - f);  // first eccentricity squared
+  const double slat = std::sin(g.latitude_rad);
+  const double clat = std::cos(g.latitude_rad);
+  const double n = a / std::sqrt(1.0 - e2 * slat * slat);  // prime vertical radius
+  return Vec3{(n + g.altitude_km) * clat * std::cos(g.longitude_rad),
+              (n + g.altitude_km) * clat * std::sin(g.longitude_rad),
+              (n * (1.0 - e2) + g.altitude_km) * slat};
+}
+
+LookAngles look_angles(const Geodetic& observer, const Vec3& target_eci_km,
+                       const Vec3& target_velocity_eci_km_s, util::TimePoint t) {
+  const Vec3 site_ecef = geodetic_to_ecef(observer);
+  const Vec3 target_ecef = eci_to_ecef(target_eci_km, t);
+
+  // Relative velocity in the rotating frame: v_ecef = R*(v_eci - omega x r).
+  const Vec3 omega{0.0, 0.0, constants::kEarthRotationRadPerSec};
+  const Vec3 v_rel_eci = target_velocity_eci_km_s - omega.cross(target_eci_km);
+  const Vec3 v_ecef = eci_to_ecef(v_rel_eci, t);
+
+  const Vec3 rho_ecef = target_ecef - site_ecef;
+
+  // ECEF -> local ENU (east, north, up) at the observer.
+  const double slat = std::sin(observer.latitude_rad);
+  const double clat = std::cos(observer.latitude_rad);
+  const double slon = std::sin(observer.longitude_rad);
+  const double clon = std::cos(observer.longitude_rad);
+
+  const auto to_enu = [&](const Vec3& v) {
+    return Vec3{
+        -slon * v.x + clon * v.y,
+        -slat * clon * v.x - slat * slon * v.y + clat * v.z,
+        clat * clon * v.x + clat * slon * v.y + slat * v.z,
+    };
+  };
+
+  const Vec3 rho_enu = to_enu(rho_ecef);
+  const Vec3 v_enu = to_enu(v_ecef);
+
+  LookAngles look;
+  look.range_km = rho_enu.norm();
+  look.elevation_rad = std::asin(rho_enu.z / look.range_km);
+  look.azimuth_rad = wrap_two_pi(std::atan2(rho_enu.x, rho_enu.y));
+  look.range_rate_km_s = rho_enu.dot(v_enu) / look.range_km;
+  return look;
+}
+
+}  // namespace mercury::orbit

@@ -1,0 +1,46 @@
+// Reference-frame transforms: ECI <-> ECEF, geodetic <-> ECEF, topocentric.
+//
+// Simulation time t=0 is defined to coincide with GMST = 0 (prime meridian
+// aligned with the vernal equinox), so the Earth rotation angle is simply
+// omega_earth * t. This is a simulation convention, not an astronomical
+// ephemeris — the station tracks relative geometry, which is unaffected.
+#pragma once
+
+#include "orbit/vec3.h"
+#include "util/time.h"
+
+namespace mercury::orbit {
+
+/// Geodetic coordinates on the WGS-84 ellipsoid.
+struct Geodetic {
+  double latitude_rad = 0.0;
+  double longitude_rad = 0.0;
+  double altitude_km = 0.0;
+
+  static Geodetic from_degrees(double lat_deg, double lon_deg, double alt_km);
+};
+
+/// Earth rotation angle at simulation time `t`, radians in [0, 2*pi).
+double earth_rotation_angle(util::TimePoint t);
+
+/// Rotate an inertial (ECI) vector into the Earth-fixed (ECEF) frame.
+Vec3 eci_to_ecef(const Vec3& eci, util::TimePoint t);
+/// Inverse rotation.
+Vec3 ecef_to_eci(const Vec3& ecef, util::TimePoint t);
+
+/// Geodetic position -> ECEF, km (WGS-84 ellipsoid).
+Vec3 geodetic_to_ecef(const Geodetic& g);
+
+/// Topocentric look angles from an observer to a target.
+struct LookAngles {
+  double azimuth_rad = 0.0;    ///< clockwise from north, [0, 2*pi)
+  double elevation_rad = 0.0;  ///< above the local horizon, [-pi/2, pi/2]
+  double range_km = 0.0;
+  double range_rate_km_s = 0.0;  ///< positive = receding
+};
+
+/// Look angles from a geodetic observer to an ECI target state at time `t`.
+LookAngles look_angles(const Geodetic& observer, const Vec3& target_eci_km,
+                       const Vec3& target_velocity_eci_km_s, util::TimePoint t);
+
+}  // namespace mercury::orbit

@@ -1,0 +1,26 @@
+#include "orbit/ground_station.h"
+
+namespace mercury::orbit {
+
+GroundStation::GroundStation(std::string name, Geodetic location,
+                             double min_elevation_deg)
+    : name_(std::move(name)),
+      location_(location),
+      min_elevation_rad_(deg_to_rad(min_elevation_deg)) {}
+
+LookAngles GroundStation::look_at(const Propagator& satellite,
+                                  util::TimePoint t) const {
+  const StateVector state = satellite.state_at(t);
+  return look_angles(location_, state.position_km, state.velocity_km_s, t);
+}
+
+bool GroundStation::visible(const Propagator& satellite, util::TimePoint t) const {
+  return look_at(satellite, t).elevation_rad >= min_elevation_rad_;
+}
+
+GroundStation GroundStation::stanford() {
+  return GroundStation("stanford", Geodetic::from_degrees(37.4275, -122.1697, 0.03),
+                       /*min_elevation_deg=*/10.0);
+}
+
+}  // namespace mercury::orbit

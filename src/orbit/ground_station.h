@@ -1,0 +1,37 @@
+// Ground-station geometry: where the antennas are and what they can see.
+#pragma once
+
+#include <string>
+
+#include "orbit/frames.h"
+#include "orbit/propagator.h"
+#include "util/time.h"
+
+namespace mercury::orbit {
+
+/// A fixed ground installation with tracking antennas.
+class GroundStation {
+ public:
+  GroundStation(std::string name, Geodetic location,
+                double min_elevation_deg = 10.0);
+
+  const std::string& name() const { return name_; }
+  const Geodetic& location() const { return location_; }
+  double min_elevation_rad() const { return min_elevation_rad_; }
+
+  /// Look angles from this station to the satellite at time `t`.
+  LookAngles look_at(const Propagator& satellite, util::TimePoint t) const;
+
+  /// True when the satellite is above the station's elevation mask.
+  bool visible(const Propagator& satellite, util::TimePoint t) const;
+
+  /// Stanford's station (paper's Mercury installation, approximate).
+  static GroundStation stanford();
+
+ private:
+  std::string name_;
+  Geodetic location_;
+  double min_elevation_rad_;
+};
+
+}  // namespace mercury::orbit

@@ -1,0 +1,40 @@
+// Satellite pass prediction.
+//
+// A "pass" is the window when the satellite is above the station's elevation
+// mask — when Mercury collects telemetry (paper §1: "When a satellite
+// appears in the patch of sky whose angle is subtended by the antenna...").
+// Prediction scans the elevation profile with a coarse step and refines the
+// AOS/LOS crossings by bisection.
+#pragma once
+
+#include <vector>
+
+#include "orbit/ground_station.h"
+#include "orbit/propagator.h"
+#include "util/time.h"
+
+namespace mercury::orbit {
+
+struct Pass {
+  util::TimePoint aos;           ///< acquisition of signal (rise above mask)
+  util::TimePoint los;           ///< loss of signal (set below mask)
+  util::TimePoint max_elevation_time;
+  double max_elevation_rad = 0.0;
+
+  util::Duration duration() const { return los - aos; }
+};
+
+struct PassPredictionConfig {
+  /// Coarse scan step; must be well below the pass duration (~minutes).
+  util::Duration coarse_step = util::Duration::seconds(30.0);
+  /// Bisection refinement tolerance on AOS/LOS times.
+  util::Duration refine_tolerance = util::Duration::millis(50.0);
+};
+
+/// All passes of `satellite` over `station` in [start, end).
+std::vector<Pass> predict_passes(const GroundStation& station,
+                                 const Propagator& satellite,
+                                 util::TimePoint start, util::TimePoint end,
+                                 const PassPredictionConfig& config = {});
+
+}  // namespace mercury::orbit

@@ -1,0 +1,155 @@
+#include "orbit/propagator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mercury::orbit {
+
+double wrap_two_pi(double rad) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  double w = std::fmod(rad, two_pi);
+  if (w < 0.0) w += two_pi;
+  return w;
+}
+
+double wrap_pi(double rad) {
+  double w = wrap_two_pi(rad);
+  if (w > std::numbers::pi) w -= 2.0 * std::numbers::pi;
+  return w;
+}
+
+double KeplerianElements::mean_motion_rad_per_sec() const {
+  const double a = semi_major_axis_km;
+  return std::sqrt(constants::kMuEarth / (a * a * a));
+}
+
+util::Duration KeplerianElements::period() const {
+  return util::Duration::seconds(2.0 * std::numbers::pi / mean_motion_rad_per_sec());
+}
+
+double KeplerianElements::perigee_altitude_km() const {
+  return semi_major_axis_km * (1.0 - eccentricity) - constants::kEarthRadiusKm;
+}
+
+double KeplerianElements::apogee_altitude_km() const {
+  return semi_major_axis_km * (1.0 + eccentricity) - constants::kEarthRadiusKm;
+}
+
+KeplerianElements KeplerianElements::circular_leo(double altitude_km,
+                                                  double inclination_deg,
+                                                  double raan_deg,
+                                                  double mean_anomaly_deg) {
+  KeplerianElements e;
+  e.semi_major_axis_km = constants::kEarthRadiusKm + altitude_km;
+  e.eccentricity = 0.0;
+  e.inclination_rad = deg_to_rad(inclination_deg);
+  e.raan_rad = deg_to_rad(raan_deg);
+  e.arg_perigee_rad = 0.0;
+  e.mean_anomaly_rad = deg_to_rad(mean_anomaly_deg);
+  e.epoch = util::TimePoint::origin();
+  return e;
+}
+
+double solve_kepler(double mean_anomaly_rad, double eccentricity, double tolerance,
+                    int max_iterations) {
+  assert(eccentricity >= 0.0 && eccentricity < 1.0);
+  const double m = wrap_two_pi(mean_anomaly_rad);
+  // Standard starting guess: E0 = M for small e, E0 = pi for e near 1.
+  double e_anom = eccentricity < 0.8 ? m : std::numbers::pi;
+  for (int i = 0; i < max_iterations; ++i) {
+    const double f = e_anom - eccentricity * std::sin(e_anom) - m;
+    const double fp = 1.0 - eccentricity * std::cos(e_anom);
+    const double step = f / fp;
+    e_anom -= step;
+    if (std::abs(step) < tolerance) break;
+  }
+  return e_anom;
+}
+
+double true_anomaly_from_eccentric(double eccentric_anomaly_rad,
+                                   double eccentricity) {
+  const double half = eccentric_anomaly_rad / 2.0;
+  return 2.0 * std::atan2(std::sqrt(1.0 + eccentricity) * std::sin(half),
+                          std::sqrt(1.0 - eccentricity) * std::cos(half));
+}
+
+Propagator::Propagator(KeplerianElements elements, PerturbationModel model)
+    : elements_(elements), model_(model) {
+  assert(elements_.semi_major_axis_km > constants::kEarthRadiusKm);
+  assert(elements_.eccentricity >= 0.0 && elements_.eccentricity < 1.0);
+
+  if (model_ == PerturbationModel::kJ2Secular) {
+    // Standard first-order J2 secular rates (e.g. Vallado eq. 9-38):
+    //   dRAAN/dt = -3/2 n J2 (Re/p)^2 cos i
+    //   dargp/dt =  3/4 n J2 (Re/p)^2 (5 cos^2 i - 1)
+    //   dM/dt    +=  3/4 n J2 (Re/p)^2 sqrt(1-e^2) (3 cos^2 i - 1)
+    const double n = elements_.mean_motion_rad_per_sec();
+    const double p = elements_.semi_major_axis_km *
+                     (1.0 - elements_.eccentricity * elements_.eccentricity);
+    const double re_over_p2 =
+        (constants::kEarthRadiusKm / p) * (constants::kEarthRadiusKm / p);
+    const double cos_i = std::cos(elements_.inclination_rad);
+    const double base = n * constants::kJ2 * re_over_p2;
+    raan_rate_ = -1.5 * base * cos_i;
+    argp_rate_ = 0.75 * base * (5.0 * cos_i * cos_i - 1.0);
+    mean_rate_correction_ =
+        0.75 * base *
+        std::sqrt(1.0 - elements_.eccentricity * elements_.eccentricity) *
+        (3.0 * cos_i * cos_i - 1.0);
+  }
+}
+
+StateVector Propagator::state_at(util::TimePoint t) const {
+  const KeplerianElements& el = elements_;
+  const double dt = (t - el.epoch).to_seconds();
+  const double mean_anomaly =
+      el.mean_anomaly_rad + (el.mean_motion_rad_per_sec() + mean_rate_correction_) * dt;
+  const double ecc_anomaly = solve_kepler(mean_anomaly, el.eccentricity);
+  const double true_anomaly = true_anomaly_from_eccentric(ecc_anomaly, el.eccentricity);
+
+  const double a = el.semi_major_axis_km;
+  const double e = el.eccentricity;
+  const double p = a * (1.0 - e * e);  // semi-latus rectum
+  const double r = p / (1.0 + e * std::cos(true_anomaly));
+
+  // Perifocal (PQW) frame: P toward perigee, Q 90 deg ahead in-plane.
+  const Vec3 r_pqw{r * std::cos(true_anomaly), r * std::sin(true_anomaly), 0.0};
+  const double vf = std::sqrt(constants::kMuEarth / p);
+  const Vec3 v_pqw{-vf * std::sin(true_anomaly), vf * (e + std::cos(true_anomaly)),
+                   0.0};
+
+  // Rotate PQW -> ECI with the 3-1-3 sequence (RAAN, inclination, arg
+  // perigee), with the J2 secular drifts applied to the node and perigee.
+  const double raan = el.raan_rad + raan_rate_ * dt;
+  const double argp = el.arg_perigee_rad + argp_rate_ * dt;
+  const double co = std::cos(raan);
+  const double so = std::sin(raan);
+  const double ci = std::cos(el.inclination_rad);
+  const double si = std::sin(el.inclination_rad);
+  const double cw = std::cos(argp);
+  const double sw = std::sin(argp);
+
+  const double m00 = co * cw - so * sw * ci;
+  const double m01 = -co * sw - so * cw * ci;
+  const double m02 = so * si;
+  const double m10 = so * cw + co * sw * ci;
+  const double m11 = -so * sw + co * cw * ci;
+  const double m12 = -co * si;
+  const double m20 = sw * si;
+  const double m21 = cw * si;
+  const double m22 = ci;
+
+  const auto rotate = [&](const Vec3& v) {
+    return Vec3{m00 * v.x + m01 * v.y + m02 * v.z,
+                m10 * v.x + m11 * v.y + m12 * v.z,
+                m20 * v.x + m21 * v.y + m22 * v.z};
+  };
+
+  return StateVector{rotate(r_pqw), rotate(v_pqw)};
+}
+
+double Propagator::radius_at(util::TimePoint t) const {
+  return state_at(t).position_km.norm();
+}
+
+}  // namespace mercury::orbit

@@ -1,0 +1,57 @@
+// Two-body Keplerian propagation.
+#pragma once
+
+#include "orbit/elements.h"
+#include "orbit/vec3.h"
+#include "util/time.h"
+
+namespace mercury::orbit {
+
+/// Position (km) and velocity (km/s) in the Earth-centered inertial frame.
+struct StateVector {
+  Vec3 position_km;
+  Vec3 velocity_km_s;
+};
+
+/// Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly E by
+/// Newton iteration. `mean_anomaly` in radians; converges for e in [0, 1).
+double solve_kepler(double mean_anomaly_rad, double eccentricity,
+                    double tolerance = 1e-12, int max_iterations = 64);
+
+/// True anomaly from eccentric anomaly.
+double true_anomaly_from_eccentric(double eccentric_anomaly_rad, double eccentricity);
+
+/// Propagation fidelity. Two-body suffices for single passes (minutes);
+/// the J2 secular model adds the dominant oblateness drift — RAAN
+/// regression, apsidal rotation, mean-motion correction — which matters
+/// when predicting passes days ahead.
+enum class PerturbationModel { kTwoBody, kJ2Secular };
+
+class Propagator {
+ public:
+  explicit Propagator(KeplerianElements elements,
+                      PerturbationModel model = PerturbationModel::kTwoBody);
+
+  const KeplerianElements& elements() const { return elements_; }
+  PerturbationModel model() const { return model_; }
+
+  /// Inertial state at simulation time `t`.
+  StateVector state_at(util::TimePoint t) const;
+
+  /// Geocentric distance at time `t`, km.
+  double radius_at(util::TimePoint t) const;
+
+  /// J2 secular rates for these elements, rad/s (zero under two-body).
+  double raan_rate_rad_s() const { return raan_rate_; }
+  double arg_perigee_rate_rad_s() const { return argp_rate_; }
+  double mean_anomaly_rate_correction_rad_s() const { return mean_rate_correction_; }
+
+ private:
+  KeplerianElements elements_;
+  PerturbationModel model_;
+  double raan_rate_ = 0.0;
+  double argp_rate_ = 0.0;
+  double mean_rate_correction_ = 0.0;
+};
+
+}  // namespace mercury::orbit

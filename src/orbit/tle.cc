@@ -1,0 +1,209 @@
+#include "orbit/tle.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace mercury::orbit {
+
+using util::Error;
+using util::Result;
+
+namespace {
+
+/// Field slice by 1-based inclusive TLE column convention.
+std::string_view columns(std::string_view line, int first, int last) {
+  return line.substr(static_cast<std::size_t>(first - 1),
+                     static_cast<std::size_t>(last - first + 1));
+}
+
+Result<double> parse_double_field(std::string_view field, std::string_view what) {
+  const std::string trimmed{util::trim(field)};
+  if (trimmed.empty()) return Error("empty " + std::string{what} + " field");
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Error("bad " + std::string{what} + " field '" + trimmed + "'");
+  }
+  return value;
+}
+
+Result<long> parse_int_field(std::string_view field, std::string_view what) {
+  auto value = parse_double_field(field, what);
+  if (!value.ok()) return value.error();
+  return static_cast<long>(value.value());
+}
+
+/// TLE "implied decimal point" exponent notation: " 12345-4" => 0.12345e-4,
+/// leading sign allowed.
+Result<double> parse_implied_exponent(std::string_view field,
+                                      std::string_view what) {
+  const std::string trimmed{util::trim(field)};
+  if (trimmed.empty() || trimmed == "00000-0" || trimmed == "00000+0") return 0.0;
+  std::size_t pos = 0;
+  double sign = 1.0;
+  if (trimmed[pos] == '-') {
+    sign = -1.0;
+    ++pos;
+  } else if (trimmed[pos] == '+') {
+    ++pos;
+  }
+  // Mantissa digits until the exponent sign.
+  std::string mantissa_digits;
+  while (pos < trimmed.size() && std::isdigit(static_cast<unsigned char>(trimmed[pos]))) {
+    mantissa_digits += trimmed[pos++];
+  }
+  if (mantissa_digits.empty() || pos >= trimmed.size()) {
+    return Error("bad " + std::string{what} + " field '" + trimmed + "'");
+  }
+  const char exp_sign = trimmed[pos++];
+  if (exp_sign != '-' && exp_sign != '+') {
+    return Error("bad exponent in " + std::string{what});
+  }
+  if (pos >= trimmed.size() ||
+      !std::isdigit(static_cast<unsigned char>(trimmed[pos]))) {
+    return Error("bad exponent digits in " + std::string{what});
+  }
+  const int exponent = trimmed[pos] - '0';
+  const double mantissa =
+      std::stod("0." + mantissa_digits);
+  return sign * mantissa * std::pow(10.0, exp_sign == '-' ? -exponent : exponent);
+}
+
+}  // namespace
+
+int tle_checksum(std::string_view line) {
+  int sum = 0;
+  const std::size_t limit = std::min<std::size_t>(line.size(), 68);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const char c = line[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) sum += c - '0';
+    if (c == '-') sum += 1;
+  }
+  return sum % 10;
+}
+
+Result<Tle> parse_tle(std::string_view text) {
+  std::vector<std::string> lines;
+  for (const auto& raw : util::split(text, '\n')) {
+    if (!util::trim(raw).empty()) lines.emplace_back(raw);
+  }
+  Tle tle;
+  std::size_t first = 0;
+  if (lines.size() == 3) {
+    tle.name = std::string{util::trim(lines[0])};
+    first = 1;
+  } else if (lines.size() != 2) {
+    return Error("TLE needs 2 lines (or 3 with a name line), got " +
+                 std::to_string(lines.size()));
+  }
+  const std::string& line1 = lines[first];
+  const std::string& line2 = lines[first + 1];
+  if (line1.size() < 69 || line2.size() < 69) {
+    return Error("TLE lines must be 69 columns");
+  }
+  if (line1[0] != '1') return Error("line 1 must start with '1'");
+  if (line2[0] != '2') return Error("line 2 must start with '2'");
+
+  for (const auto* line : {&line1, &line2}) {
+    const int expected = (*line)[68] - '0';
+    const int actual = tle_checksum(*line);
+    if (expected != actual) {
+      return Error("checksum mismatch on line " + std::string(1, (*line)[0]) +
+                   ": expected " + std::to_string(expected) + ", computed " +
+                   std::to_string(actual));
+    }
+  }
+
+  // --- Line 1 -------------------------------------------------------------
+  {
+    auto catalog = parse_int_field(columns(line1, 3, 7), "catalog number");
+    if (!catalog.ok()) return catalog.error();
+    tle.catalog_number = static_cast<int>(catalog.value());
+
+    auto year = parse_int_field(columns(line1, 19, 20), "epoch year");
+    if (!year.ok()) return year.error();
+    tle.epoch_year =
+        static_cast<int>(year.value() >= 57 ? 1900 + year.value() : 2000 + year.value());
+
+    auto day = parse_double_field(columns(line1, 21, 32), "epoch day");
+    if (!day.ok()) return day.error();
+    tle.epoch_day = day.value();
+
+    auto ndot = parse_double_field(columns(line1, 34, 43), "mean motion dot");
+    if (!ndot.ok()) return ndot.error();
+    tle.mean_motion_dot = ndot.value();
+
+    auto bstar = parse_implied_exponent(columns(line1, 54, 61), "bstar");
+    if (!bstar.ok()) return bstar.error();
+    tle.bstar = bstar.value();
+  }
+
+  // --- Line 2 -------------------------------------------------------------
+  {
+    auto catalog = parse_int_field(columns(line2, 3, 7), "catalog number");
+    if (!catalog.ok()) return catalog.error();
+    if (static_cast<int>(catalog.value()) != tle.catalog_number) {
+      return Error("catalog numbers differ between lines");
+    }
+
+    auto inclination = parse_double_field(columns(line2, 9, 16), "inclination");
+    if (!inclination.ok()) return inclination.error();
+    tle.inclination_deg = inclination.value();
+    if (tle.inclination_deg < 0.0 || tle.inclination_deg > 180.0) {
+      return Error("inclination out of range");
+    }
+
+    auto raan = parse_double_field(columns(line2, 18, 25), "RAAN");
+    if (!raan.ok()) return raan.error();
+    tle.raan_deg = raan.value();
+
+    auto ecc = parse_double_field(columns(line2, 27, 33), "eccentricity");
+    if (!ecc.ok()) return ecc.error();
+    tle.eccentricity = ecc.value() / 1e7;  // implied leading decimal point
+    if (tle.eccentricity < 0.0 || tle.eccentricity >= 1.0) {
+      return Error("eccentricity out of range");
+    }
+
+    auto argp = parse_double_field(columns(line2, 35, 42), "argument of perigee");
+    if (!argp.ok()) return argp.error();
+    tle.arg_perigee_deg = argp.value();
+
+    auto mean_anomaly = parse_double_field(columns(line2, 44, 51), "mean anomaly");
+    if (!mean_anomaly.ok()) return mean_anomaly.error();
+    tle.mean_anomaly_deg = mean_anomaly.value();
+
+    auto mean_motion = parse_double_field(columns(line2, 53, 63), "mean motion");
+    if (!mean_motion.ok()) return mean_motion.error();
+    tle.mean_motion_rev_day = mean_motion.value();
+    if (tle.mean_motion_rev_day <= 0.0) return Error("mean motion must be positive");
+
+    auto rev = parse_int_field(columns(line2, 64, 68), "revolution number");
+    if (!rev.ok()) return rev.error();
+    tle.revolution_number = static_cast<std::uint32_t>(rev.value());
+  }
+  return tle;
+}
+
+double Tle::semi_major_axis_km() const {
+  const double n_rad_s =
+      mean_motion_rev_day * 2.0 * std::numbers::pi / 86400.0;
+  return std::cbrt(constants::kMuEarth / (n_rad_s * n_rad_s));
+}
+
+KeplerianElements Tle::to_elements(util::TimePoint epoch) const {
+  KeplerianElements elements;
+  elements.semi_major_axis_km = semi_major_axis_km();
+  elements.eccentricity = eccentricity;
+  elements.inclination_rad = deg_to_rad(inclination_deg);
+  elements.raan_rad = deg_to_rad(raan_deg);
+  elements.arg_perigee_rad = deg_to_rad(arg_perigee_deg);
+  elements.mean_anomaly_rad = deg_to_rad(mean_anomaly_deg);
+  elements.epoch = epoch;
+  return elements;
+}
+
+}  // namespace mercury::orbit

@@ -1,0 +1,58 @@
+// Two-line element (TLE) parsing.
+//
+// Ground stations get their ephemerides as NORAD two-line element sets; ses
+// would load one per tracked satellite. We parse the standard 69-column
+// format (with mod-10 checksum validation) into Keplerian elements for the
+// two-body propagator. The drag/SGP4-specific fields (B*, ndot) are parsed
+// and reported but not used by the propagation model — over the
+// single-pass horizons Mercury cares about they are negligible
+// (documented substitution; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "orbit/elements.h"
+#include "util/result.h"
+#include "util/time.h"
+
+namespace mercury::orbit {
+
+struct Tle {
+  std::string name;  ///< optional line 0 (satellite name), trimmed
+  int catalog_number = 0;
+  /// Epoch: two-digit year (57-99 => 19xx, 00-56 => 20xx) + fractional
+  /// day-of-year.
+  int epoch_year = 0;
+  double epoch_day = 0.0;
+  double inclination_deg = 0.0;
+  double raan_deg = 0.0;
+  double eccentricity = 0.0;
+  double arg_perigee_deg = 0.0;
+  double mean_anomaly_deg = 0.0;
+  /// Mean motion, revolutions per day.
+  double mean_motion_rev_day = 0.0;
+  /// First derivative of mean motion /2, rev/day^2 (parsed, unused).
+  double mean_motion_dot = 0.0;
+  /// B* drag term, 1/earth radii (parsed, unused).
+  double bstar = 0.0;
+  std::uint32_t revolution_number = 0;
+
+  /// Semi-major axis implied by the mean motion, km.
+  double semi_major_axis_km() const;
+
+  /// Keplerian elements with the given simulation-time epoch (the caller
+  /// decides where the TLE epoch falls on the virtual timeline).
+  KeplerianElements to_elements(util::TimePoint epoch) const;
+};
+
+/// Parse a TLE from two lines, or three when a name line precedes them.
+/// Validates line numbers, column structure, and both checksums.
+util::Result<Tle> parse_tle(std::string_view text);
+
+/// The standard TLE line checksum: digits sum as themselves, '-' as 1, all
+/// else 0; returns the mod-10 value of the first 68 columns.
+int tle_checksum(std::string_view line);
+
+}  // namespace mercury::orbit

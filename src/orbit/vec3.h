@@ -1,0 +1,32 @@
+// Minimal 3-vector for orbital mechanics.
+#pragma once
+
+#include <cmath>
+
+namespace mercury::orbit {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double k) const { return {x * k, y * k, z * k}; }
+  constexpr Vec3 operator/(double k) const { return {x / k, y / k, z / k}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(double k, const Vec3& v) { return v * k; }
+
+}  // namespace mercury::orbit

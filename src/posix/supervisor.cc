@@ -1,0 +1,335 @@
+#include "posix/supervisor.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace mercury::posix {
+
+using util::Error;
+using util::Status;
+
+namespace {
+
+util::TimePoint log_now(Clock::time_point start) {
+  return util::TimePoint::from_seconds(
+      std::chrono::duration<double>(Clock::now() - start).count());
+}
+
+const Clock::time_point kProcessStart = Clock::now();
+
+void log_info(const std::string& who, const std::string& what) {
+  util::LogLine(util::LogLevel::kInfo, log_now(kProcessStart), who) << what;
+}
+
+}  // namespace
+
+PosixSupervisor::PosixSupervisor(core::RestartTree tree,
+                                 std::vector<WorkerSpec> workers,
+                                 SupervisorConfig config)
+    : tree_(std::move(tree)), config_(config) {
+  assert(tree_.validate().ok());
+  for (auto& spec : workers) {
+    Worker worker;
+    worker.spec = std::move(spec);
+    workers_.emplace(worker.spec.name, std::move(worker));
+  }
+  // Tree components and workers must agree, or recovery actions would
+  // reference processes we do not manage.
+  const auto tree_components = tree_.all_components();
+  assert(tree_components.size() == workers_.size());
+  for (const auto& component : tree_components) {
+    assert(workers_.contains(component) && "tree component without a worker");
+    (void)component;
+  }
+}
+
+PosixSupervisor::~PosixSupervisor() = default;
+
+Status PosixSupervisor::start_all() {
+  for (auto& [name, worker] : workers_) spawn_worker(worker);
+  const bool ready = run_until([this] { return all_up(); }, Millis{10'000});
+  if (!ready) return Error("workers failed to become READY within 10 s");
+  return Status::ok_status();
+}
+
+void PosixSupervisor::spawn_worker(Worker& worker) {
+  worker.process.reset();  // kills and reaps any previous incarnation
+  auto spawned = ChildProcess::spawn(worker.spec.argv);
+  if (!spawned.ok()) {
+    // Spawn failures surface as a worker that never becomes READY; the
+    // normal escalation path handles it.
+    log_info(worker.spec.name, "spawn failed: " + spawned.error().message());
+    worker.state = WorkerState::kDown;
+    worker.ready_deadline = Clock::now() + worker.spec.startup_timeout;
+    return;
+  }
+  worker.process.emplace(std::move(spawned).value());
+  worker.state = WorkerState::kStarting;
+  worker.ready_deadline = Clock::now() + worker.spec.startup_timeout;
+  worker.outstanding_seq = 0;
+}
+
+void PosixSupervisor::run_for(Millis duration) {
+  run_until([] { return false; }, duration);
+}
+
+bool PosixSupervisor::run_until(const std::function<bool()>& predicate,
+                                Millis timeout) {
+  const Clock::time_point end = Clock::now() + timeout;
+  while (Clock::now() < end) {
+    if (predicate()) return true;
+    pump(Millis{10});
+  }
+  return predicate();
+}
+
+void PosixSupervisor::pump(Millis max_wait) {
+  // Wait for child output or the next deadline, whichever is sooner.
+  std::vector<pollfd> fds;
+  std::vector<Worker*> fd_owners;
+  for (auto& [name, worker] : workers_) {
+    if (worker.process.has_value()) {
+      fds.push_back(pollfd{worker.process->stdout_fd(), POLLIN, 0});
+      fd_owners.push_back(&worker);
+    }
+  }
+  ::poll(fds.empty() ? nullptr : fds.data(),
+         static_cast<nfds_t>(fds.size()),
+         static_cast<int>(max_wait.count()));
+
+  for (Worker* worker : fd_owners) drain_worker(*worker);
+  send_pings();
+  check_deadlines();
+  check_health_policy();
+  maybe_finish_restart();
+}
+
+void PosixSupervisor::drain_worker(Worker& worker) {
+  if (!worker.process.has_value()) return;
+  for (const auto& line : worker.process->read_lines()) {
+    if (line == "READY " + worker.spec.name) {
+      worker.state = WorkerState::kUp;
+      worker.next_ping = Clock::now() + config_.ping_period;
+      log_info(worker.spec.name, "READY");
+    } else if (util::starts_with(line, "PONG ")) {
+      const std::string seq_text = line.substr(5);
+      if (util::is_all_digits(seq_text) &&
+          std::stoull(seq_text) == worker.outstanding_seq) {
+        worker.outstanding_seq = 0;
+        ++pongs_received_;
+      }
+    } else if (util::starts_with(line, "HEALTH " + worker.spec.name + " mem=")) {
+      // §7 beacon digest over the pipe: "HEALTH <name> mem=<MB>".
+      const std::string value = line.substr(line.find("mem=") + 4);
+      char* end = nullptr;
+      const double mb = std::strtod(value.c_str(), &end);
+      if (end != value.c_str()) worker.memory_mb = mb;
+    }
+  }
+}
+
+std::optional<double> PosixSupervisor::latest_memory_mb(
+    const std::string& name) const {
+  const auto it = workers_.find(name);
+  return it != workers_.end() ? it->second.memory_mb : std::nullopt;
+}
+
+void PosixSupervisor::check_health_policy() {
+  if (config_.memory_limit_mb <= 0.0) return;
+  if (current_.has_value()) return;  // reactive work first
+  const auto now = Clock::now();
+  for (auto& [name, worker] : workers_) {
+    if (worker.state != WorkerState::kUp) continue;
+    if (!worker.memory_mb || *worker.memory_mb <= config_.memory_limit_mb) continue;
+    if (now - worker.last_rejuvenation < config_.rejuvenation_spacing) continue;
+    log_info(name, "memory " + util::format_fixed(*worker.memory_mb, 1) +
+                       " MB over limit; proactive rejuvenation (§7)");
+    worker.last_rejuvenation = now;
+    worker.memory_mb.reset();  // a fresh figure arrives after the restart
+    ++rejuvenations_;
+    PendingRestart restart;
+    restart.reported_worker = name;
+    restart.reported_at = now;
+    const auto cell = tree_.lowest_cell_covering(name);
+    restart.node = cell ? *cell : tree_.root();
+    begin_restart(std::move(restart));
+    return;  // one proactive action per pump
+  }
+}
+
+void PosixSupervisor::send_pings() {
+  const auto now = Clock::now();
+  const auto masked = [this](const std::string& name) {
+    return current_.has_value() &&
+           std::find(current_->group.begin(), current_->group.end(), name) !=
+               current_->group.end();
+  };
+  for (auto& [name, worker] : workers_) {
+    if (worker.state != WorkerState::kUp) continue;
+    if (masked(name)) continue;
+    if (worker.outstanding_seq != 0) continue;
+    if (now < worker.next_ping) continue;
+    const std::uint64_t seq = seq_++;
+    worker.outstanding_seq = seq;
+    worker.ping_deadline = now + config_.ping_timeout;
+    worker.next_ping = now + config_.ping_period;
+    if (worker.process.has_value()) {
+      worker.process->write_line("PING " + std::to_string(seq));
+      ++pings_sent_;
+    }
+  }
+}
+
+void PosixSupervisor::check_deadlines() {
+  const auto now = Clock::now();
+  const auto masked = [this](const std::string& name) {
+    return current_.has_value() &&
+           std::find(current_->group.begin(), current_->group.end(), name) !=
+               current_->group.end();
+  };
+  for (auto& [name, worker] : workers_) {
+    if (masked(name)) continue;
+    if (worker.state == WorkerState::kUp && worker.outstanding_seq != 0 &&
+        now >= worker.ping_deadline) {
+      worker.outstanding_seq = 0;
+      log_info(name, "missed ping; reporting failure");
+      on_failure(name);
+    } else if (worker.state == WorkerState::kStarting &&
+               now >= worker.ready_deadline) {
+      worker.state = WorkerState::kDown;
+      log_info(name, "startup timed out; reporting failure");
+      on_failure(name);
+    }
+  }
+}
+
+void PosixSupervisor::on_failure(const std::string& name) {
+  if (std::find(hard_failures_.begin(), hard_failures_.end(), name) !=
+      hard_failures_.end()) {
+    return;
+  }
+  if (current_.has_value()) return;  // busy; FD will re-detect afterwards
+
+  PendingRestart restart;
+  restart.reported_worker = name;
+  restart.reported_at = Clock::now();
+
+  const bool escalating =
+      last_.has_value() &&
+      std::find(last_->group.begin(), last_->group.end(), name) !=
+          last_->group.end() &&
+      (Clock::now() - last_->complete_at) < config_.escalation_window;
+
+  core::OracleQuery query;
+  query.tree = &tree_;
+  query.failed_component = name;
+  if (escalating) {
+    query.escalation_level = last_->escalation_level + 1;
+    query.previous_node = last_->node;
+    restart.escalation_level = query.escalation_level;
+    if (last_->node == tree_.root()) {
+      RootHistory& history = root_history_[name];
+      const auto now = Clock::now();
+      if (history.count > 0 && now - history.last < config_.root_retry_window) {
+        ++history.count;
+      } else {
+        history.count = 1;
+      }
+      history.last = now;
+      if (history.count >= config_.max_root_restarts) {
+        log_info(name, "hard failure: persists after full restarts; parking");
+        hard_failures_.push_back(name);
+        return;
+      }
+    }
+  }
+  restart.node = oracle_.choose(query);
+  begin_restart(std::move(restart));
+}
+
+void PosixSupervisor::begin_restart(PendingRestart restart) {
+  restart.group = tree_.group_components(restart.node);
+  log_info("supervisor", "restarting cell " + tree_.cell(restart.node).label +
+                             " (" + util::join(restart.group, ",") + ") for " +
+                             restart.reported_worker);
+  for (const auto& member : restart.group) {
+    auto& worker = workers_.at(member);
+    spawn_worker(worker);  // kills the old incarnation, starts fresh
+  }
+  current_ = std::move(restart);
+}
+
+void PosixSupervisor::maybe_finish_restart() {
+  if (!current_.has_value()) return;
+  const bool all_ready = std::all_of(
+      current_->group.begin(), current_->group.end(), [this](const auto& name) {
+        return workers_.at(name).state == WorkerState::kUp;
+      });
+  const bool any_dead = std::any_of(
+      current_->group.begin(), current_->group.end(), [this](const auto& name) {
+        return workers_.at(name).state == WorkerState::kDown;
+      });
+  if (any_dead) {
+    // A member's startup timed out mid-restart: treat the whole action as
+    // failed and let the escalation path rerun it one level up.
+    const PendingRestart failed = *current_;
+    LastRestart last;
+    last.node = failed.node;
+    last.group = failed.group;
+    last.escalation_level = failed.escalation_level;
+    last.complete_at = Clock::now();
+    last_ = last;
+    current_.reset();
+    on_failure(failed.reported_worker);
+    return;
+  }
+  if (!all_ready) return;
+
+  PosixRecoveryRecord record;
+  record.reported_worker = current_->reported_worker;
+  record.node = current_->node;
+  record.restarted = current_->group;
+  record.escalation_level = current_->escalation_level;
+  record.downtime = std::chrono::duration_cast<Millis>(Clock::now() -
+                                                       current_->reported_at);
+  history_.push_back(record);
+
+  LastRestart last;
+  last.node = current_->node;
+  last.group = current_->group;
+  last.escalation_level = current_->escalation_level;
+  last.complete_at = Clock::now();
+  last_ = last;
+  current_.reset();
+}
+
+bool PosixSupervisor::worker_up(const std::string& name) const {
+  const auto it = workers_.find(name);
+  return it != workers_.end() && it->second.state == WorkerState::kUp;
+}
+
+bool PosixSupervisor::all_up() const {
+  return std::all_of(workers_.begin(), workers_.end(), [](const auto& entry) {
+    return entry.second.state == WorkerState::kUp;
+  });
+}
+
+void PosixSupervisor::kill_worker(const std::string& name) {
+  auto& worker = workers_.at(name);
+  if (worker.process.has_value()) worker.process->kill_hard();
+  // State stays kUp: the supervisor has not *detected* anything yet — that
+  // is the failure detector's job (fail-silent semantics).
+}
+
+void PosixSupervisor::wedge_worker(const std::string& name) {
+  auto& worker = workers_.at(name);
+  if (worker.process.has_value()) worker.process->write_line("WEDGE");
+}
+
+}  // namespace mercury::posix

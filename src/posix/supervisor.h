@@ -1,0 +1,170 @@
+// PosixSupervisor: the restart tree driving real OS processes.
+//
+// The simulator proves the paper's numbers; this backend proves the
+// mechanism is not a simulation artifact. It is FD and REC fused into one
+// real-time supervision loop (single-threaded, poll()-based):
+//
+//   * each worker is a real child process (fork/exec), pinged over its
+//     stdin/stdout pipes with "PING n"/"PONG n" lines;
+//   * a missed pong raises a failure; the restart tree + oracle pick the
+//     cell to restart, exactly as in core::Recoverer — guess-too-low
+//     recommendations escalate to the parent cell when the failure
+//     persists (§3.3);
+//   * restarting a cell SIGKILLs every component in its group and respawns
+//     them, masking them from detection until they report READY;
+//   * a worker that keeps failing after max_root_restarts full restarts is
+//     parked as a hard failure.
+//
+// Timings here are real milliseconds, so tests keep startup delays small.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/restart_tree.h"
+#include "posix/child_process.h"
+#include "util/result.h"
+
+namespace mercury::posix {
+
+using Clock = std::chrono::steady_clock;
+using Millis = std::chrono::milliseconds;
+
+struct WorkerSpec {
+  std::string name;
+  /// argv[0] = binary path. The supervisor appends nothing; encode worker
+  /// options (--name, --startup-ms, ...) here.
+  std::vector<std::string> argv;
+  /// READY must arrive within this after spawn, or the start is itself a
+  /// failure (escalates like any other).
+  Millis startup_timeout{2000};
+};
+
+struct SupervisorConfig {
+  Millis ping_period{100};
+  Millis ping_timeout{80};
+  /// Re-failure within this window of a restart's completion escalates.
+  Millis escalation_window{1500};
+  int max_root_restarts = 2;
+  /// Window over which uncured root restarts accumulate per worker.
+  Millis root_retry_window{30'000};
+  /// §7 health beacons over the pipes: when a worker's reported memory
+  /// ("HEALTH <name> mem=<MB>" lines) exceeds this, it is proactively
+  /// restarted. 0 disables the policy.
+  double memory_limit_mb = 0.0;
+  /// Minimum spacing between proactive restarts of the same worker.
+  Millis rejuvenation_spacing{2'000};
+};
+
+struct PosixRecoveryRecord {
+  std::string reported_worker;
+  core::NodeId node = core::kInvalidNode;
+  std::vector<std::string> restarted;
+  int escalation_level = 0;
+  Millis downtime{0};  ///< failure report -> group READY
+};
+
+class PosixSupervisor {
+ public:
+  /// The tree's components must exactly match the worker names.
+  PosixSupervisor(core::RestartTree tree, std::vector<WorkerSpec> workers,
+                  SupervisorConfig config);
+  ~PosixSupervisor();
+
+  PosixSupervisor(const PosixSupervisor&) = delete;
+  PosixSupervisor& operator=(const PosixSupervisor&) = delete;
+
+  /// Spawn every worker and wait for all READYs (or startup timeouts).
+  util::Status start_all();
+
+  /// Run the supervision loop for a wall-clock duration.
+  void run_for(Millis duration);
+
+  /// Run until `predicate()` is true or `timeout` elapses; returns whether
+  /// the predicate was met. The loop keeps supervising while waiting.
+  bool run_until(const std::function<bool()>& predicate, Millis timeout);
+
+  // --- Introspection / fault injection for tests --------------------------
+  bool worker_up(const std::string& name) const;
+  bool all_up() const;
+  /// SIGKILL a worker out-of-band (external fault injection).
+  void kill_worker(const std::string& name);
+  /// Make a worker fail-silent without killing its process.
+  void wedge_worker(const std::string& name);
+
+  const std::vector<PosixRecoveryRecord>& history() const { return history_; }
+  const std::vector<std::string>& hard_failures() const { return hard_failures_; }
+  const core::RestartTree& tree() const { return tree_; }
+  std::uint64_t pings_sent() const { return pings_sent_; }
+  std::uint64_t pongs_received() const { return pongs_received_; }
+  /// Latest memory figure a worker's HEALTH beacon reported, if any.
+  std::optional<double> latest_memory_mb(const std::string& name) const;
+  std::uint64_t rejuvenations() const { return rejuvenations_; }
+
+ private:
+  enum class WorkerState { kDown, kStarting, kUp };
+
+  struct Worker {
+    WorkerSpec spec;
+    std::optional<ChildProcess> process;
+    WorkerState state = WorkerState::kDown;
+    Clock::time_point next_ping;
+    std::uint64_t outstanding_seq = 0;
+    Clock::time_point ping_deadline;
+    Clock::time_point ready_deadline;
+    std::optional<double> memory_mb;  // latest HEALTH beacon figure
+    Clock::time_point last_rejuvenation{};
+  };
+
+  struct PendingRestart {
+    std::string reported_worker;
+    core::NodeId node;
+    std::vector<std::string> group;
+    int escalation_level = 0;
+    Clock::time_point reported_at;
+  };
+  struct LastRestart {
+    core::NodeId node;
+    std::vector<std::string> group;
+    int escalation_level = 0;
+    Clock::time_point complete_at;
+  };
+  /// Uncured root restarts per reported worker (see core::Recoverer: an
+  /// unrelated failure right after a full restart must not park an innocent
+  /// worker).
+  struct RootHistory {
+    int count = 0;
+    Clock::time_point last{};
+  };
+
+  void pump(Millis max_wait);
+  void drain_worker(Worker& worker);
+  void send_pings();
+  void check_deadlines();
+  void check_health_policy();
+  void on_failure(const std::string& name);
+  void begin_restart(PendingRestart restart);
+  void maybe_finish_restart();
+  void spawn_worker(Worker& worker);
+
+  core::RestartTree tree_;
+  core::HeuristicOracle oracle_;
+  SupervisorConfig config_;
+  std::map<std::string, Worker> workers_;
+  std::optional<PendingRestart> current_;
+  std::optional<LastRestart> last_;
+  std::map<std::string, RootHistory> root_history_;
+  std::vector<PosixRecoveryRecord> history_;
+  std::vector<std::string> hard_failures_;
+  std::uint64_t seq_ = 1;
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t pongs_received_ = 0;
+  std::uint64_t rejuvenations_ = 0;
+};
+
+}  // namespace mercury::posix

@@ -1,0 +1,106 @@
+// mercury_worker — the POSIX backend's test component.
+//
+// A deliberately boring process that behaves like a Mercury component:
+// it takes a while to start (serial negotiation, JVM warmup...), then
+// answers liveness pings on stdin until told to misbehave.
+//
+//   mercury_worker --name ses --startup-ms 200 [--wedge-after N]
+//
+// Protocol (one line per message):
+//   stdout:  READY <name>            after the startup delay
+//            PONG <seq>              reply to a ping
+//   stdin:   PING <seq>
+//            WEDGE                   become fail-silent (stop answering)
+//            CRASH                   abort() immediately
+//            EXIT                    clean exit
+//
+// --wedge-after N: stop answering after the N-th pong — a self-inflicted
+// fail-silent failure, for supervision tests without external kills.
+//
+// --leak-mb-per-min R: report a memory figure growing at R MB/min in a
+// "HEALTH <name> mem=<MB>" line alongside every pong — the §7 beacon
+// digest, over real pipes. A restart resets the figure (rejuvenation).
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+struct Options {
+  std::string name = "worker";
+  long startup_ms = 100;
+  long wedge_after = -1;  // pongs answered before self-wedging; -1 = never
+  double leak_mb_per_min = 0.0;
+};
+
+double now_seconds() {
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--name" && has_value) {
+      options.name = argv[++i];
+    } else if (arg == "--startup-ms" && has_value) {
+      options.startup_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--wedge-after" && has_value) {
+      options.wedge_after = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--leak-mb-per-min" && has_value) {
+      options.leak_mb_per_min = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr, "worker: unknown or incomplete argument '%s'\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // line-buffered replies
+
+  usleep(static_cast<useconds_t>(options.startup_ms) * 1000);
+  const double started = now_seconds();
+  std::printf("READY %s\n", options.name.c_str());
+
+  bool wedged = false;
+  long pongs = 0;
+  char line[512];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    // Strip the newline.
+    line[std::strcspn(line, "\n")] = '\0';
+    if (std::strncmp(line, "PING ", 5) == 0) {
+      if (wedged) continue;  // fail-silent: consume, never answer
+      std::printf("PONG %s\n", line + 5);
+      if (options.leak_mb_per_min > 0.0) {
+        const double uptime_min = (now_seconds() - started) / 60.0;
+        std::printf("HEALTH %s mem=%.3f\n", options.name.c_str(),
+                    48.0 + options.leak_mb_per_min * uptime_min);
+      }
+      ++pongs;
+      if (options.wedge_after >= 0 && pongs >= options.wedge_after) {
+        wedged = true;
+      }
+    } else if (std::strcmp(line, "WEDGE") == 0) {
+      wedged = true;
+    } else if (std::strcmp(line, "CRASH") == 0) {
+      std::abort();
+    } else if (std::strcmp(line, "EXIT") == 0) {
+      return 0;
+    }
+    // Unknown commands are ignored (COTS components shrug).
+  }
+  return 0;  // stdin closed: supervisor went away
+}

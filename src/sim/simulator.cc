@@ -1,0 +1,145 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace mercury::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::schedule_at(TimePoint t, std::string label,
+                               std::function<void()> fn) {
+  assert(fn);
+  auto event = std::make_shared<Event>();
+  event->at = std::max(t, now_);
+  event->seq = next_seq_++;
+  event->label = std::move(label);
+  event->fn = std::move(fn);
+  queue_.push(event);
+  pending_index_.emplace(event->seq, event);
+  ++events_scheduled_;
+  return EventId{event->seq};
+}
+
+EventId Simulator::schedule_after(Duration delay, std::string label,
+                                  std::function<void()> fn) {
+  assert(!delay.is_negative());
+  return schedule_at(now_ + delay, std::move(label), std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto it = pending_index_.find(id.seq_);
+  if (it == pending_index_.end()) return false;  // already fired or cancelled
+  if (auto event = it->second.lock()) event->cancelled = true;
+  pending_index_.erase(it);
+  return true;
+}
+
+std::shared_ptr<Simulator::Event> Simulator::peek_live() const {
+  while (!queue_.empty()) {
+    auto top = queue_.top();
+    if (top->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    return top;
+  }
+  return nullptr;
+}
+
+bool Simulator::has_pending() const { return peek_live() != nullptr; }
+
+TimePoint Simulator::next_event_time() const {
+  const auto event = peek_live();
+  return event ? event->at : TimePoint::infinity();
+}
+
+bool Simulator::step() {
+  auto event = peek_live();
+  if (!event) return false;
+  queue_.pop();
+  pending_index_.erase(event->seq);
+  assert(event->at >= now_);
+  now_ = event->at;
+  ++events_executed_;
+  if (util::Logger::instance().enabled(util::LogLevel::kDebug)) {
+    util::LogLine(util::LogLevel::kDebug, now_, "sim") << "fire " << event->label;
+  }
+  event->fn();
+  return true;
+}
+
+void Simulator::run_until(TimePoint t) {
+  while (true) {
+    const auto event = peek_live();
+    if (!event || event->at > t) break;
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
+void Simulator::run_all(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    if (++n >= max_events) {
+      util::LogLine(util::LogLevel::kWarn, now_, "sim")
+          << "run_all stopped after " << n << " events (runaway guard)";
+      return;
+    }
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, std::string label, Duration period,
+                           std::function<void()> fn)
+    : sim_(sim),
+      label_(std::move(label)),
+      period_(period),
+      fn_(std::move(fn)),
+      alive_(std::make_shared<bool>(true)) {
+  assert(period_ > Duration::zero());
+  assert(fn_);
+}
+
+PeriodicTask::~PeriodicTask() {
+  *alive_ = false;
+  stop();
+}
+
+void PeriodicTask::start() { start_with_phase(period_); }
+
+void PeriodicTask::start_with_phase(Duration phase) {
+  stop();
+  running_ = true;
+  std::shared_ptr<bool> alive = alive_;
+  pending_ = sim_.schedule_after(phase, label_, [this, alive] {
+    if (*alive) fire();
+  });
+}
+
+void PeriodicTask::stop() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = EventId{};
+  }
+  running_ = false;
+}
+
+void PeriodicTask::set_period(Duration period) {
+  assert(period > Duration::zero());
+  period_ = period;
+  if (running_) start();  // re-arm with the new period
+}
+
+void PeriodicTask::fire() {
+  if (!running_) return;
+  std::shared_ptr<bool> alive = alive_;
+  pending_ = sim_.schedule_after(period_, label_, [this, alive] {
+    if (*alive) fire();
+  });
+  fn_();
+}
+
+}  // namespace mercury::sim

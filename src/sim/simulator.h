@@ -1,0 +1,145 @@
+// Deterministic discrete-event simulator.
+//
+// The paper's experiments run on a physical ground station; ours run on this
+// kernel. It is single-threaded and fully deterministic: events at equal
+// timestamps execute in scheduling order, and all randomness flows from one
+// seeded root Rng (forked per subsystem). Re-running with the same seed
+// reproduces every event, which the tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace mercury::sim {
+
+using util::Duration;
+using util::Rng;
+using util::TimePoint;
+
+/// Opaque handle for a scheduled event; valid until the event fires or is
+/// cancelled.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now; earlier times are clamped
+  /// to now). The label appears in debug traces.
+  EventId schedule_at(TimePoint t, std::string label, std::function<void()> fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  EventId schedule_after(Duration delay, std::string label, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  bool has_pending() const;
+  TimePoint next_event_time() const;
+
+  /// Execute the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run events until virtual time would exceed `t`; leaves now() == t.
+  void run_until(TimePoint t);
+
+  /// Run for a span of virtual time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Run until the queue drains or `max_events` fire (runaway guard).
+  void run_all(std::uint64_t max_events = 100'000'000);
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t events_scheduled() const { return events_scheduled_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::string label;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+
+  struct Later {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  /// Pops cancelled events off the top; returns the next live event or null.
+  std::shared_ptr<Event> peek_live() const;
+
+  TimePoint now_ = TimePoint::origin();
+  Rng rng_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t events_scheduled_ = 0;
+  // mutable: peek_live prunes cancelled events from const accessors.
+  mutable std::priority_queue<std::shared_ptr<Event>,
+                              std::vector<std::shared_ptr<Event>>, Later>
+      queue_;
+  // Pending (not yet fired, not cancelled) events by seq, for O(1) cancel.
+  std::unordered_map<std::uint64_t, std::weak_ptr<Event>> pending_index_;
+};
+
+/// Self-rescheduling periodic task (e.g. the failure detector's ping loop).
+/// Stops rescheduling once stopped or destroyed.
+class PeriodicTask {
+ public:
+  /// `fn` runs every `period`, first at now+period (or now+phase if given).
+  PeriodicTask(Simulator& sim, std::string label, Duration period,
+               std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  void start_with_phase(Duration phase);
+  void stop();
+  bool running() const { return running_; }
+  Duration period() const { return period_; }
+  void set_period(Duration period);
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  std::string label_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventId pending_;
+  bool running_ = false;
+  // Shared liveness flag: outstanding events check it so a destroyed task
+  // never has its callback invoked.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace mercury::sim

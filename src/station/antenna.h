@@ -1,0 +1,53 @@
+// Antenna pedestal model: az/el pointing with slew-rate limits.
+//
+// str "points antennas to track a satellite during a pass" (§2.1). The
+// pedestal slews toward its commanded angles at a bounded rate; pointing
+// error is the angular distance between the commanded and actual boresight.
+#pragma once
+
+#include "util/time.h"
+
+namespace mercury::station {
+
+struct AntennaConfig {
+  double max_slew_deg_per_sec = 6.0;
+  /// Park position when idle.
+  double park_azimuth_deg = 0.0;
+  double park_elevation_deg = 90.0;
+};
+
+class Antenna {
+ public:
+  explicit Antenna(AntennaConfig config = {});
+
+  /// Command a new target; actual position keeps slewing toward the most
+  /// recent target at the configured rate.
+  void point(double azimuth_deg, double elevation_deg, util::TimePoint now);
+
+  /// Command the park position.
+  void park(util::TimePoint now);
+
+  double azimuth_deg(util::TimePoint now) const;
+  double elevation_deg(util::TimePoint now) const;
+  double target_azimuth_deg() const { return target_az_; }
+  double target_elevation_deg() const { return target_el_; }
+
+  /// Great-circle angle between boresight and target, degrees.
+  double pointing_error_deg(util::TimePoint now) const;
+
+ private:
+  /// Advance the pedestal's physical position to `now` (lazy integration;
+  /// mutable state because observation itself settles the model).
+  void settle(util::TimePoint now) const;
+  static double step_toward(double from, double to, double max_step,
+                            bool wrap_azimuth);
+
+  AntennaConfig config_;
+  mutable double az_ = 0.0;
+  mutable double el_ = 90.0;
+  double target_az_ = 0.0;
+  double target_el_ = 90.0;
+  mutable util::TimePoint last_update_;
+};
+
+}  // namespace mercury::station

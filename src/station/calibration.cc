@@ -1,0 +1,42 @@
+#include "station/calibration.h"
+
+#include <cassert>
+
+#include "core/mercury_trees.h"
+
+namespace mercury::station {
+
+namespace names = core::component_names;
+
+ComponentTiming Calibration::timing_for(const std::string& component) const {
+  if (component == names::kMbus) return mbus;
+  if (component == names::kSes) return ses;
+  if (component == names::kStr) return str;
+  if (component == names::kRtu) return rtu;
+  if (component == names::kFedrcom) return fedrcom;
+  if (component == names::kFedr) return fedr;
+  if (component == names::kPbcom) return pbcom;
+  if (component == names::kFd) return fd;
+  if (component == names::kRec) return rec;
+  assert(false && "unknown component");
+  return {};
+}
+
+Duration Calibration::mttf_for(const std::string& component) const {
+  if (component == names::kMbus) return mttf_mbus;
+  if (component == names::kSes) return mttf_ses;
+  if (component == names::kStr) return mttf_str;
+  if (component == names::kRtu) return mttf_rtu;
+  if (component == names::kFedrcom) return mttf_fedrcom;
+  if (component == names::kFedr) return mttf_fedr;
+  if (component == names::kPbcom) return mttf_pbcom;
+  assert(false && "no MTTF for component");
+  return Duration::infinity();
+}
+
+const Calibration& default_calibration() {
+  static const Calibration calibration{};
+  return calibration;
+}
+
+}  // namespace mercury::station

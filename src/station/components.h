@@ -1,0 +1,149 @@
+// The concrete Mercury components (paper Fig. 1):
+//
+//   mbus    — the message-bus process itself (restartable like the rest)
+//   ses     — satellite estimator: orbit propagation, look angles, Doppler
+//   str     — satellite tracker: drives the antenna from ses ephemerides
+//   rtu     — radio tuner: Doppler-corrected tune commands during a pass
+//   fedrcom — fused proxy between XML commands and low-level radio commands
+//   fedr    — post-split front-end driver (command translation; unstable)
+//   pbcom   — post-split serial-port proxy (slow negotiation; stable)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "orbit/ground_station.h"
+#include "orbit/propagator.h"
+#include "sim/simulator.h"
+#include "station/component.h"
+
+namespace mercury::station {
+
+class SyncCoordinator;
+class FedrPbcomLink;
+
+/// The mbus process. Its kill/restart drives the MessageBus crash/restart
+/// semantics; while it is down, every component is unreachable.
+class MbusComponent : public Component {
+ public:
+  MbusComponent(Station& station, ComponentTiming timing);
+
+ protected:
+  void on_killed() override;
+  void on_started() override;
+};
+
+/// Satellite estimator. Publishes an `ephemeris` event (az/el/range/
+/// range-rate/visibility) once per second while functional. Functional only
+/// when resynchronized with str.
+class SesComponent : public Component {
+ public:
+  SesComponent(Station& station, ComponentTiming timing, SyncCoordinator& sync);
+
+  bool functional() const override;
+  std::uint64_t ephemerides_published() const { return published_; }
+
+ protected:
+  void on_killed() override;
+  void on_started() override;
+  void on_instant_boot() override;
+
+ private:
+  void publish_ephemeris();
+
+  SyncCoordinator& sync_;
+  std::unique_ptr<sim::PeriodicTask> ephemeris_task_;
+  std::uint64_t published_ = 0;
+};
+
+/// Satellite tracker. Consumes ephemerides and slews the antenna; parks it
+/// when the satellite sets. Functional only when resynchronized with ses.
+class StrComponent : public Component {
+ public:
+  StrComponent(Station& station, ComponentTiming timing, SyncCoordinator& sync);
+
+  bool functional() const override;
+  std::uint64_t pointings_commanded() const { return pointings_; }
+
+ protected:
+  void handle_message(const msg::Message& message) override;
+  void on_killed() override;
+  void on_started() override;
+  void on_instant_boot() override;
+
+ private:
+  SyncCoordinator& sync_;
+  std::uint64_t pointings_ = 0;
+};
+
+/// Radio tuner. Consumes ephemerides, computes the Doppler-corrected
+/// downlink frequency, and commands the radio front end (fedr or fedrcom).
+class RtuComponent : public Component {
+ public:
+  RtuComponent(Station& station, ComponentTiming timing);
+
+  std::uint64_t tunes_commanded() const { return tunes_; }
+  std::optional<double> last_tuned_hz() const { return last_tuned_hz_; }
+
+ protected:
+  void handle_message(const msg::Message& message) override;
+
+ private:
+  std::uint64_t tunes_ = 0;
+  std::optional<double> last_tuned_hz_;
+};
+
+/// Fused proxy (trees I and II): translates XML radio commands and owns the
+/// serial port. Slow to restart (serial negotiation) and failure-prone
+/// (buggy translator) — the bad MTTR/MTTF combination of §4.2.
+class FedrcomComponent : public Component {
+ public:
+  FedrcomComponent(Station& station, ComponentTiming timing);
+
+ protected:
+  void handle_message(const msg::Message& message) override;
+  void on_killed() override;
+  void on_started() override;
+  void on_instant_boot() override;
+};
+
+/// Post-split front-end driver: translates XML commands to radio command
+/// lines and forwards them to pbcom over TCP. Functional only while
+/// connected.
+class FedrComponent : public Component {
+ public:
+  FedrComponent(Station& station, ComponentTiming timing, FedrPbcomLink& link);
+
+  bool functional() const override;
+
+ protected:
+  void handle_message(const msg::Message& message) override;
+  void on_killed() override;
+  void on_started() override;
+  void on_instant_boot() override;
+
+ private:
+  FedrPbcomLink& link_;
+};
+
+/// Post-split serial-port proxy: accepts radio command lines from fedr and
+/// writes them to the serial port. Slow startup (hardware negotiation).
+class PbcomComponent : public Component {
+ public:
+  PbcomComponent(Station& station, ComponentTiming timing, FedrPbcomLink& link);
+
+  /// A radio command line arriving over the fedr->pbcom TCP connection.
+  void deliver_line(const std::string& line);
+
+ protected:
+  void handle_message(const msg::Message& message) override;
+  void on_killed() override;
+  void on_started() override;
+  void on_instant_boot() override;
+
+ private:
+  FedrPbcomLink& link_;
+};
+
+}  // namespace mercury::station

@@ -1,0 +1,172 @@
+#include "station/experiment.h"
+
+#include <cassert>
+
+#include "core/mercury_trees.h"
+#include "util/log.h"
+
+namespace mercury::station {
+
+namespace names = core::component_names;
+using util::Duration;
+
+std::string to_string(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kHeuristic: return "heuristic";
+    case OracleKind::kPerfect: return "perfect";
+    case OracleKind::kFaultyPerfect: return "faulty";
+    case OracleKind::kLearning: return "learning";
+  }
+  return "?";
+}
+
+MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
+    : sim_(sim), cal_(spec.cal) {
+  StationConfig config;
+  config.split_fedrcom = core::uses_split_fedrcom(spec.tree);
+  config.enable_domain_behavior = spec.enable_domain_behavior;
+  config.cal = spec.cal;
+  config.bus.loss_probability = spec.bus_loss_probability;
+  station_ = std::make_unique<Station>(sim_, config);
+
+  link_ = std::make_unique<bus::DedicatedLink>(sim_, "fd", "rec",
+                                               spec.cal.link_latency);
+
+  // Oracle stack.
+  if (spec.oracle_override != nullptr) {
+    active_oracle_ = spec.oracle_override;
+  } else {
+    switch (spec.oracle) {
+      case OracleKind::kHeuristic:
+        owned_oracle_ = std::make_unique<core::HeuristicOracle>();
+        active_oracle_ = owned_oracle_.get();
+        break;
+      case OracleKind::kPerfect:
+        perfect_oracle_ = std::make_unique<core::PerfectOracle>(station_->board());
+        active_oracle_ = perfect_oracle_.get();
+        break;
+      case OracleKind::kFaultyPerfect:
+        perfect_oracle_ = std::make_unique<core::PerfectOracle>(station_->board());
+        owned_oracle_ = std::make_unique<core::FaultyOracle>(
+            *perfect_oracle_, sim_.rng().fork("faulty-oracle"), spec.faulty_p_low,
+            spec.faulty_p_high);
+        active_oracle_ = owned_oracle_.get();
+        break;
+      case OracleKind::kLearning: {
+        std::map<std::string, double> costs;
+        for (const auto& name : station_->component_names()) {
+          costs[name] = spec.cal.timing_for(name).startup_mean.to_seconds();
+        }
+        owned_oracle_ = std::make_unique<core::LearningOracle>(
+            sim_.rng().fork("learning-oracle"), std::move(costs));
+        active_oracle_ = owned_oracle_.get();
+        break;
+      }
+    }
+  }
+
+  core::FdConfig fd_config;
+  fd_config.ping_period = spec.cal.ping_period;
+  fd_config.ping_timeout = spec.cal.ping_timeout;
+  fd_config.mbus_verify_timeout = spec.cal.ping_timeout;
+  fd_config.misses_before_report = spec.fd_misses_before_report;
+  fd_ = std::make_unique<core::FailureDetector>(
+      sim_, station_->bus(), *link_, station_->component_names(), fd_config);
+
+  core::RecConfig rec_config;
+  rec_config.enable_soft_recovery = spec.enable_soft_recovery;
+  rec_ = std::make_unique<core::Recoverer>(
+      sim_, *link_, core::make_mercury_tree(spec.tree), *active_oracle_,
+      station_->process_manager(), rec_config);
+
+  // FD re-attaches its endpoint after every bus restart.
+  station_->add_bus_restart_listener([this] { fd_->reattach(); });
+
+  // Mutual recovery (§2.2): each side can restart the other's process.
+  rec_->set_fd_restarter([this] {
+    const Duration startup = cal_.fd.startup_mean;
+    sim_.schedule_after(startup, "fd.restart",
+                        [this] { fd_->restart_complete(); });
+  });
+  fd_->set_rec_restarter([this] {
+    const Duration startup = cal_.rec.startup_mean;
+    sim_.schedule_after(startup, "rec.restart",
+                        [this] { rec_->restart_complete(); });
+  });
+}
+
+void MercuryRig::start() {
+  station_->boot_instant();
+  fd_->start();
+  rec_->start();
+  rec_->monitor_fd();
+  fd_->monitor_rec();
+}
+
+TrialResult run_trial(const TrialSpec& spec) {
+  sim::Simulator sim(spec.seed);
+  MercuryRig rig(sim, spec);
+  rig.start();
+
+  sim.run_for(spec.warmup);
+
+  // Inject at a uniformly random phase of the ping schedule, as a physical
+  // SIGKILL at an arbitrary wall-clock instant would land.
+  const Duration phase = Duration::seconds(
+      sim.rng().uniform(0.0, spec.cal.ping_period.to_seconds()));
+  sim.run_for(phase);
+  const util::TimePoint injected_at = sim.now();
+
+  switch (spec.mode) {
+    case FailureMode::kCrash:
+      assert(!spec.fail_component.empty());
+      rig.station().inject_crash(spec.fail_component);
+      break;
+    case FailureMode::kJointFedrPbcom:
+      rig.station().inject_joint_fedr_pbcom();
+      break;
+    case FailureMode::kStaleAttachment:
+      assert(!spec.fail_component.empty());
+      rig.station().inject_stale_attachment(spec.fail_component);
+      break;
+  }
+
+  TrialResult result;
+  const util::TimePoint deadline = injected_at + spec.timeout;
+  while (sim.now() < deadline) {
+    if (rig.station().all_functional() && !rig.rec().restart_in_progress()) {
+      break;
+    }
+    if (!rig.rec().hard_failures().empty()) {
+      result.hard_failure = true;
+      break;
+    }
+    if (!sim.step()) break;  // queue drained (should not happen: ping loops)
+  }
+
+  result.recovery = sim.now() - injected_at;
+  if (sim.now() >= deadline) {
+    result.timed_out = true;
+    result.recovery = spec.timeout;
+  }
+  result.restarts = static_cast<int>(rig.rec().restarts_executed());
+  result.escalations = static_cast<int>(rig.rec().escalations());
+
+  // Let the recoverer's post-recovery bookkeeping (the oracle's positive
+  // cure feedback fires one escalation-window after the restart) settle, so
+  // persistent oracles learn from this trial.
+  sim.run_for(core::RecConfig{}.escalation_window + Duration::seconds(1.0));
+  return result;
+}
+
+util::SampleStats run_trials(TrialSpec spec, int trials) {
+  util::SampleStats stats;
+  const std::uint64_t base_seed = spec.seed;
+  for (int i = 0; i < trials; ++i) {
+    spec.seed = base_seed + static_cast<std::uint64_t>(i);
+    stats.add(run_trial(spec).recovery);
+  }
+  return stats;
+}
+
+}  // namespace mercury::station

@@ -1,0 +1,116 @@
+// Experiment harness: the paper's §4 methodology, automated.
+//
+// "To measure the effect this transformation has on system recovery time,
+// we cause the failure of each component (using a SIGKILL signal) and
+// measure how long the system takes to recover. We log the time when the
+// signal is sent; once the component determines it is functionally ready,
+// it logs a timestamped message. The difference between these two times is
+// what we consider to be the recovery time." (§4.1; 100 trials per cell.)
+//
+// MercuryRig assembles a complete system — station + FD + REC + oracle —
+// for one (tree, oracle) configuration; run_trial injects one failure at a
+// uniformly random ping phase and runs the simulation until the station is
+// fully functional again.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bus/dedicated_link.h"
+#include "core/failure_detector.h"
+#include "core/mercury_trees.h"
+#include "core/oracle.h"
+#include "core/recoverer.h"
+#include "sim/simulator.h"
+#include "station/station.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace mercury::station {
+
+enum class OracleKind {
+  kHeuristic,       ///< leaf-first + escalation (no failure-model knowledge)
+  kPerfect,         ///< minimal restart policy (A_oracle)
+  kFaultyPerfect,   ///< perfect + guess-too-low/high mistakes (§4.4)
+  kLearning,        ///< online f_ci estimation (§7)
+};
+
+std::string to_string(OracleKind kind);
+
+enum class FailureMode {
+  kCrash,              ///< fail-silent crash of `fail_component` (SIGKILL)
+  kJointFedrPbcom,     ///< manifests in pbcom, curable only by {fedr,pbcom}
+  kStaleAttachment,    ///< soft-curable transient at `fail_component` (§7)
+};
+
+struct TrialSpec {
+  core::MercuryTree tree = core::MercuryTree::kTreeIV;
+  OracleKind oracle = OracleKind::kPerfect;
+  double faulty_p_low = 0.3;
+  double faulty_p_high = 0.0;
+  std::string fail_component;
+  FailureMode mode = FailureMode::kCrash;
+  std::uint64_t seed = 1;
+  Calibration cal = default_calibration();
+  util::Duration warmup = util::Duration::seconds(3.0);
+  util::Duration timeout = util::Duration::seconds(180.0);
+  /// Domain chatter (ephemerides/tuning) is off in timing trials: it does
+  /// not affect recovery and costs events.
+  bool enable_domain_behavior = false;
+  /// Recursive recovery (§7): REC tries the component's soft procedure
+  /// before any restart.
+  bool enable_soft_recovery = false;
+  /// FD suspicion threshold (consecutive missed pings before reporting).
+  int fd_misses_before_report = 1;
+  /// Per-delivery mbus loss probability (robustness ablation).
+  double bus_loss_probability = 0.0;
+  /// Persist an oracle across trials (e.g. LearningOracle). Non-owning;
+  /// must outlive the trial and match the tree.
+  core::Oracle* oracle_override = nullptr;
+};
+
+struct TrialResult {
+  util::Duration recovery = util::Duration::zero();
+  int restarts = 0;
+  int escalations = 0;
+  bool hard_failure = false;
+  bool timed_out = false;
+};
+
+/// A fully wired Mercury system. Exposes the pieces for tests and examples.
+class MercuryRig {
+ public:
+  MercuryRig(sim::Simulator& sim, const TrialSpec& spec);
+
+  Station& station() { return *station_; }
+  core::FailureDetector& fd() { return *fd_; }
+  core::Recoverer& rec() { return *rec_; }
+  core::Oracle& oracle() { return *active_oracle_; }
+  bus::DedicatedLink& link() { return *link_; }
+
+  /// boot_instant + start FD/REC + mutual monitoring.
+  void start();
+
+ private:
+  sim::Simulator& sim_;
+  std::unique_ptr<Station> station_;
+  std::unique_ptr<bus::DedicatedLink> link_;
+  std::unique_ptr<core::PerfectOracle> perfect_oracle_;
+  std::unique_ptr<core::Oracle> owned_oracle_;
+  core::Oracle* active_oracle_ = nullptr;
+  std::unique_ptr<core::FailureDetector> fd_;
+  std::unique_ptr<core::Recoverer> rec_;
+  Calibration cal_;
+};
+
+/// One §4 measurement: inject, recover, report.
+TrialResult run_trial(const TrialSpec& spec);
+
+/// `trials` measurements with seeds spec.seed, spec.seed+1, ...; returns
+/// recovery times in seconds. Timed-out or hard-failed trials are counted
+/// at the timeout value (and are a red flag — tests assert they don't
+/// happen).
+util::SampleStats run_trials(TrialSpec spec, int trials);
+
+}  // namespace mercury::station

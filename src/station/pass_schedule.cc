@@ -1,0 +1,69 @@
+#include "station/pass_schedule.h"
+
+#include <algorithm>
+
+namespace mercury::station {
+
+using util::Duration;
+using util::TimePoint;
+
+void PassSchedule::add_passes(const std::string& satellite,
+                              const std::vector<orbit::Pass>& passes) {
+  for (const auto& pass : passes) {
+    passes_.push_back(ScheduledPass{satellite, pass});
+  }
+  std::sort(passes_.begin(), passes_.end(),
+            [](const ScheduledPass& a, const ScheduledPass& b) {
+              return a.pass.aos < b.pass.aos;
+            });
+}
+
+bool PassSchedule::in_pass(TimePoint t) const {
+  return current_pass(t).has_value();
+}
+
+std::optional<ScheduledPass> PassSchedule::current_pass(TimePoint t) const {
+  for (const auto& scheduled : passes_) {
+    if (scheduled.pass.aos <= t && t < scheduled.pass.los) return scheduled;
+    if (scheduled.pass.aos > t) break;  // sorted: nothing later can contain t
+  }
+  return std::nullopt;
+}
+
+std::optional<ScheduledPass> PassSchedule::next_pass(TimePoint t) const {
+  if (auto current = current_pass(t)) return current;
+  for (const auto& scheduled : passes_) {
+    if (scheduled.pass.aos > t) return scheduled;
+  }
+  return std::nullopt;
+}
+
+bool PassSchedule::window_open(TimePoint t, Duration required) const {
+  if (in_pass(t)) return false;
+  for (const auto& scheduled : passes_) {
+    if (scheduled.pass.aos <= t) continue;
+    return scheduled.pass.aos - t >= required;
+  }
+  return true;  // no more passes on the horizon
+}
+
+Duration PassSchedule::pass_time_in(TimePoint from, TimePoint to) const {
+  Duration total = Duration::zero();
+  for (const auto& scheduled : passes_) {
+    const TimePoint start = std::max(scheduled.pass.aos, from);
+    const TimePoint end = std::min(scheduled.pass.los, to);
+    if (end > start) total += end - start;
+  }
+  return total;
+}
+
+PassSchedule PassSchedule::for_satellite(const std::string& name,
+                                         const orbit::GroundStation& site,
+                                         const orbit::Propagator& satellite,
+                                         TimePoint from, TimePoint to) {
+  PassSchedule schedule;
+  schedule.add_passes(name, orbit::predict_passes(site, satellite, from, to));
+  return schedule;
+}
+
+}  // namespace mercury::station

@@ -1,0 +1,65 @@
+// Pass schedule & maintenance windows.
+//
+// §5.2: "not all downtime is the same" — downtime during passes costs
+// science data; the gaps between passes are where planned work (proactive
+// rejuvenation, §7 health beacons) belongs. A PassSchedule holds the
+// predicted passes for one or more satellites over a horizon and answers
+// the operational questions: are we in (or about to enter) a pass? when is
+// the next one? is the maintenance window open, given how long the planned
+// work takes?
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orbit/pass_predictor.h"
+#include "util/time.h"
+
+namespace mercury::station {
+
+struct ScheduledPass {
+  std::string satellite;
+  orbit::Pass pass;
+};
+
+class PassSchedule {
+ public:
+  PassSchedule() = default;
+
+  /// Merge `satellite`'s predicted passes into the schedule (kept sorted by
+  /// AOS).
+  void add_passes(const std::string& satellite, const std::vector<orbit::Pass>& passes);
+
+  const std::vector<ScheduledPass>& passes() const { return passes_; }
+  std::size_t pass_count() const { return passes_.size(); }
+
+  /// True while some pass is in progress at `t`.
+  bool in_pass(util::TimePoint t) const;
+
+  /// The pass in progress at `t`, if any.
+  std::optional<ScheduledPass> current_pass(util::TimePoint t) const;
+
+  /// The next pass with AOS strictly after `t` (or the one in progress).
+  std::optional<ScheduledPass> next_pass(util::TimePoint t) const;
+
+  /// Maintenance window check (§5.2): open iff no pass is in progress and
+  /// the next AOS is at least `required` away — enough room to finish the
+  /// planned work (plus margin) before the satellite rises.
+  bool window_open(util::TimePoint t, util::Duration required) const;
+
+  /// Total pass time in [from, to) — the "expensive" seconds.
+  util::Duration pass_time_in(util::TimePoint from, util::TimePoint to) const;
+
+  /// Build a one-day schedule for the default Mercury satellite over the
+  /// given site.
+  static PassSchedule for_satellite(const std::string& name,
+                                    const orbit::GroundStation& site,
+                                    const orbit::Propagator& satellite,
+                                    util::TimePoint from, util::TimePoint to);
+
+ private:
+  std::vector<ScheduledPass> passes_;  // sorted by AOS
+};
+
+}  // namespace mercury::station

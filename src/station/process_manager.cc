@@ -1,0 +1,119 @@
+#include "station/process_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "station/station.h"
+#include "util/log.h"
+
+namespace mercury::station {
+
+using util::Duration;
+using util::LogLevel;
+using util::LogLine;
+
+ProcessManager::ProcessManager(Station& station)
+    : station_(station), rng_(station.sim().rng().fork("process-manager")) {}
+
+std::vector<std::string> ProcessManager::component_names() const {
+  return station_.component_names();
+}
+
+std::vector<std::string> ProcessManager::restarting_now() const {
+  std::vector<std::string> names;
+  for (const auto& [name, in_flight] : restarting_) {
+    if (in_flight) names.push_back(name);
+  }
+  return names;
+}
+
+void ProcessManager::soft_recover(const std::string& component,
+                                  std::function<void()> on_complete) {
+  assert(station_.component(component) != nullptr &&
+         "soft_recover: unknown component");
+  const std::string name = component;
+  station_.sim().schedule_after(
+      station_.cal().soft_recovery_duration, "soft-recover:" + name,
+      [this, name, on_complete = std::move(on_complete)] {
+        Component* target = station_.component(name);
+        // A kill that raced in supersedes the soft procedure; the restart
+        // path owns recovery now.
+        if (target != nullptr && target->up() && !target->restarting()) {
+          target->attach_to_bus();
+          station_.board().on_soft_recovery_complete(name, station_.sim().now());
+        }
+        if (on_complete) on_complete();
+      });
+}
+
+void ProcessManager::restart_group(const std::vector<std::string>& names,
+                                   std::function<void()> on_complete) {
+  assert(!names.empty());
+  const std::uint64_t group_id = next_group_++;
+  Group& group = groups_[group_id];
+  group.on_complete = std::move(on_complete);
+  ++groups_restarted_;
+
+  // Kill phase: everything in the group dies first (REC kills the whole
+  // subtree before bringing it back).
+  std::vector<Component*> members;
+  for (const auto& name : names) {
+    Component* component = station_.component(name);
+    assert(component != nullptr && "restart_group: unknown component");
+    if (restarting_[name]) {
+      // Already being restarted by an overlapping group; fold into ours by
+      // skipping the duplicate kill/start (its completion serves both —
+      // conservative, and REC's dedup makes this path rare).
+      continue;
+    }
+    members.push_back(component);
+    restarting_[name] = true;
+    ++restarting_count_;
+  }
+  group.remaining = members.size();
+  if (members.empty()) {
+    // Everything already in flight elsewhere; complete immediately.
+    Group finished = std::move(groups_[group_id]);
+    groups_.erase(group_id);
+    if (finished.on_complete) finished.on_complete();
+    return;
+  }
+
+  for (Component* component : members) component->kill();
+
+  // Contention (§4.1): concurrent restarts slow each other down. The factor
+  // is computed once per group from the total number of in-flight restarts.
+  const double contention =
+      1.0 + station_.cal().contention_slope * std::max(0, restarting_count_ - 2);
+
+  for (Component* component : members) {
+    const ComponentTiming& timing = component->timing();
+    const double mean = timing.startup_mean.to_seconds();
+    const double sd = timing.startup_stddev.to_seconds();
+    const double base = rng_.normal_at_least(mean, sd, 0.5 * mean);
+    const Duration startup = Duration::seconds(base * contention);
+    ++restarts_performed_;
+
+    const std::string name = component->name();
+    station_.sim().schedule_after(
+        startup, "restart.complete:" + name, [this, name, group_id] {
+          Component* component = station_.component(name);
+          assert(component != nullptr);
+          restarting_[name] = false;
+          --restarting_count_;
+          component->complete_start();
+          station_.board().on_restart_complete(name, station_.sim().now());
+          station_.notify_component_restarted(name);
+
+          const auto it = groups_.find(group_id);
+          assert(it != groups_.end());
+          if (--it->second.remaining == 0) {
+            auto on_complete = std::move(it->second.on_complete);
+            groups_.erase(it);
+            if (on_complete) on_complete();
+          }
+        });
+  }
+}
+
+}  // namespace mercury::station

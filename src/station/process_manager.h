@@ -1,0 +1,58 @@
+// ProcessManager: the station's implementation of core::ProcessControl.
+//
+// Restarting a group kills every member, then schedules each member's
+// startup completion after its calibrated duration, inflated by the
+// contention factor 1 + slope * max(0, concurrent - 2) (§4.1: "a whole
+// system restart causes contention for resources that is not present when
+// restarting just one component"). On each completion the FailureBoard is
+// told, which is what cures failures whose cure sets are now satisfied.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/process_control.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace mercury::station {
+
+class Station;
+
+class ProcessManager : public core::ProcessControl {
+ public:
+  explicit ProcessManager(Station& station);
+
+  std::vector<std::string> component_names() const override;
+  void restart_group(const std::vector<std::string>& names,
+                     std::function<void()> on_complete) override;
+  bool restart_in_progress() const override { return restarting_count_ > 0; }
+  std::vector<std::string> restarting_now() const override;
+
+  bool supports_soft_recovery() const override { return true; }
+  void soft_recover(const std::string& component,
+                    std::function<void()> on_complete) override;
+
+  std::uint64_t restarts_performed() const { return restarts_performed_; }
+  std::uint64_t groups_restarted() const { return groups_restarted_; }
+
+ private:
+  struct Group {
+    std::size_t remaining = 0;
+    std::function<void()> on_complete;
+  };
+
+  Station& station_;
+  util::Rng rng_;
+  std::map<std::string, bool> restarting_;  // component -> in-flight
+  int restarting_count_ = 0;
+  std::uint64_t restarts_performed_ = 0;
+  std::uint64_t groups_restarted_ = 0;
+  std::uint64_t next_group_ = 1;
+  std::map<std::uint64_t, Group> groups_;
+};
+
+}  // namespace mercury::station

@@ -1,0 +1,72 @@
+// The ses <-> str startup-resynchronization protocol (paper §4.3).
+//
+// "Although ses and str were built independently, they synchronize with
+// each other at startup and, when either is restarted, the other will
+// inevitably have to be restarted as well. When restarted, both ses and str
+// block waiting for the peer component to resynchronize."
+//
+// We model the protocol a session layer like this actually exhibits:
+//
+//   * A freshly restarted component initiating a session against a peer
+//     holding a *stale* session trips the peer's resync bug: the peer
+//     wedges (stops answering pings) — an induced failure, cure {peer}.
+//     The initiator parks in LISTEN_WAIT (alive, but not yet functional).
+//   * A fresh component whose peer is parked in LISTEN_WAIT completes the
+//     handshake quickly (sync_listen, ~50 ms): the listener has been ready
+//     and waiting.
+//   * Two components restarted in parallel (group restart) come up
+//     near-simultaneously, both initiate, collide, and renegotiate
+//     (sync_collide, ~1.4 s) — tree IV's consolidated cell pays exactly
+//     this once, which is why its 6.2 s beats tree III's 9.6 s
+//     detect-restart-detect-restart chain.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "station/calibration.h"
+#include "util/time.h"
+
+namespace mercury::station {
+
+class Station;
+
+class SyncCoordinator {
+ public:
+  enum class State {
+    kNoSession,   ///< up (or down) with no session and not yet trying
+    kAwaitPeer,   ///< fresh; waiting for a peer that is still restarting
+    kListenWait,  ///< fresh; parked listening for the peer to come back
+    kNegotiating, ///< collided handshake in progress
+    kSynced,      ///< session established — functional
+  };
+
+  SyncCoordinator(Station& station, std::string a, std::string b);
+
+  bool synced(const std::string& component) const;
+  State state(const std::string& component) const;
+
+  /// Lifecycle notifications from the two components.
+  void on_killed(const std::string& component);
+  void on_started(const std::string& component);
+  void on_instant_boot();
+
+ private:
+  struct Side {
+    std::string name;
+    State state = State::kNoSession;
+  };
+
+  Side& side(const std::string& component);
+  const Side& side(const std::string& component) const;
+  Side& peer_of(const std::string& component);
+  void complete_handshake(util::Duration delay, std::uint64_t epoch);
+
+  Station& station_;
+  Side a_;
+  Side b_;
+  /// Bumped on every kill; voids in-flight handshake completions.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace mercury::station

@@ -1,0 +1,87 @@
+// Result<T>: value-or-error return type (pre-std::expected).
+//
+// Used at API boundaries where failure is an expected outcome — XML parsing,
+// message decoding, process spawning — per the Core Guidelines advice to
+// reserve exceptions for genuinely exceptional conditions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mercury::util {
+
+/// Error carrying a human-readable message and optional context chain.
+class Error {
+ public:
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+  /// Prepend context: Error("bad attr").wrap("parsing <ping>") =>
+  /// "parsing <ping>: bad attr".
+  Error wrap(std::string_view context) const {
+    return Error(std::string{context} + ": " + message_);
+  }
+
+ private:
+  std::string message_;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                   // success
+  Status(Error error) : error_(std::move(error)) {}     // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace mercury::util

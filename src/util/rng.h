@@ -1,0 +1,69 @@
+// Deterministic random number generation.
+//
+// Experiments must be reproducible: the same seed always yields the same
+// event sequence, independent of platform or standard-library version.
+// We therefore implement the generator (xoshiro256**) and the distributions
+// ourselves instead of relying on std::*_distribution, whose output is
+// implementation-defined.
+//
+// Rng::fork(tag) derives an independent child stream, so each component /
+// subsystem can own a private stream and adding draws in one subsystem does
+// not perturb another ("stream splitting").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace mercury::util {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponential with the given mean (not rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Normal via Box-Muller (cached second variate).
+  double normal(double mean, double stddev);
+
+  /// Normal truncated below at `lo` (resampled; lo must be < mean + ~8 sd).
+  double normal_at_least(double mean, double stddev, double lo);
+
+  /// Draw an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Exponential inter-arrival duration with the given mean duration.
+  Duration exponential(Duration mean);
+
+  /// Derive an independent child stream. Deterministic in (parent seed, tag,
+  /// fork order).
+  Rng fork(std::string_view tag);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  std::uint64_t fork_counter_ = 0;
+};
+
+}  // namespace mercury::util

@@ -1,0 +1,98 @@
+// Descriptive statistics for experiment results.
+//
+// Experiments collect per-trial recovery times; benches report mean, spread,
+// percentiles and confidence intervals. SampleStats stores the samples (the
+// experiments here are small: hundreds to tens of thousands of trials);
+// RunningStats is a constant-space Welford accumulator for long simulations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace mercury::util {
+
+/// Constant-space mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with order statistics and a normal-approximation CI.
+class SampleStats {
+ public:
+  void add(double x);
+  void add(Duration d) { add(d.to_seconds()); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  double cv() const;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// "mean ± ci (n=N)" for bench output.
+  std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used by benches to show recovery-time distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// ASCII rendering, one row per non-empty bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mercury::util

@@ -1,0 +1,73 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace mercury::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string{s};
+  return std::string(width - s.size(), ' ') + std::string{s};
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string{s};
+  return std::string{s} + std::string(width - s.size(), ' ');
+}
+
+std::string format_fixed(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+bool is_all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace mercury::util

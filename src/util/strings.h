@@ -1,0 +1,32 @@
+// Small string helpers used by the XML layer and bench table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mercury::util {
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Fixed-width column padding for table output (left- or right-aligned).
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Format a double with fixed precision.
+std::string format_fixed(double v, int precision = 2);
+
+/// True if every character is an ASCII digit and the string is non-empty.
+bool is_all_digits(std::string_view s);
+
+}  // namespace mercury::util

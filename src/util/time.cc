@@ -1,0 +1,32 @@
+#include "util/time.h"
+
+#include <sstream>
+
+namespace mercury::util {
+
+std::string Duration::str() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  if (!is_finite()) return secs_ > 0 ? "+inf" : "-inf";
+  if (secs_ >= 86400.0) {
+    os << secs_ / 86400.0 << "d";
+  } else if (secs_ >= 3600.0) {
+    os << secs_ / 3600.0 << "h";
+  } else if (secs_ >= 60.0) {
+    os << secs_ / 60.0 << "m";
+  } else {
+    os << secs_ << "s";
+  }
+  return os.str();
+}
+
+std::string TimePoint::str() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "t=" << secs_ << "s";
+  return os.str();
+}
+
+}  // namespace mercury::util

@@ -1,0 +1,23 @@
+// Recursive-descent parser for the XML subset used by the command language.
+//
+// Supported: elements, attributes (single- or double-quoted), character
+// data, self-closing tags, comments, an optional <?xml ...?> declaration,
+// and the five predefined entities (&lt; &gt; &amp; &apos; &quot;) plus
+// numeric character references. Unsupported (rejected with an error):
+// DTDs, CDATA is supported, processing instructions other than the
+// declaration, and namespace processing (colons are treated as ordinary
+// name characters).
+#pragma once
+
+#include <string_view>
+
+#include "util/result.h"
+#include "xml/element.h"
+
+namespace mercury::xml {
+
+/// Parse a complete document; exactly one root element is required.
+/// Errors carry a line:column position.
+util::Result<Element> parse(std::string_view input);
+
+}  // namespace mercury::xml

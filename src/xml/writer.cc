@@ -1,0 +1,93 @@
+#include "xml/writer.h"
+
+#include <sstream>
+
+namespace mercury::xml {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s, bool attr) {
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (attr) out += "&quot;";
+        else out += c;
+        break;
+      default: out += c;
+    }
+  }
+}
+
+void write_element(std::string& out, const Element& e, const WriteOptions& options,
+                   int depth) {
+  const std::string indent = options.pretty ? std::string(2 * static_cast<std::size_t>(depth), ' ') : "";
+  const std::string newline = options.pretty ? "\n" : "";
+
+  out += indent;
+  out += '<';
+  out += e.name();
+  for (const auto& [key, value] : e.attributes()) {
+    out += ' ';
+    out += key;
+    out += "=\"";
+    append_escaped(out, value, /*attr=*/true);
+    out += '"';
+  }
+
+  if (e.text().empty() && e.children().empty()) {
+    out += "/>";
+    out += newline;
+    return;
+  }
+
+  out += '>';
+  if (!e.children().empty()) {
+    out += newline;
+    for (const auto& child : e.children()) {
+      write_element(out, *child, options, depth + 1);
+    }
+    if (!e.text().empty()) {
+      out += indent;
+      append_escaped(out, e.text(), /*attr=*/false);
+      out += newline;
+    }
+    out += indent;
+  } else {
+    append_escaped(out, e.text(), /*attr=*/false);
+  }
+  out += "</";
+  out += e.name();
+  out += '>';
+  out += newline;
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  append_escaped(out, text, /*attr=*/false);
+  return out;
+}
+
+std::string escape_attr(std::string_view value) {
+  std::string out;
+  append_escaped(out, value, /*attr=*/true);
+  return out;
+}
+
+std::string write(const Element& element, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    out += options.pretty ? "\n" : "";
+  }
+  write_element(out, element, options, 0);
+  if (!options.pretty) return out;
+  // Trim the trailing newline for symmetric parse/write round-trips.
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace mercury::xml

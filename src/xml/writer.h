@@ -1,0 +1,28 @@
+// Serialization of the XML document model.
+//
+// Output is deterministic (attributes are stored sorted), so serialized
+// messages can be compared byte-for-byte in tests and hashed for dedup.
+#pragma once
+
+#include <string>
+
+#include "xml/element.h"
+
+namespace mercury::xml {
+
+struct WriteOptions {
+  /// Pretty-print with two-space indentation; compact single-line otherwise.
+  bool pretty = false;
+  /// Emit the <?xml version="1.0"?> declaration.
+  bool declaration = false;
+};
+
+/// Escape character data (&, <, >).
+std::string escape_text(std::string_view text);
+
+/// Escape an attribute value (&, <, >, ").
+std::string escape_attr(std::string_view value);
+
+std::string write(const Element& element, const WriteOptions& options = {});
+
+}  // namespace mercury::xml

@@ -1,0 +1,66 @@
+// Unit tests: the §4 assumption predicates, regenerating Table 3's
+// annotations.
+#include <gtest/gtest.h>
+
+#include "core/assumptions.h"
+#include "core/mercury_trees.h"
+
+namespace mercury::core {
+namespace {
+
+namespace names = component_names;
+
+TEST(ACure, HoldsForAllPublishedTrees) {
+  for (MercuryTree kind : published_trees()) {
+    const SystemModel model = mercury_system_model(uses_split_fedrcom(kind));
+    EXPECT_TRUE(check_a_cure(make_mercury_tree(kind), model).holds)
+        << to_string(kind);
+  }
+}
+
+TEST(ACure, FailsWhenCureSetNotRestartable) {
+  SystemModel model = mercury_system_model(true);
+  model.failure_classes.push_back({"ses", {"ses", "heater"}, 1.0});
+  const auto report = check_a_cure(make_tree_iv(), model);
+  EXPECT_FALSE(report.holds);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].find("heater"), std::string::npos);
+}
+
+TEST(AIndependent, TreeIHolds) {
+  // ses and str share tree I's single cell: any restart takes both.
+  const SystemModel model = mercury_system_model(false);
+  EXPECT_TRUE(check_a_independent(make_tree_i(), model).holds);
+}
+
+TEST(AIndependent, TreesIIAndIIIViolate) {
+  // §4.3: restarting ses alone wedges str — the trees with separate ses/str
+  // cells violate A_independent.
+  const SystemModel fused = mercury_system_model(false);
+  const SystemModel split = mercury_system_model(true);
+  EXPECT_FALSE(check_a_independent(make_tree_ii(), fused).holds);
+  const auto report = check_a_independent(make_tree_iii(), split);
+  EXPECT_FALSE(report.holds);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations[0].find("ses"), std::string::npos);
+}
+
+TEST(AIndependent, ConsolidationRestoresIt) {
+  const SystemModel model = mercury_system_model(true);
+  EXPECT_TRUE(check_a_independent(make_tree_iv(), model).holds);
+  EXPECT_TRUE(check_a_independent(make_tree_v(), model).holds);
+}
+
+TEST(AOracle, PerfectHoldsFaultyViolates) {
+  EXPECT_TRUE(check_a_oracle(0.0, 0.0).holds);
+  EXPECT_FALSE(check_a_oracle(0.3, 0.0).holds);
+  EXPECT_FALSE(check_a_oracle(0.0, 0.1).holds);
+}
+
+TEST(AEntire, RedundancyBreaksIt) {
+  EXPECT_TRUE(check_a_entire(false).holds);
+  EXPECT_FALSE(check_a_entire(true).holds);
+}
+
+}  // namespace
+}  // namespace mercury::core

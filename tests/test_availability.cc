@@ -1,0 +1,159 @@
+// Unit tests: the §3.2 availability algebra and the analytic recovery model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/availability.h"
+#include "core/mercury_trees.h"
+
+namespace mercury::core {
+namespace {
+
+namespace names = component_names;
+
+// --- §3.2 bounds -----------------------------------------------------------------
+
+TEST(Bounds, GroupMttfIsMinOfMembers) {
+  EXPECT_DOUBLE_EQ(group_mttf_upper_bound({100.0, 5.0, 50.0}), 5.0);
+  EXPECT_TRUE(std::isinf(group_mttf_upper_bound({})));
+}
+
+TEST(Bounds, GroupMttrIsMaxOfMembers) {
+  EXPECT_DOUBLE_EQ(group_mttr_lower_bound({3.0, 21.0, 5.0}), 21.0);
+  EXPECT_DOUBLE_EQ(group_mttr_lower_bound({}), 0.0);
+}
+
+TEST(Bounds, ExpectedGroupMttrWeightsByF) {
+  // §4.1: MTTR_G^II <= sum f_ci MTTR_ci. With f concentrated on the cheap
+  // component the expectation collapses toward its MTTR.
+  EXPECT_DOUBLE_EQ(expected_group_mttr({0.5, 0.5}, {4.0, 20.0}), 12.0);
+  EXPECT_DOUBLE_EQ(expected_group_mttr({1.0, 0.0}, {4.0, 20.0}), 4.0);
+  // The §4.1 inequality: expected <= max whenever f sums to 1.
+  EXPECT_LE(expected_group_mttr({0.9, 0.1}, {4.0, 20.0}),
+            group_mttr_lower_bound({4.0, 20.0}) + 1e-12);
+}
+
+TEST(Availability, RatioAndDowntime) {
+  EXPECT_DOUBLE_EQ(availability(99.0, 1.0), 0.99);
+  EXPECT_DOUBLE_EQ(availability(0.0, 0.0), 1.0);
+  EXPECT_NEAR(downtime_fraction(3600.0, 36.0), 36.0 / 3636.0, 1e-12);
+}
+
+// --- Analytic model vs the paper's Table 4 ------------------------------------------
+
+/// A paper cell reproduced analytically: (tree, failure, p_low) -> seconds.
+struct Case {
+  MercuryTree tree;
+  const char* component;
+  bool joint;
+  double p_low;
+  double paper_value;
+};
+
+class AnalyticVsPaper : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AnalyticVsPaper, PredictionNearPaperValue) {
+  const Case c = GetParam();
+  const SystemModel model =
+      mercury_system_model(uses_split_fedrcom(c.tree), c.p_low);
+  FailureClassModel failure;
+  failure.manifest = c.component;
+  failure.cure_set = c.joint ? std::vector<std::string>{names::kFedr, c.component}
+                             : std::vector<std::string>{c.component};
+  const double predicted =
+      predicted_recovery_time(make_mercury_tree(c.tree), model, failure);
+  // The analytic model must land within 10% of the paper's measurement.
+  EXPECT_NEAR(predicted, c.paper_value, 0.10 * c.paper_value)
+      << to_string(c.tree) << " " << c.component;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, AnalyticVsPaper,
+    ::testing::Values(
+        Case{MercuryTree::kTreeI, "rtu", false, 0.0, 24.75},
+        Case{MercuryTree::kTreeI, "ses", false, 0.0, 24.75},
+        Case{MercuryTree::kTreeI, "fedrcom", false, 0.0, 24.75},
+        Case{MercuryTree::kTreeII, "mbus", false, 0.0, 5.73},
+        Case{MercuryTree::kTreeII, "ses", false, 0.0, 9.50},
+        Case{MercuryTree::kTreeII, "str", false, 0.0, 9.76},
+        Case{MercuryTree::kTreeII, "rtu", false, 0.0, 5.59},
+        Case{MercuryTree::kTreeII, "fedrcom", false, 0.0, 20.93},
+        Case{MercuryTree::kTreeIII, "fedr", false, 0.0, 5.76},
+        Case{MercuryTree::kTreeIII, "pbcom", false, 0.0, 21.24},
+        Case{MercuryTree::kTreeIII, "ses", false, 0.0, 9.50},
+        Case{MercuryTree::kTreeIV, "ses", false, 0.0, 6.25},
+        Case{MercuryTree::kTreeIV, "str", false, 0.0, 6.11},
+        Case{MercuryTree::kTreeIV, "pbcom", true, 0.0, 21.24},
+        Case{MercuryTree::kTreeIV, "pbcom", true, 0.3, 29.19},
+        Case{MercuryTree::kTreeV, "pbcom", true, 0.3, 21.63}));
+
+TEST(AnalyticModel, TreeOrderingMatchesPaper) {
+  // System-level MTTR must strictly improve down the published sequence
+  // (with the faulty oracle where the paper uses one).
+  const SystemModel fused = mercury_system_model(false);
+  const SystemModel split = mercury_system_model(true);
+  const SystemModel split_faulty = mercury_system_model(true, 0.3);
+
+  const double tree_i = predicted_system_mttr(make_tree_i(), fused);
+  const double tree_ii = predicted_system_mttr(make_tree_ii(), fused);
+  const double tree_iii = predicted_system_mttr(make_tree_iii(), split);
+  const double tree_iv = predicted_system_mttr(make_tree_iv(), split);
+  const double tree_iv_faulty =
+      predicted_system_mttr(make_tree_iv(), split_faulty);
+  const double tree_v_faulty =
+      predicted_system_mttr(make_tree_v(), split_faulty);
+
+  EXPECT_GT(tree_i, tree_ii);
+  EXPECT_GT(tree_ii, tree_iii);  // the split pays off (fedr fails often)
+  EXPECT_GT(tree_iii, tree_iv);  // consolidation pays off
+  EXPECT_GT(tree_iv_faulty, tree_v_faulty);  // promotion pays off (faulty)
+  // Perfect oracle: V cannot beat IV (§4.4).
+  EXPECT_NEAR(predicted_system_mttr(make_tree_v(), split), tree_iv, 1e-9);
+}
+
+TEST(AnalyticModel, GroupRestartDurationAppliesContention) {
+  const SystemModel model = mercury_system_model(false);
+  const double solo = group_restart_duration(model, {names::kFedrcom});
+  const double full = group_restart_duration(
+      model, {names::kMbus, names::kFedrcom, names::kSes, names::kStr,
+              names::kRtu});
+  EXPECT_NEAR(solo, 20.28, 1e-9);
+  EXPECT_NEAR(full, 20.28 * (1.0 + 0.0628 * 3), 1e-6);
+}
+
+TEST(AnalyticModel, FourFoldImprovementClaim) {
+  // "By employing recursive restartability we were able to improve recovery
+  // time of our ground station by a factor of four." Compare tree I against
+  // the final system (tree V, split components) for the non-fedrcom failure
+  // classes; the cheap-restart paths are ~4x faster.
+  const SystemModel fused = mercury_system_model(false);
+  const SystemModel split = mercury_system_model(true);
+  FailureClassModel rtu_failure{names::kRtu, {names::kRtu}, 1.0};
+  const double before =
+      predicted_recovery_time(make_tree_i(), fused, rtu_failure);
+  const double after =
+      predicted_recovery_time(make_tree_v(), split, rtu_failure);
+  EXPECT_NEAR(before / after, 4.4, 0.5);
+}
+
+TEST(AnalyticModel, MercuryAvailabilityOrdering) {
+  const double fused_tree_i =
+      predicted_availability(make_tree_i(), mercury_system_model(false));
+  const double split_tree_v =
+      predicted_availability(make_tree_v(), mercury_system_model(true));
+  EXPECT_GT(split_tree_v, fused_tree_i);
+  EXPECT_GT(fused_tree_i, 0.9);   // sane range
+  EXPECT_LT(split_tree_v, 1.0);
+}
+
+TEST(AnalyticModel, UncoveredCureSetFallsBackToRoot) {
+  const SystemModel model = mercury_system_model(true);
+  FailureClassModel impossible{names::kSes, {names::kSes, "ghost"}, 1.0};
+  const double predicted =
+      predicted_recovery_time(make_tree_iv(), model, impossible);
+  // Falls back to a full-system restart cost.
+  EXPECT_GT(predicted, 20.0);
+}
+
+}  // namespace
+}  // namespace mercury::core

@@ -1,0 +1,239 @@
+// Unit tests: mbus and the dedicated FD<->REC link.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bus/dedicated_link.h"
+#include "bus/message_bus.h"
+#include "sim/simulator.h"
+
+namespace mercury::bus {
+namespace {
+
+using util::Duration;
+
+class BusTest : public ::testing::Test {
+ protected:
+  BusTest() : sim_(1), bus_(sim_, BusConfig{}) {}
+
+  /// Attach an endpoint that records received messages.
+  std::vector<msg::Message>* record(const std::string& name) {
+    auto* inbox = &inboxes_[name];
+    bus_.attach(name, [inbox](const msg::Message& m) { inbox->push_back(m); });
+    return inbox;
+  }
+
+  sim::Simulator sim_;
+  MessageBus bus_;
+  std::map<std::string, std::vector<msg::Message>> inboxes_;
+};
+
+TEST_F(BusTest, DeliversPointToPoint) {
+  auto* inbox = record("ses");
+  record("str");
+  bus_.send(msg::make_ping("fd", "ses", 1));
+  sim_.run_for(Duration::seconds(1.0));
+  ASSERT_EQ(inbox->size(), 1u);
+  EXPECT_EQ((*inbox)[0].kind, msg::Kind::kPing);
+  EXPECT_EQ((*inbox)[0].seq, 1u);
+  EXPECT_TRUE(inboxes_["str"].empty());
+  EXPECT_EQ(bus_.stats().delivered, 1u);
+}
+
+TEST_F(BusTest, DeliveryHasLatency) {
+  auto* inbox = record("ses");
+  bus_.send(msg::make_ping("fd", "ses", 1));
+  EXPECT_TRUE(inbox->empty());  // not synchronous
+  sim_.run_for(Duration::millis(1.0));
+  EXPECT_TRUE(inbox->empty());  // below minimum latency
+  sim_.run_for(Duration::millis(10.0));
+  EXPECT_EQ(inbox->size(), 1u);
+}
+
+TEST_F(BusTest, BroadcastSkipsSender) {
+  auto* a = record("a");
+  auto* b = record("b");
+  auto* c = record("c");
+  bus_.send(msg::make_event("a", 1, "ephemeris"));
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(a->empty());
+  EXPECT_EQ(b->size(), 1u);
+  EXPECT_EQ(c->size(), 1u);
+}
+
+TEST_F(BusTest, UnknownDestinationCountsAsDrop) {
+  bus_.send(msg::make_ping("fd", "ghost", 1));
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_EQ(bus_.stats().dropped_no_endpoint, 1u);
+  EXPECT_EQ(bus_.stats().delivered, 0u);
+}
+
+TEST_F(BusTest, CrashDropsInFlightAndSubsequent) {
+  auto* inbox = record("ses");
+  bus_.send(msg::make_ping("fd", "ses", 1));  // in flight
+  bus_.crash();
+  bus_.send(msg::make_ping("fd", "ses", 2));  // while down
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(inbox->empty());
+  EXPECT_EQ(bus_.stats().dropped_bus_down, 2u);
+}
+
+TEST_F(BusTest, RestartRequiresReattach) {
+  auto* inbox = record("ses");
+  bus_.crash();
+  bus_.restart();
+  // Endpoint was lost in the crash; message drops until re-attach.
+  bus_.send(msg::make_ping("fd", "ses", 1));
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(inbox->empty());
+
+  record("ses");
+  bus_.send(msg::make_ping("fd", "ses", 2));
+  sim_.run_for(Duration::seconds(1.0));
+  ASSERT_EQ(inbox->size(), 1u);
+  EXPECT_EQ((*inbox)[0].seq, 2u);
+}
+
+TEST_F(BusTest, InFlightFromOldEpochVoidedEvenAfterRestart) {
+  auto* inbox = record("ses");
+  bus_.send(msg::make_ping("fd", "ses", 1));
+  bus_.crash();
+  bus_.restart();
+  record("ses");
+  sim_.run_for(Duration::seconds(1.0));
+  // The pre-crash message must not be resurrected by the fast restart.
+  EXPECT_TRUE(inbox->empty());
+}
+
+TEST_F(BusTest, ReattachReplacesReceiver) {
+  std::vector<int> first;
+  std::vector<int> second;
+  bus_.attach("x", [&](const msg::Message&) { first.push_back(1); });
+  bus_.attach("x", [&](const msg::Message&) { second.push_back(1); });
+  bus_.send(msg::make_ping("fd", "x", 1));
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(first.empty());
+  EXPECT_EQ(second.size(), 1u);
+}
+
+TEST_F(BusTest, DetachStopsDelivery) {
+  auto* inbox = record("ses");
+  bus_.detach("ses");
+  EXPECT_FALSE(bus_.attached("ses"));
+  bus_.send(msg::make_ping("fd", "ses", 1));
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(inbox->empty());
+  EXPECT_EQ(bus_.stats().dropped_no_endpoint, 1u);
+}
+
+TEST_F(BusTest, OversizeMessagesDrop) {
+  auto* inbox = record("ses");
+  msg::Message big = msg::make_command("fd", "ses", 1, "blob");
+  big.body.set_text(std::string(200 * 1024, 'x'));
+  bus_.send(big);
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(inbox->empty());
+  EXPECT_EQ(bus_.stats().dropped_oversize, 1u);
+}
+
+TEST_F(BusTest, EndpointNamesSorted) {
+  record("zeta");
+  record("alpha");
+  const auto names = bus_.endpoint_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST_F(BusTest, WireFormatRoundTripsThroughBus) {
+  // The bus serializes and re-parses: structured payloads survive.
+  auto* inbox = record("str");
+  msg::Message m = msg::make_event("ses", 9, "ephemeris");
+  m.body.set_attr("el_deg", 45.5);
+  bus_.send(m);
+  sim_.run_for(Duration::seconds(1.0));
+  ASSERT_EQ(inbox->size(), 1u);
+  EXPECT_DOUBLE_EQ(*(*inbox)[0].body.attr_double("el_deg"), 45.5);
+}
+
+TEST(BusLoss, LossyBusDropsApproximatelyTheConfiguredFraction) {
+  sim::Simulator sim(5);
+  BusConfig config;
+  config.loss_probability = 0.1;
+  MessageBus bus(sim, config);
+  int received = 0;
+  bus.attach("sink", [&](const msg::Message&) { ++received; });
+  const int sent = 5'000;
+  for (int i = 0; i < sent; ++i) {
+    bus.send(msg::make_ping("src", "sink", static_cast<std::uint64_t>(i)));
+  }
+  sim.run_for(Duration::seconds(1.0));
+  EXPECT_NEAR(received / static_cast<double>(sent), 0.9, 0.02);
+  EXPECT_EQ(bus.stats().dropped_lossy + static_cast<std::uint64_t>(received),
+            static_cast<std::uint64_t>(sent));
+}
+
+TEST(BusLoss, DefaultBusIsLossless) {
+  sim::Simulator sim(6);
+  MessageBus bus(sim, BusConfig{});
+  int received = 0;
+  bus.attach("sink", [&](const msg::Message&) { ++received; });
+  for (int i = 0; i < 1'000; ++i) {
+    bus.send(msg::make_ping("src", "sink", static_cast<std::uint64_t>(i)));
+  }
+  sim.run_for(Duration::seconds(1.0));
+  EXPECT_EQ(received, 1'000);
+  EXPECT_EQ(bus.stats().dropped_lossy, 0u);
+}
+
+// --- DedicatedLink ---------------------------------------------------------
+
+TEST(DedicatedLink, DeliversBothDirections) {
+  sim::Simulator sim(1);
+  DedicatedLink link(sim, "fd", "rec");
+  std::vector<msg::Message> fd_inbox;
+  std::vector<msg::Message> rec_inbox;
+  link.bind("fd", [&](const msg::Message& m) { fd_inbox.push_back(m); });
+  link.bind("rec", [&](const msg::Message& m) { rec_inbox.push_back(m); });
+
+  link.send(msg::make_ping("fd", "rec", 1));
+  link.send(msg::make_ping("rec", "fd", 2));
+  sim.run_for(Duration::seconds(1.0));
+  ASSERT_EQ(rec_inbox.size(), 1u);
+  EXPECT_EQ(rec_inbox[0].seq, 1u);
+  ASSERT_EQ(fd_inbox.size(), 1u);
+  EXPECT_EQ(fd_inbox[0].seq, 2u);
+}
+
+TEST(DedicatedLink, UnboundEndDropsSilently) {
+  sim::Simulator sim(1);
+  DedicatedLink link(sim, "fd", "rec");
+  link.send(msg::make_ping("fd", "rec", 1));
+  sim.run_for(Duration::seconds(1.0));  // no crash, no delivery
+}
+
+TEST(DedicatedLink, UnbindStopsDelivery) {
+  sim::Simulator sim(1);
+  DedicatedLink link(sim, "fd", "rec");
+  std::vector<msg::Message> inbox;
+  link.bind("rec", [&](const msg::Message& m) { inbox.push_back(m); });
+  link.unbind("rec");
+  link.send(msg::make_ping("fd", "rec", 1));
+  sim.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST(DedicatedLink, IndependentOfBusState) {
+  sim::Simulator sim(1);
+  MessageBus bus(sim, BusConfig{});
+  DedicatedLink link(sim, "fd", "rec");
+  std::vector<msg::Message> inbox;
+  link.bind("rec", [&](const msg::Message& m) { inbox.push_back(m); });
+  bus.crash();  // the dedicated link does not care (§2.2 isolation)
+  link.send(msg::make_ping("fd", "rec", 1));
+  sim.run_for(Duration::seconds(1.0));
+  EXPECT_EQ(inbox.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mercury::bus

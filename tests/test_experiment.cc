@@ -1,0 +1,197 @@
+// Integration tests: the experiment harness, including a parameterized
+// sweep asserting the paper's Table 2 / Table 4 numbers within tolerance.
+#include <gtest/gtest.h>
+
+#include "core/mercury_trees.h"
+#include "core/oracle.h"
+#include "station/experiment.h"
+
+namespace mercury::station {
+namespace {
+
+namespace names = core::component_names;
+using core::MercuryTree;
+
+TEST(Experiment, TrialIsDeterministicInSeed) {
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  spec.fail_component = names::kSes;
+  spec.seed = 12345;
+  const TrialResult a = run_trial(spec);
+  const TrialResult b = run_trial(spec);
+  EXPECT_EQ(a.recovery.to_seconds(), b.recovery.to_seconds());
+  EXPECT_EQ(a.restarts, b.restarts);
+
+  spec.seed = 54321;
+  const TrialResult c = run_trial(spec);
+  EXPECT_NE(a.recovery.to_seconds(), c.recovery.to_seconds());
+}
+
+TEST(Experiment, TrialsNeverTimeOutOrGoHard) {
+  for (MercuryTree tree : core::published_trees()) {
+    TrialSpec spec;
+    spec.tree = tree;
+    spec.fail_component = names::kSes;
+    spec.seed = 77;
+    const TrialResult result = run_trial(spec);
+    EXPECT_FALSE(result.timed_out) << core::to_string(tree);
+    EXPECT_FALSE(result.hard_failure) << core::to_string(tree);
+  }
+}
+
+TEST(Experiment, RunTrialsVariesSeeds) {
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeII;
+  spec.fail_component = names::kRtu;
+  spec.seed = 1;
+  const auto stats = run_trials(spec, 20);
+  EXPECT_EQ(stats.count(), 20u);
+  // Detection phase is uniform: spread of ~1 s across trials.
+  EXPECT_GT(stats.max() - stats.min(), 0.3);
+  // Small coefficient of variation, as §3.2 assumes.
+  EXPECT_LT(stats.cv(), 0.1);
+}
+
+TEST(Experiment, OracleOverridePersistsAcrossTrials) {
+  std::map<std::string, double> costs = {
+      {names::kMbus, 5.35}, {names::kSes, 4.10},  {names::kStr, 4.16},
+      {names::kRtu, 4.94},  {names::kFedr, 5.11}, {names::kPbcom, 20.49}};
+  // Explore while training (the epsilon-greedy visits the joint cell so its
+  // cure rate gets data), then anneal to pure exploitation for the check.
+  core::LearningOracle learner(util::Rng(5), costs, /*explore=*/0.4);
+
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  spec.mode = FailureMode::kJointFedrPbcom;
+  spec.fail_component = names::kPbcom;
+  spec.oracle_override = &learner;
+  for (int i = 0; i < 40; ++i) {
+    spec.seed = 100 + static_cast<std::uint64_t>(i);
+    run_trial(spec);
+  }
+
+  // The arms table persisted across trials: the joint cell's cure estimate
+  // has real data behind it by now.
+  const core::RestartTree tree = core::make_mercury_tree(MercuryTree::kTreeIV);
+  const core::NodeId joint = tree.parent(*tree.find_component(names::kPbcom));
+  EXPECT_GT(learner.cure_estimate(names::kPbcom, joint), 0.7);
+
+  // A converged, non-exploring learner recovers like the perfect oracle:
+  // one action, straight at the joint cell, ~21 s.
+  learner.set_explore_probability(0.0);
+  spec.seed = 500;
+  const TrialResult late = run_trial(spec);
+  EXPECT_EQ(late.escalations, 0);
+  EXPECT_EQ(late.restarts, 1);
+  EXPECT_LT(late.recovery.to_seconds(), 23.0);
+}
+
+// --- Parameterized Table 2 / Table 4 sweep ---------------------------------------
+//
+// Every cell of the paper's tables as a separate test, asserting the
+// measured mean over 30 trials lies within a band around the published
+// value. Bands are +-12% — generous enough for sampling noise at n=30,
+// tight enough to catch any regression in the recovery path.
+
+struct Cell {
+  MercuryTree tree;
+  OracleKind oracle;
+  const char* component;
+  FailureMode mode;
+  double paper;
+
+  friend std::ostream& operator<<(std::ostream& os, const Cell& cell) {
+    return os << "tree" << core::to_string(cell.tree) << "_"
+              << to_string(cell.oracle) << "_" << cell.component;
+  }
+};
+
+class Table4Sweep : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(Table4Sweep, MeanRecoveryNearPaper) {
+  const Cell cell = GetParam();
+  TrialSpec spec;
+  spec.tree = cell.tree;
+  spec.oracle = cell.oracle;
+  spec.faulty_p_low = 0.3;
+  spec.fail_component = cell.component;
+  spec.mode = cell.mode;
+  spec.seed = 9000;
+  const double mean = run_trials(spec, 30).mean();
+  EXPECT_NEAR(mean, cell.paper, 0.12 * cell.paper);
+}
+
+constexpr auto kCrash = FailureMode::kCrash;
+constexpr auto kJoint = FailureMode::kJointFedrPbcom;
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCells, Table4Sweep,
+    ::testing::Values(
+        // Table 2 / Table 4 row I.
+        Cell{MercuryTree::kTreeI, OracleKind::kPerfect, "mbus", kCrash, 24.75},
+        Cell{MercuryTree::kTreeI, OracleKind::kPerfect, "ses", kCrash, 24.75},
+        Cell{MercuryTree::kTreeI, OracleKind::kPerfect, "rtu", kCrash, 24.75},
+        Cell{MercuryTree::kTreeI, OracleKind::kPerfect, "fedrcom", kCrash, 24.75},
+        // Row II.
+        Cell{MercuryTree::kTreeII, OracleKind::kPerfect, "mbus", kCrash, 5.73},
+        Cell{MercuryTree::kTreeII, OracleKind::kPerfect, "ses", kCrash, 9.50},
+        Cell{MercuryTree::kTreeII, OracleKind::kPerfect, "str", kCrash, 9.76},
+        Cell{MercuryTree::kTreeII, OracleKind::kPerfect, "rtu", kCrash, 5.59},
+        Cell{MercuryTree::kTreeII, OracleKind::kPerfect, "fedrcom", kCrash, 20.93},
+        // Row III.
+        Cell{MercuryTree::kTreeIII, OracleKind::kPerfect, "fedr", kCrash, 5.76},
+        Cell{MercuryTree::kTreeIII, OracleKind::kPerfect, "pbcom", kCrash, 21.24},
+        Cell{MercuryTree::kTreeIII, OracleKind::kPerfect, "ses", kCrash, 9.50},
+        // Row IV perfect.
+        Cell{MercuryTree::kTreeIV, OracleKind::kPerfect, "ses", kCrash, 6.25},
+        Cell{MercuryTree::kTreeIV, OracleKind::kPerfect, "str", kCrash, 6.11},
+        Cell{MercuryTree::kTreeIV, OracleKind::kPerfect, "pbcom", kJoint, 21.24},
+        // Row IV faulty / row V faulty (§4.4).
+        Cell{MercuryTree::kTreeIV, OracleKind::kFaultyPerfect, "pbcom", kJoint,
+             29.19},
+        Cell{MercuryTree::kTreeV, OracleKind::kFaultyPerfect, "pbcom", kJoint,
+             21.63}));
+
+TEST(Experiment, TreeVNeverWorseThanTreeIVUnderPerfectOracle) {
+  // §4.4: "there is nothing that a perfect oracle could do in tree V but
+  // not in tree IV" — and vice versa for the failure classes we model, so
+  // their perfect-oracle MTTRs must agree.
+  for (const char* component : {"ses", "rtu", "fedr"}) {
+    TrialSpec spec;
+    spec.oracle = OracleKind::kPerfect;
+    spec.fail_component = component;
+    spec.seed = 31;
+    spec.tree = MercuryTree::kTreeIV;
+    const double iv = run_trials(spec, 20).mean();
+    spec.tree = MercuryTree::kTreeV;
+    const double v = run_trials(spec, 20).mean();
+    EXPECT_NEAR(iv, v, 0.6) << component;
+  }
+}
+
+TEST(Experiment, FaultyOracleNeverBeatsPerfect) {
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  spec.mode = FailureMode::kJointFedrPbcom;
+  spec.fail_component = names::kPbcom;
+  spec.seed = 41;
+  spec.oracle = OracleKind::kPerfect;
+  const double perfect = run_trials(spec, 30).mean();
+  spec.oracle = OracleKind::kFaultyPerfect;
+  const double faulty = run_trials(spec, 30).mean();
+  EXPECT_GT(faulty, perfect);
+}
+
+TEST(Experiment, DetectionTimeIsPartOfMttr) {
+  // §3.2: "downtime starts when the failure occurs, not when it is
+  // detected." Recovery must exceed the bare restart duration.
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeII;
+  spec.fail_component = names::kRtu;
+  spec.seed = 51;
+  const auto stats = run_trials(spec, 30);
+  EXPECT_GT(stats.mean(), spec.cal.rtu.startup_mean.to_seconds() + 0.2);
+}
+
+}  // namespace
+}  // namespace mercury::station

@@ -1,0 +1,136 @@
+// Unit tests: the failure board's cure rule (§4's f_ci machinery).
+#include <gtest/gtest.h>
+
+#include "core/failure_board.h"
+
+namespace mercury::core {
+namespace {
+
+using util::TimePoint;
+
+TimePoint at(double seconds) { return TimePoint::from_seconds(seconds); }
+
+TEST(FailureSpecs, CrashAndJointConstructors) {
+  const FailureSpec crash = make_crash("ses");
+  EXPECT_EQ(crash.manifest, "ses");
+  EXPECT_EQ(crash.cure_set, std::vector<std::string>{"ses"});
+  EXPECT_EQ(crash.kind, "crash");
+
+  const FailureSpec joint = make_joint("pbcom", {"fedr", "pbcom", "fedr"});
+  EXPECT_EQ(joint.manifest, "pbcom");
+  EXPECT_EQ(joint.cure_set, (std::vector<std::string>{"fedr", "pbcom"}));
+  EXPECT_EQ(joint.kind, "joint");
+}
+
+TEST(FailureBoard, InjectManifestsAtComponent) {
+  FailureBoard board;
+  EXPECT_FALSE(board.any_active());
+  board.inject(make_crash("ses"), at(1.0));
+  EXPECT_TRUE(board.any_active());
+  EXPECT_TRUE(board.manifests_at("ses"));
+  EXPECT_FALSE(board.manifests_at("str"));
+  ASSERT_EQ(board.active_at("ses").size(), 1u);
+  EXPECT_EQ(board.active_at("ses")[0].onset, at(1.0));
+}
+
+TEST(FailureBoard, RestartOfCureSetCures) {
+  FailureBoard board;
+  board.inject(make_crash("ses"), at(1.0));
+  board.on_restart_complete("ses", at(5.0));
+  EXPECT_FALSE(board.any_active());
+  EXPECT_EQ(board.total_cured(), 1u);
+}
+
+TEST(FailureBoard, UnrelatedRestartDoesNotCure) {
+  FailureBoard board;
+  board.inject(make_crash("ses"), at(1.0));
+  board.on_restart_complete("str", at(5.0));
+  EXPECT_TRUE(board.manifests_at("ses"));
+}
+
+TEST(FailureBoard, JointFailureNeedsWholeCureSet) {
+  FailureBoard board;
+  board.inject(make_joint("pbcom", {"fedr", "pbcom"}), at(0.0));
+  // Guess-too-low: pbcom alone does not cure (§4.4).
+  board.on_restart_complete("pbcom", at(21.0));
+  EXPECT_TRUE(board.manifests_at("pbcom"));
+  // Completing the cure set does.
+  board.on_restart_complete("fedr", at(43.0));
+  EXPECT_FALSE(board.any_active());
+}
+
+TEST(FailureBoard, CureSetMembersMayRestartInAnyOrder) {
+  FailureBoard board;
+  board.inject(make_joint("pbcom", {"fedr", "pbcom"}), at(0.0));
+  board.on_restart_complete("fedr", at(5.0));
+  EXPECT_TRUE(board.manifests_at("pbcom"));
+  board.on_restart_complete("pbcom", at(25.0));
+  EXPECT_FALSE(board.any_active());
+}
+
+TEST(FailureBoard, DuplicateRestartCountsOnce) {
+  FailureBoard board;
+  board.inject(make_joint("pbcom", {"fedr", "pbcom"}), at(0.0));
+  board.on_restart_complete("pbcom", at(5.0));
+  board.on_restart_complete("pbcom", at(10.0));
+  EXPECT_TRUE(board.manifests_at("pbcom"));  // fedr still pending
+}
+
+TEST(FailureBoard, IndependentFailuresCureIndependently) {
+  FailureBoard board;
+  const FailureId ses_failure = board.inject(make_crash("ses"), at(0.0));
+  board.inject(make_crash("rtu"), at(1.0));
+  (void)ses_failure;
+  board.on_restart_complete("rtu", at(6.0));
+  EXPECT_TRUE(board.manifests_at("ses"));
+  EXPECT_FALSE(board.manifests_at("rtu"));
+  EXPECT_EQ(board.active().size(), 1u);
+}
+
+TEST(FailureBoard, TwoFailuresSameComponentCureTogether) {
+  FailureBoard board;
+  board.inject(make_crash("ses"), at(0.0));
+  board.inject(make_crash("ses"), at(1.0));
+  EXPECT_EQ(board.active_at("ses").size(), 2u);
+  board.on_restart_complete("ses", at(5.0));
+  EXPECT_FALSE(board.any_active());
+  EXPECT_EQ(board.total_cured(), 2u);
+}
+
+TEST(FailureBoard, ListenersFire) {
+  FailureBoard board;
+  int injected = 0;
+  int cured = 0;
+  TimePoint cure_time;
+  board.add_inject_listener([&](const ActiveFailure&) { ++injected; });
+  board.add_cure_listener([&](const ActiveFailure& failure, TimePoint now) {
+    ++cured;
+    cure_time = now;
+    EXPECT_EQ(failure.spec.manifest, "ses");
+  });
+  board.inject(make_crash("ses"), at(0.0));
+  EXPECT_EQ(injected, 1);
+  board.on_restart_complete("ses", at(7.0));
+  EXPECT_EQ(cured, 1);
+  EXPECT_EQ(cure_time, at(7.0));
+}
+
+TEST(FailureBoard, ClearRemovesById) {
+  FailureBoard board;
+  const FailureId id = board.inject(make_crash("ses"), at(0.0));
+  EXPECT_TRUE(board.clear(id));
+  EXPECT_FALSE(board.clear(id));
+  EXPECT_FALSE(board.any_active());
+}
+
+TEST(FailureBoard, CountersTrack) {
+  FailureBoard board;
+  board.inject(make_crash("a"), at(0.0));
+  board.inject(make_crash("b"), at(0.0));
+  EXPECT_EQ(board.total_injected(), 2u);
+  board.on_restart_complete("a", at(1.0));
+  EXPECT_EQ(board.total_cured(), 1u);
+}
+
+}  // namespace
+}  // namespace mercury::core

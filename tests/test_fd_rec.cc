@@ -1,0 +1,250 @@
+// Integration tests: failure detector + recoverer over the full station
+// (the §2.2 machinery end to end).
+#include <gtest/gtest.h>
+
+#include "core/mercury_trees.h"
+#include "sim/simulator.h"
+#include "station/experiment.h"
+
+namespace mercury::station {
+namespace {
+
+namespace names = core::component_names;
+using core::MercuryTree;
+using util::Duration;
+
+class FdRecTest : public ::testing::Test {
+ protected:
+  void build(MercuryTree tree, OracleKind oracle = OracleKind::kPerfect) {
+    sim_ = std::make_unique<sim::Simulator>(7);
+    TrialSpec spec;
+    spec.tree = tree;
+    spec.oracle = oracle;
+    rig_ = std::make_unique<MercuryRig>(*sim_, spec);
+    rig_->start();
+    sim_->run_for(Duration::seconds(3.0));
+  }
+
+  /// Run until the station is functional again; returns elapsed seconds.
+  double recover() {
+    const auto injected = sim_->now();
+    const auto deadline = injected + Duration::seconds(120.0);
+    while (sim_->now() < deadline) {
+      if (rig_->station().all_functional() && !rig_->rec().restart_in_progress()) {
+        break;
+      }
+      if (!sim_->step()) break;
+    }
+    return (sim_->now() - injected).to_seconds();
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<MercuryRig> rig_;
+};
+
+TEST_F(FdRecTest, SteadyStateHasNoSpuriousRestarts) {
+  build(MercuryTree::kTreeIV);
+  sim_->run_for(Duration::minutes(10.0));
+  EXPECT_EQ(rig_->rec().restarts_executed(), 0u);
+  EXPECT_EQ(rig_->fd().failures_reported(), 0u);
+  EXPECT_GT(rig_->fd().pongs_received(), 3000u);  // pings flowing
+}
+
+TEST_F(FdRecTest, DetectsAndRecoversSimpleCrash) {
+  build(MercuryTree::kTreeII);
+  rig_->station().inject_crash(names::kRtu);
+  const double elapsed = recover();
+  EXPECT_GT(elapsed, 4.5);
+  EXPECT_LT(elapsed, 7.5);
+  ASSERT_EQ(rig_->rec().restarts_executed(), 1u);
+  EXPECT_EQ(rig_->rec().history()[0].restarted,
+            std::vector<std::string>{names::kRtu});
+}
+
+TEST_F(FdRecTest, OnlyTheFailedComponentRestartsUnderTreeII) {
+  build(MercuryTree::kTreeII);
+  rig_->station().inject_crash(names::kRtu);
+  recover();
+  for (const auto& record : rig_->rec().history()) {
+    EXPECT_EQ(record.restarted.size(), 1u);
+  }
+}
+
+TEST_F(FdRecTest, TreeIRestartsEverything) {
+  build(MercuryTree::kTreeI);
+  rig_->station().inject_crash(names::kRtu);
+  const double elapsed = recover();
+  EXPECT_GT(elapsed, 22.0);
+  EXPECT_LT(elapsed, 28.0);
+  ASSERT_GE(rig_->rec().restarts_executed(), 1u);
+  EXPECT_EQ(rig_->rec().history()[0].restarted.size(), 5u);
+}
+
+TEST_F(FdRecTest, MbusOutageAttributedToMbusOnly) {
+  build(MercuryTree::kTreeII);
+  rig_->station().inject_crash(names::kMbus);
+  const double elapsed = recover();
+  EXPECT_LT(elapsed, 8.0);
+  // The universal silence was not blamed on innocent components.
+  ASSERT_EQ(rig_->rec().restarts_executed(), 1u);
+  EXPECT_EQ(rig_->rec().history()[0].restarted,
+            std::vector<std::string>{names::kMbus});
+  // And detection keeps working afterwards.
+  rig_->station().inject_crash(names::kRtu);
+  EXPECT_LT(recover(), 8.0);
+}
+
+TEST_F(FdRecTest, SesCrashCausesInducedStrRecoveryUnderTreeIII) {
+  build(MercuryTree::kTreeIII);
+  rig_->station().inject_crash(names::kSes);
+  const double elapsed = recover();
+  EXPECT_GT(elapsed, 8.0);
+  EXPECT_LT(elapsed, 12.0);
+  // Two recovery actions: ses, then the induced str wedge (§4.3).
+  ASSERT_EQ(rig_->rec().restarts_executed(), 2u);
+  EXPECT_EQ(rig_->rec().history()[0].restarted,
+            std::vector<std::string>{names::kSes});
+  EXPECT_EQ(rig_->rec().history()[1].restarted,
+            std::vector<std::string>{names::kStr});
+  // The induced failure is a *new* chain, not an escalation (§4.3: "note
+  // that this does not violate A_oracle").
+  EXPECT_EQ(rig_->rec().escalations(), 0u);
+}
+
+TEST_F(FdRecTest, ConsolidatedTreeIVRecoversInOneAction) {
+  build(MercuryTree::kTreeIV);
+  rig_->station().inject_crash(names::kSes);
+  const double elapsed = recover();
+  EXPECT_GT(elapsed, 5.0);
+  EXPECT_LT(elapsed, 7.5);
+  ASSERT_EQ(rig_->rec().restarts_executed(), 1u);
+  EXPECT_EQ(rig_->rec().history()[0].restarted,
+            (std::vector<std::string>{names::kSes, names::kStr}));
+}
+
+TEST_F(FdRecTest, JointFailureEscalatesUnderHeuristicOracle) {
+  // The heuristic oracle has no cure-set knowledge: it tries the pbcom leaf
+  // first, the failure persists, and escalation reaches the joint cell.
+  build(MercuryTree::kTreeIV, OracleKind::kHeuristic);
+  rig_->station().inject_joint_fedr_pbcom();
+  const double elapsed = recover();
+  EXPECT_GT(elapsed, 40.0);  // two pbcom-length restarts
+  EXPECT_LT(elapsed, 50.0);
+  ASSERT_EQ(rig_->rec().restarts_executed(), 2u);
+  EXPECT_EQ(rig_->rec().history()[0].restarted,
+            std::vector<std::string>{names::kPbcom});
+  EXPECT_EQ(rig_->rec().history()[1].restarted,
+            (std::vector<std::string>{names::kFedr, names::kPbcom}));
+  EXPECT_EQ(rig_->rec().escalations(), 1u);
+  EXPECT_EQ(rig_->rec().history()[1].escalation_level, 1);
+}
+
+TEST_F(FdRecTest, TreeVNeedsNoEscalationEvenHeuristic) {
+  build(MercuryTree::kTreeV, OracleKind::kHeuristic);
+  rig_->station().inject_joint_fedr_pbcom();
+  const double elapsed = recover();
+  EXPECT_LT(elapsed, 23.0);
+  ASSERT_EQ(rig_->rec().restarts_executed(), 1u);
+  EXPECT_EQ(rig_->rec().escalations(), 0u);
+}
+
+TEST_F(FdRecTest, HardFailureIsParkedAfterRootRestarts) {
+  build(MercuryTree::kTreeII, OracleKind::kHeuristic);
+  // A failure whose cure set includes a component outside the tree can
+  // never be cured by restarts: the paper's "hard failure" (§2.2: the
+  // policy "keeps track of past restarts to prevent infinite restarts").
+  rig_->station().board().inject(
+      core::make_joint(names::kRtu, {names::kRtu, "radio-hardware"}),
+      sim_->now());
+  sim_->run_for(Duration::minutes(5.0));
+  ASSERT_EQ(rig_->rec().hard_failures().size(), 1u);
+  EXPECT_EQ(rig_->rec().hard_failures()[0], names::kRtu);
+  // Escalated through the root the configured number of times, then parked.
+  int root_restarts = 0;
+  for (const auto& record : rig_->rec().history()) {
+    if (record.restarted.size() == 5u) ++root_restarts;
+  }
+  EXPECT_EQ(root_restarts, core::RecConfig{}.max_root_restarts);
+  // Parked means parked: no restarts pile up afterwards.
+  const auto restarts_at_park = rig_->rec().restarts_executed();
+  sim_->run_for(Duration::minutes(5.0));
+  EXPECT_EQ(rig_->rec().restarts_executed(), restarts_at_park);
+}
+
+TEST_F(FdRecTest, RecRestartsFdWhenItDies) {
+  build(MercuryTree::kTreeIV);
+  rig_->fd().crash();
+  sim_->run_for(Duration::seconds(10.0));
+  EXPECT_TRUE(rig_->fd().alive());  // REC noticed and restarted it
+  // Detection works again end to end.
+  rig_->station().inject_crash(names::kRtu);
+  EXPECT_LT(recover(), 8.0);
+}
+
+TEST_F(FdRecTest, FdRestartsRecWhenItDies) {
+  build(MercuryTree::kTreeIV);
+  rig_->rec().crash();
+  sim_->run_for(Duration::seconds(10.0));
+  EXPECT_TRUE(rig_->rec().alive());
+  rig_->station().inject_crash(names::kRtu);
+  EXPECT_LT(recover(), 8.0);
+}
+
+TEST_F(FdRecTest, FailureDuringFdOutageRecoversAfterFdReturns) {
+  build(MercuryTree::kTreeIV);
+  rig_->fd().crash();
+  rig_->station().inject_crash(names::kRtu);
+  sim_->run_for(Duration::seconds(1.0));
+  EXPECT_EQ(rig_->rec().restarts_executed(), 0u);  // nobody watching yet
+  const double elapsed = recover();
+  // FD revival (~2 s detection + 2 s restart) plus normal recovery.
+  EXPECT_LT(elapsed, 15.0);
+  EXPECT_TRUE(rig_->station().all_functional());
+}
+
+TEST_F(FdRecTest, SimultaneousFdAndRecLossIsFatal) {
+  // §2.2: "our enhanced ground station can tolerate any single and most
+  // multiple software failures, with the exception of FD and REC failing
+  // together."
+  build(MercuryTree::kTreeIV);
+  rig_->fd().crash();
+  rig_->rec().crash();
+  rig_->station().inject_crash(names::kRtu);
+  sim_->run_for(Duration::minutes(2.0));
+  EXPECT_FALSE(rig_->station().all_functional());
+  EXPECT_EQ(rig_->rec().restarts_executed(), 0u);
+}
+
+TEST_F(FdRecTest, MaskingPreventsRestartStorms) {
+  build(MercuryTree::kTreeIII);
+  rig_->station().inject_crash(names::kPbcom);
+  recover();
+  // pbcom takes >20 s to restart; without masking FD would re-report it
+  // ~20 times. Exactly one restart must have happened.
+  EXPECT_EQ(rig_->rec().restarts_executed(), 1u);
+}
+
+TEST_F(FdRecTest, BackToBackIndependentFailures) {
+  build(MercuryTree::kTreeIV);
+  rig_->station().inject_crash(names::kRtu);
+  EXPECT_LT(recover(), 8.0);
+  rig_->station().inject_crash(names::kSes);
+  EXPECT_LT(recover(), 8.0);
+  rig_->station().inject_crash(names::kMbus);
+  EXPECT_LT(recover(), 8.0);
+  EXPECT_EQ(rig_->rec().restarts_executed(), 3u);
+  EXPECT_TRUE(rig_->rec().hard_failures().empty());
+}
+
+TEST_F(FdRecTest, ConcurrentFailuresBothRecover) {
+  build(MercuryTree::kTreeIV);
+  rig_->station().inject_crash(names::kRtu);
+  rig_->station().inject_crash(names::kSes);
+  const double elapsed = recover();
+  EXPECT_LT(elapsed, 15.0);  // serialized recovery actions
+  EXPECT_TRUE(rig_->station().all_functional());
+  EXPECT_GE(rig_->rec().restarts_executed(), 2u);
+}
+
+}  // namespace
+}  // namespace mercury::station

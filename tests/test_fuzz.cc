@@ -1,0 +1,231 @@
+// Property fuzzing: random restart trees and failure models against the
+// invariants the recovery machinery depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/failure_board.h"
+#include "core/oracle.h"
+#include "core/restart_tree.h"
+#include "core/transformations.h"
+#include "core/tree_io.h"
+#include "util/rng.h"
+
+namespace mercury::core {
+namespace {
+
+using util::Rng;
+using util::TimePoint;
+
+/// A random valid restart tree: up to 3 levels, every cell's subtree
+/// non-empty, components attached at random cells (internal cells allowed —
+/// that is what node promotion produces).
+RestartTree random_tree(Rng& rng, int components) {
+  while (true) {
+    RestartTree tree("root");
+    // Random skeleton.
+    std::vector<NodeId> cells = {tree.root()};
+    const int extra_cells = static_cast<int>(rng.uniform_int(0, 6));
+    for (int i = 0; i < extra_cells; ++i) {
+      const NodeId parent = cells[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cells.size()) - 1))];
+      if (tree.depth(parent) >= 2) continue;  // cap depth
+      cells.push_back(tree.add_cell(parent, "cell" + std::to_string(i)));
+    }
+    // Random attachment.
+    for (int i = 0; i < components; ++i) {
+      const NodeId cell = cells[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cells.size()) - 1))];
+      tree.attach_component(cell, "c" + std::to_string(i));
+    }
+    if (tree.validate().ok()) return tree;
+    // Some skeletons leave empty subtrees; retry with fresh randomness.
+  }
+}
+
+std::vector<std::string> random_cure_set(Rng& rng, const RestartTree& tree) {
+  const auto all = tree.all_components();
+  std::vector<std::string> cure;
+  const auto size = rng.uniform_int(1, std::min<std::int64_t>(
+                                           3, static_cast<std::int64_t>(all.size())));
+  while (static_cast<std::int64_t>(cure.size()) < size) {
+    const auto& pick = all[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(all.size()) - 1))];
+    if (std::find(cure.begin(), cure.end(), pick) == cure.end()) {
+      cure.push_back(pick);
+    }
+  }
+  return cure;
+}
+
+class TreeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeFuzz, GroupAlgebraInvariants) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const RestartTree tree = random_tree(rng, 6);
+
+    // Root group is everything; every child group is a subset of its
+    // parent's; group count equals cell count.
+    const auto all = tree.all_components();
+    EXPECT_EQ(tree.group_components(tree.root()), all);
+    EXPECT_EQ(tree.group_count(), tree.size());
+    for (NodeId id : tree.preorder()) {
+      const auto group = tree.group_components(id);
+      EXPECT_FALSE(group.empty());
+      if (id != tree.root()) {
+        const auto parent_group = tree.group_components(tree.parent(id));
+        EXPECT_TRUE(std::includes(parent_group.begin(), parent_group.end(),
+                                  group.begin(), group.end()));
+      }
+    }
+  }
+}
+
+TEST_P(TreeFuzz, LowestCoveringCellIsMinimal) {
+  Rng rng(GetParam() + 1);
+  for (int round = 0; round < 25; ++round) {
+    const RestartTree tree = random_tree(rng, 6);
+    const auto cure = random_cure_set(rng, tree);
+    const auto node = tree.lowest_cell_covering_all(cure);
+    ASSERT_TRUE(node.has_value());
+
+    const auto covers = [&](NodeId id) {
+      const auto group = tree.group_components(id);
+      return std::all_of(cure.begin(), cure.end(), [&](const std::string& c) {
+        return std::binary_search(group.begin(), group.end(), c);
+      });
+    };
+    EXPECT_TRUE(covers(*node));
+    // Minimality: no child of the chosen cell covers the cure set.
+    for (NodeId child : tree.cell(*node).children) {
+      EXPECT_FALSE(covers(child)) << tree.render();
+    }
+  }
+}
+
+TEST_P(TreeFuzz, PerfectOracleAlwaysCoversTheCureSet) {
+  Rng rng(GetParam() + 2);
+  for (int round = 0; round < 25; ++round) {
+    const RestartTree tree = random_tree(rng, 6);
+    auto cure = random_cure_set(rng, tree);
+    FailureBoard board;
+    FailureSpec spec;
+    spec.manifest = cure.front();
+    spec.cure_set = cure;
+    board.inject(std::move(spec), TimePoint::origin());
+
+    PerfectOracle oracle(board);
+    OracleQuery query;
+    query.tree = &tree;
+    query.failed_component = cure.front();
+    const NodeId chosen = oracle.choose(query);
+    const auto group = tree.group_components(chosen);
+    for (const auto& member : cure) {
+      EXPECT_TRUE(std::binary_search(group.begin(), group.end(), member))
+          << tree.render();
+    }
+  }
+}
+
+TEST_P(TreeFuzz, FaultyOracleOnlyStepsTowardTheManifest) {
+  Rng rng(GetParam() + 3);
+  for (int round = 0; round < 25; ++round) {
+    const RestartTree tree = random_tree(rng, 6);
+    const auto cure = random_cure_set(rng, tree);
+    FailureBoard board;
+    FailureSpec spec;
+    spec.manifest = cure.front();
+    spec.cure_set = cure;
+    board.inject(std::move(spec), TimePoint::origin());
+
+    PerfectOracle perfect(board);
+    FaultyOracle faulty(perfect, rng.fork("faulty"), /*p_low=*/1.0);
+    OracleQuery query;
+    query.tree = &tree;
+    query.failed_component = cure.front();
+    const NodeId honest = perfect.choose(query);
+    const NodeId guessed = faulty.choose(query);
+    // Either no lower option existed, or the guess is a strict descendant
+    // of the honest choice that still contains the manifest component.
+    if (guessed != honest) {
+      EXPECT_TRUE(tree.is_ancestor(honest, guessed));
+      const auto group = tree.group_components(guessed);
+      EXPECT_TRUE(std::binary_search(group.begin(), group.end(), cure.front()));
+    }
+  }
+}
+
+TEST_P(TreeFuzz, XmlRoundTripPreservesEverything) {
+  Rng rng(GetParam() + 4);
+  for (int round = 0; round < 15; ++round) {
+    const RestartTree tree = random_tree(rng, 5);
+    auto loaded = tree_from_xml(tree_to_xml(tree));
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message();
+    // Cell *indices* may renumber (the loader materializes in document
+    // order), so compare the deterministic DFS rendering (labels, child
+    // order, attachments) and the restart-group semantics.
+    EXPECT_EQ(tree.render(), loaded.value().render());
+    EXPECT_TRUE(equivalent(tree, loaded.value()));
+  }
+}
+
+TEST_P(TreeFuzz, ConsolidationOfRandomSiblingLeavesShrinksChoices) {
+  Rng rng(GetParam() + 5);
+  int applied = 0;
+  for (int round = 0; round < 40 && applied < 8; ++round) {
+    const RestartTree tree = random_tree(rng, 6);
+    // Find a random pair of sibling single-leaf components.
+    const auto all = tree.all_components();
+    for (const auto& a : all) {
+      for (const auto& b : all) {
+        if (a >= b) continue;
+        const auto cell_a = *tree.find_component(a);
+        const auto cell_b = *tree.find_component(b);
+        if (cell_a == cell_b || !tree.is_leaf(cell_a) || !tree.is_leaf(cell_b) ||
+            tree.parent(cell_a) != tree.parent(cell_b)) {
+          continue;
+        }
+        auto merged = consolidate_group(tree, a, b);
+        ASSERT_TRUE(merged.ok()) << merged.error().message();
+        EXPECT_EQ(merged.value().group_count(), tree.group_count() - 1);
+        EXPECT_EQ(merged.value().all_components(), all);
+        EXPECT_TRUE(merged.value().validate().ok());
+        ++applied;
+        goto next_round;
+      }
+    }
+  next_round:;
+  }
+  EXPECT_GE(applied, 3);  // the generator produces eligible pairs regularly
+}
+
+TEST_P(TreeFuzz, PromotionNeverLosesComponentsOrValidity) {
+  Rng rng(GetParam() + 6);
+  int applied = 0;
+  for (int round = 0; round < 40 && applied < 8; ++round) {
+    const RestartTree tree = random_tree(rng, 6);
+    for (const auto& component : tree.all_components()) {
+      auto promoted = promote_component(tree, component);
+      if (!promoted.ok()) continue;  // ineligible placement
+      EXPECT_EQ(promoted.value().all_components(), tree.all_components());
+      EXPECT_TRUE(promoted.value().validate().ok());
+      // The promoted component's minimal restart group strictly grew.
+      const auto before =
+          tree.group_components(*tree.lowest_cell_covering(component));
+      const auto after = promoted.value().group_components(
+          *promoted.value().lowest_cell_covering(component));
+      EXPECT_GT(after.size(), before.size());
+      ++applied;
+      break;
+    }
+  }
+  EXPECT_GE(applied, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeFuzz,
+                         ::testing::Values(11, 29, 47, 83, 131, 197));
+
+}  // namespace
+}  // namespace mercury::core

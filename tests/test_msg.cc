@@ -1,0 +1,96 @@
+// Unit tests: the command-language message schema.
+#include <gtest/gtest.h>
+
+#include "msg/message.h"
+
+namespace mercury::msg {
+namespace {
+
+TEST(Message, KindStringsRoundTrip) {
+  for (Kind kind : {Kind::kPing, Kind::kPong, Kind::kCommand, Kind::kAck,
+                    Kind::kNack, Kind::kTelemetry, Kind::kEvent}) {
+    auto parsed = kind_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(kind_from_string("bogus").ok());
+}
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  Message m = make_command("rtu", "fedr", 42, "tune");
+  m.body.set_attr("freq_hz", 437.1e6);
+  m.body.add_child(xml::Element("note")).set_text("doppler corrected");
+
+  auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+  EXPECT_EQ(decoded.value(), m);
+}
+
+TEST(Message, RoundTripAllKinds) {
+  for (Kind kind : {Kind::kPing, Kind::kPong, Kind::kCommand, Kind::kAck,
+                    Kind::kNack, Kind::kTelemetry, Kind::kEvent}) {
+    Message m;
+    m.kind = kind;
+    m.from = "a";
+    m.to = "b";
+    m.seq = 7;
+    m.verb = kind == Kind::kCommand ? "track" : "";
+    if (kind == Kind::kAck) m.in_reply_to = 6;
+    auto decoded = decode(encode(m));
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+    EXPECT_EQ(decoded.value(), m) << to_string(kind);
+  }
+}
+
+TEST(Message, PingPongPairing) {
+  const Message ping = make_ping("fd", "ses", 99);
+  EXPECT_EQ(ping.kind, Kind::kPing);
+  EXPECT_EQ(ping.to, "ses");
+
+  const Message pong = make_pong(ping, "ses");
+  EXPECT_EQ(pong.kind, Kind::kPong);
+  EXPECT_EQ(pong.to, "fd");
+  EXPECT_EQ(pong.seq, ping.seq);
+  ASSERT_TRUE(pong.in_reply_to.has_value());
+  EXPECT_EQ(*pong.in_reply_to, ping.seq);
+}
+
+TEST(Message, AckNackCarryContext) {
+  const Message command = make_command("str", "ses", 5, "sync");
+  const Message ack = make_ack(command, "ses");
+  EXPECT_EQ(ack.kind, Kind::kAck);
+  EXPECT_EQ(ack.to, "str");
+  EXPECT_EQ(ack.verb, "sync");
+  EXPECT_EQ(*ack.in_reply_to, 5u);
+
+  const Message nack = make_nack(command, "ses", "busy");
+  EXPECT_EQ(nack.kind, Kind::kNack);
+  EXPECT_EQ(nack.body.attr_or("reason", ""), "busy");
+}
+
+TEST(Message, EventBroadcastsByDefault) {
+  const Message event = make_event("ses", 3, "ephemeris");
+  EXPECT_EQ(event.to, "*");
+  EXPECT_EQ(event.verb, "ephemeris");
+}
+
+TEST(Message, DecodeRejectsMissingFields) {
+  EXPECT_FALSE(decode("<msg/>").ok());
+  EXPECT_FALSE(decode(R"(<msg type="ping" to="b" seq="1"/>)").ok());   // no from
+  EXPECT_FALSE(decode(R"(<msg type="ping" from="a" seq="1"/>)").ok()); // no to
+  EXPECT_FALSE(decode(R"(<msg type="ping" from="a" to="b"/>)").ok());  // no seq
+  EXPECT_FALSE(decode(R"(<msg type="nope" from="a" to="b" seq="1"/>)").ok());
+  EXPECT_FALSE(
+      decode(R"(<msg type="ping" from="a" to="b" seq="-3"/>)").ok());
+  EXPECT_FALSE(decode(R"(<notmsg type="ping" from="a" to="b" seq="1"/>)").ok());
+  EXPECT_FALSE(decode("not xml at all").ok());
+}
+
+TEST(Message, DecodeToleratesMissingBody) {
+  auto decoded = decode(R"(<msg type="ping" from="a" to="b" seq="1"/>)");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().body.name(), "body");
+}
+
+}  // namespace
+}  // namespace mercury::msg

@@ -1,0 +1,132 @@
+// Unit tests: the §7 tree optimizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/mercury_trees.h"
+#include "core/optimizer.h"
+
+namespace mercury::core {
+namespace {
+
+namespace names = component_names;
+
+TEST(Enumerate, SingleComponent) {
+  const auto trees = enumerate_candidate_trees({"a"});
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].all_components(), std::vector<std::string>{"a"});
+}
+
+TEST(Enumerate, TwoComponents) {
+  // Partitions: {a}{b} -> 1 shape combo; {a,b} -> consolidated, joint,
+  // promote-a, promote-b = 4. Total 5.
+  const auto trees = enumerate_candidate_trees({"a", "b"});
+  EXPECT_EQ(trees.size(), 5u);
+}
+
+TEST(Enumerate, CountsGrowAsExpected) {
+  EXPECT_EQ(enumerate_candidate_trees({"a", "b", "c"}).size(), 18u);
+  EXPECT_EQ(enumerate_candidate_trees({"a", "b", "c", "d"}).size(), 99u);
+}
+
+TEST(Enumerate, AllCandidatesValidAndComplete) {
+  const std::vector<std::string> components = {"a", "b", "c", "d"};
+  for (const auto& tree : enumerate_candidate_trees(components)) {
+    EXPECT_TRUE(tree.validate().ok());
+    EXPECT_EQ(tree.all_components(), components);
+  }
+}
+
+TEST(Enumerate, NoDuplicateSignaturesWithinReason) {
+  // Promote-a over block {a,b} equals... nothing else in the grammar; the
+  // enumeration should not produce exact duplicates for 3 components.
+  const auto trees = enumerate_candidate_trees({"a", "b", "c"});
+  std::set<std::vector<std::vector<std::string>>> signatures;
+  for (const auto& tree : trees) signatures.insert(group_signature(tree));
+  // Some shapes coincide on purpose (promotion over a 2-block has the same
+  // groups as... none), so expect full uniqueness here.
+  EXPECT_EQ(signatures.size(), trees.size());
+}
+
+TEST(Optimize, RankingSortedAndBounded) {
+  const SystemModel model = mercury_system_model(true, 0.3);
+  const std::vector<std::string> components = {
+      names::kMbus, names::kSes, names::kStr,
+      names::kRtu,  names::kFedr, names::kPbcom};
+  const auto result = optimize_tree(components, model, 5);
+  ASSERT_EQ(result.ranking.size(), 5u);
+  EXPECT_GT(result.candidates_evaluated, 1000u);
+  for (std::size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_LE(result.ranking[i - 1].predicted_mttr_s,
+              result.ranking[i].predicted_mttr_s);
+  }
+}
+
+TEST(Optimize, BeatsOrMatchesPublishedTrees) {
+  for (double p_low : {0.0, 0.3}) {
+    const SystemModel model = mercury_system_model(true, p_low);
+    const auto result = optimize_tree({names::kMbus, names::kSes, names::kStr,
+                                       names::kRtu, names::kFedr, names::kPbcom},
+                                      model, 1);
+    ASSERT_FALSE(result.ranking.empty());
+    const double best = result.ranking.front().predicted_mttr_s;
+    EXPECT_LE(best, predicted_system_mttr(make_tree_iv(), model) + 1e-9);
+    EXPECT_LE(best, predicted_system_mttr(make_tree_v(), model) + 1e-9);
+  }
+}
+
+TEST(Optimize, FaultyOracleWinnerShieldsPbcom) {
+  // The §4.4 lesson, rediscovered: under a faulty oracle the best tree has
+  // no pbcom-only restart group.
+  const SystemModel model = mercury_system_model(true, 0.3);
+  const auto result = optimize_tree({names::kMbus, names::kSes, names::kStr,
+                                     names::kRtu, names::kFedr, names::kPbcom},
+                                    model, 1);
+  ASSERT_FALSE(result.ranking.empty());
+  const RestartTree& best = result.ranking.front().tree;
+  const auto pbcom_cell = best.lowest_cell_covering(names::kPbcom);
+  ASSERT_TRUE(pbcom_cell.has_value());
+  const auto group = best.group_components(*pbcom_cell);
+  EXPECT_NE(std::find(group.begin(), group.end(), names::kFedr), group.end())
+      << best.render();
+}
+
+TEST(Optimize, WinnerConsolidatesCoupledPair) {
+  // With only ses/str failures and their coupling in play, the optimizer
+  // must put them in one cell.
+  SystemModel model;
+  model.detection_latency_s = 0.66;
+  model.restart_duration_s = {{"ses", 4.1}, {"str", 4.2}};
+  model.coupled_pairs.push_back(CoupledPairModel{"ses", "str", 1.4, 0.05});
+  const double per_hour = 1.0 / 3600.0;
+  model.failure_classes = {{"ses", {"ses"}, per_hour}, {"str", {"str"}, per_hour}};
+
+  const auto result = optimize_tree({"ses", "str"}, model, 1);
+  ASSERT_FALSE(result.ranking.empty());
+  const RestartTree& best = result.ranking.front().tree;
+  EXPECT_EQ(best.find_component("ses"), best.find_component("str"))
+      << best.render();
+}
+
+TEST(Optimize, IndependentCheapComponentsStaySeparate) {
+  // No couplings, no joint failures: every component should keep its own
+  // restart cell (tree-II shape) so failures cure at the leaf.
+  SystemModel model;
+  model.detection_latency_s = 0.5;
+  model.contention_slope = 0.1;
+  model.restart_duration_s = {{"a", 2.0}, {"b", 10.0}, {"c", 4.0}};
+  const double per_hour = 1.0 / 3600.0;
+  model.failure_classes = {
+      {"a", {"a"}, per_hour}, {"b", {"b"}, per_hour}, {"c", {"c"}, per_hour}};
+
+  const auto result = optimize_tree({"a", "b", "c"}, model, 1);
+  const RestartTree& best = result.ranking.front().tree;
+  std::set<std::optional<NodeId>> cells = {best.find_component("a"),
+                                           best.find_component("b"),
+                                           best.find_component("c")};
+  EXPECT_EQ(cells.size(), 3u) << best.render();
+}
+
+}  // namespace
+}  // namespace mercury::core

@@ -1,0 +1,249 @@
+// Unit tests: the four oracles (§3.3, §4.4, §7).
+#include <gtest/gtest.h>
+
+#include "core/failure_board.h"
+#include "core/mercury_trees.h"
+#include "core/oracle.h"
+
+namespace mercury::core {
+namespace {
+
+namespace names = component_names;
+using util::TimePoint;
+
+OracleQuery fresh(const RestartTree& tree, std::string component) {
+  OracleQuery query;
+  query.tree = &tree;
+  query.failed_component = std::move(component);
+  return query;
+}
+
+OracleQuery escalated(const RestartTree& tree, std::string component,
+                      NodeId previous, int level = 1) {
+  OracleQuery query = fresh(tree, std::move(component));
+  query.escalation_level = level;
+  query.previous_node = previous;
+  return query;
+}
+
+// --- HeuristicOracle -----------------------------------------------------------
+
+TEST(HeuristicOracle, PicksAttachmentCell) {
+  const RestartTree tree = make_tree_iii();
+  HeuristicOracle oracle;
+  const NodeId chosen = oracle.choose(fresh(tree, names::kSes));
+  EXPECT_EQ(chosen, *tree.find_component(names::kSes));
+}
+
+TEST(HeuristicOracle, ConsolidatedCellRestartsBoth) {
+  const RestartTree tree = make_tree_iv();
+  HeuristicOracle oracle;
+  const NodeId chosen = oracle.choose(fresh(tree, names::kSes));
+  EXPECT_EQ(tree.group_components(chosen),
+            (std::vector<std::string>{names::kSes, names::kStr}));
+}
+
+TEST(HeuristicOracle, EscalatesToParent) {
+  const RestartTree tree = make_tree_iii();
+  HeuristicOracle oracle;
+  const NodeId leaf = *tree.find_component(names::kPbcom);
+  const NodeId chosen = oracle.choose(escalated(tree, names::kPbcom, leaf));
+  EXPECT_EQ(chosen, tree.parent(leaf));
+}
+
+TEST(HeuristicOracle, EscalationSaturatesAtRoot) {
+  const RestartTree tree = make_tree_ii();
+  HeuristicOracle oracle;
+  const NodeId chosen =
+      oracle.choose(escalated(tree, names::kSes, tree.root(), 3));
+  EXPECT_EQ(chosen, tree.root());
+}
+
+// --- PerfectOracle --------------------------------------------------------------
+
+TEST(PerfectOracle, ReadsCureSetFromBoard) {
+  const RestartTree tree = make_tree_iv();
+  FailureBoard board;
+  board.inject(make_joint(names::kPbcom, {names::kFedr, names::kPbcom}),
+               TimePoint::origin());
+  PerfectOracle oracle(board);
+  const NodeId chosen = oracle.choose(fresh(tree, names::kPbcom));
+  EXPECT_EQ(tree.group_components(chosen),
+            (std::vector<std::string>{names::kFedr, names::kPbcom}));
+}
+
+TEST(PerfectOracle, MinimalForSimpleCrash) {
+  const RestartTree tree = make_tree_iii();
+  FailureBoard board;
+  board.inject(make_crash(names::kPbcom), TimePoint::origin());
+  PerfectOracle oracle(board);
+  const NodeId chosen = oracle.choose(fresh(tree, names::kPbcom));
+  EXPECT_EQ(chosen, *tree.find_component(names::kPbcom));
+}
+
+TEST(PerfectOracle, FallsBackToAttachmentWithoutGroundTruth) {
+  const RestartTree tree = make_tree_iii();
+  FailureBoard board;  // empty: detection blip
+  PerfectOracle oracle(board);
+  EXPECT_EQ(oracle.choose(fresh(tree, names::kSes)),
+            *tree.find_component(names::kSes));
+}
+
+TEST(PerfectOracle, UnionsMultipleFailures) {
+  const RestartTree tree = make_tree_iv();
+  FailureBoard board;
+  board.inject(make_crash(names::kPbcom), TimePoint::origin());
+  board.inject(make_joint(names::kPbcom, {names::kFedr, names::kPbcom}),
+               TimePoint::origin());
+  PerfectOracle oracle(board);
+  const NodeId chosen = oracle.choose(fresh(tree, names::kPbcom));
+  EXPECT_EQ(tree.group_components(chosen),
+            (std::vector<std::string>{names::kFedr, names::kPbcom}));
+}
+
+// --- FaultyOracle ----------------------------------------------------------------
+
+TEST(FaultyOracle, ZeroErrorMatchesInner) {
+  const RestartTree tree = make_tree_iv();
+  FailureBoard board;
+  board.inject(make_joint(names::kPbcom, {names::kFedr, names::kPbcom}),
+               TimePoint::origin());
+  PerfectOracle perfect(board);
+  FaultyOracle faulty(perfect, util::Rng(1), 0.0, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(faulty.choose(fresh(tree, names::kPbcom)),
+              perfect.choose(fresh(tree, names::kPbcom)));
+  }
+  EXPECT_EQ(faulty.mistakes_made(), 0u);
+}
+
+TEST(FaultyOracle, GuessTooLowRateMatchesP) {
+  const RestartTree tree = make_tree_iv();
+  FailureBoard board;
+  board.inject(make_joint(names::kPbcom, {names::kFedr, names::kPbcom}),
+               TimePoint::origin());
+  PerfectOracle perfect(board);
+  FaultyOracle faulty(perfect, util::Rng(2), 0.3, 0.0);
+
+  const NodeId minimal = perfect.choose(fresh(tree, names::kPbcom));
+  const NodeId leaf = *tree.find_component(names::kPbcom);
+  int low = 0;
+  const int trials = 2'000;
+  for (int i = 0; i < trials; ++i) {
+    const NodeId chosen = faulty.choose(fresh(tree, names::kPbcom));
+    if (chosen == leaf) {
+      ++low;
+    } else {
+      EXPECT_EQ(chosen, minimal);
+    }
+  }
+  EXPECT_NEAR(low / static_cast<double>(trials), 0.3, 0.03);
+  EXPECT_EQ(faulty.mistakes_made(), static_cast<std::uint64_t>(low));
+}
+
+TEST(FaultyOracle, TreeVMakesGuessTooLowImpossible) {
+  // §4.4's whole point: promotion removes the too-low option for pbcom.
+  const RestartTree tree = make_tree_v();
+  FailureBoard board;
+  board.inject(make_joint(names::kPbcom, {names::kFedr, names::kPbcom}),
+               TimePoint::origin());
+  PerfectOracle perfect(board);
+  FaultyOracle faulty(perfect, util::Rng(3), 0.5, 0.0);
+  const NodeId minimal = perfect.choose(fresh(tree, names::kPbcom));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(faulty.choose(fresh(tree, names::kPbcom)), minimal);
+  }
+  EXPECT_EQ(faulty.mistakes_made(), 0u);
+}
+
+TEST(FaultyOracle, GuessTooHighPicksParent) {
+  const RestartTree tree = make_tree_iii();
+  FailureBoard board;
+  board.inject(make_crash(names::kFedr), TimePoint::origin());
+  PerfectOracle perfect(board);
+  FaultyOracle faulty(perfect, util::Rng(4), 0.0, 1.0);  // always too high
+  const NodeId leaf = *tree.find_component(names::kFedr);
+  EXPECT_EQ(faulty.choose(fresh(tree, names::kFedr)), tree.parent(leaf));
+}
+
+TEST(FaultyOracle, AnswersEscalationsHonestly) {
+  const RestartTree tree = make_tree_iv();
+  FailureBoard board;
+  PerfectOracle perfect(board);
+  FaultyOracle faulty(perfect, util::Rng(5), 1.0, 0.0);  // always wrong fresh
+  const NodeId leaf = *tree.find_component(names::kPbcom);
+  // "The faulty oracle restarts pbcom, then realizes the failure is
+  // persisting, and moves up the tree."
+  EXPECT_EQ(faulty.choose(escalated(tree, names::kPbcom, leaf)),
+            tree.parent(leaf));
+}
+
+// --- LearningOracle ----------------------------------------------------------------
+
+LearningOracle make_learner(double explore = 0.0) {
+  std::map<std::string, double> costs = {
+      {names::kMbus, 5.35}, {names::kSes, 4.10},  {names::kStr, 4.16},
+      {names::kRtu, 4.94},  {names::kFedr, 5.11}, {names::kPbcom, 20.49},
+  };
+  return LearningOracle(util::Rng(6), costs, explore);
+}
+
+TEST(LearningOracle, PriorIsLaplace) {
+  const LearningOracle learner = make_learner();
+  EXPECT_DOUBLE_EQ(learner.cure_estimate(names::kPbcom, 0), 0.5);
+}
+
+TEST(LearningOracle, FeedbackMovesEstimates) {
+  LearningOracle learner = make_learner();
+  const RestartTree tree = make_tree_iv();
+  const NodeId leaf = *tree.find_component(names::kPbcom);
+  for (int i = 0; i < 20; ++i) learner.feedback(names::kPbcom, leaf, false);
+  EXPECT_LT(learner.cure_estimate(names::kPbcom, leaf), 0.1);
+  for (int i = 0; i < 20; ++i) learner.feedback(names::kPbcom, leaf, true);
+  EXPECT_NEAR(learner.cure_estimate(names::kPbcom, leaf), 0.5, 0.03);
+}
+
+TEST(LearningOracle, LearnsToJumpToJointCell) {
+  LearningOracle learner = make_learner();
+  const RestartTree tree = make_tree_iv();
+  const NodeId leaf = *tree.find_component(names::kPbcom);
+  const NodeId joint = tree.parent(leaf);
+  // Experience: leaf restarts never cure pbcom-manifesting failures, the
+  // joint cell always does.
+  for (int i = 0; i < 10; ++i) {
+    learner.feedback(names::kPbcom, leaf, false);
+    learner.feedback(names::kPbcom, joint, true);
+  }
+  EXPECT_EQ(learner.choose(fresh(tree, names::kPbcom)), joint);
+}
+
+TEST(LearningOracle, AvoidsRootWhenJointSuffices) {
+  LearningOracle learner = make_learner();
+  const RestartTree tree = make_tree_iv();
+  const NodeId leaf = *tree.find_component(names::kPbcom);
+  const NodeId joint = tree.parent(leaf);
+  for (int i = 0; i < 10; ++i) learner.feedback(names::kPbcom, joint, true);
+  const NodeId chosen = learner.choose(fresh(tree, names::kPbcom));
+  EXPECT_NE(chosen, tree.root());
+  EXPECT_EQ(chosen, joint);
+}
+
+TEST(LearningOracle, DefaultsToCheapCellWithoutData) {
+  LearningOracle learner = make_learner();
+  const RestartTree tree = make_tree_iv();
+  // No data: expected-cost math under uniform priors must not pick the
+  // root (contention-inflated) for a cheap component.
+  const NodeId chosen = learner.choose(fresh(tree, names::kRtu));
+  EXPECT_EQ(chosen, *tree.find_component(names::kRtu));
+}
+
+TEST(LearningOracle, EscalatesWhenAsked) {
+  LearningOracle learner = make_learner();
+  const RestartTree tree = make_tree_iv();
+  const NodeId leaf = *tree.find_component(names::kPbcom);
+  EXPECT_EQ(learner.choose(escalated(tree, names::kPbcom, leaf)),
+            tree.parent(leaf));
+}
+
+}  // namespace
+}  // namespace mercury::core

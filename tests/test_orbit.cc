@@ -1,0 +1,314 @@
+// Unit + property tests: orbital mechanics substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/doppler.h"
+#include "orbit/elements.h"
+#include "orbit/frames.h"
+#include "orbit/ground_station.h"
+#include "orbit/pass_predictor.h"
+#include "orbit/propagator.h"
+
+namespace mercury::orbit {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+constexpr double kPi = std::numbers::pi;
+
+// --- Angles / elements ----------------------------------------------------------
+
+TEST(Angles, WrapTwoPi) {
+  EXPECT_NEAR(wrap_two_pi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(2.5 * kPi), 0.5 * kPi, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-0.5 * kPi), 1.5 * kPi, 1e-12);
+}
+
+TEST(Angles, WrapPi) {
+  EXPECT_NEAR(wrap_pi(1.5 * kPi), -0.5 * kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(-1.5 * kPi), 0.5 * kPi, 1e-12);
+}
+
+TEST(Elements, CircularLeoProperties) {
+  const auto elements = KeplerianElements::circular_leo(800.0, 60.0);
+  EXPECT_DOUBLE_EQ(elements.eccentricity, 0.0);
+  EXPECT_NEAR(elements.perigee_altitude_km(), 800.0, 1e-9);
+  EXPECT_NEAR(elements.apogee_altitude_km(), 800.0, 1e-9);
+  // An 800 km LEO period is ~101 minutes.
+  EXPECT_NEAR(elements.period().to_seconds() / 60.0, 100.9, 0.5);
+}
+
+TEST(Elements, IssLikeOrbitPeriod) {
+  const auto elements = KeplerianElements::circular_leo(420.0, 51.6);
+  EXPECT_NEAR(elements.period().to_seconds() / 60.0, 92.8, 0.5);
+}
+
+// --- Kepler solver (property sweep) ----------------------------------------------
+
+class KeplerSolver : public ::testing::TestWithParam<double> {};
+
+TEST_P(KeplerSolver, SatisfiesKeplersEquation) {
+  const double e = GetParam();
+  for (double mean = 0.0; mean < 2.0 * kPi; mean += 0.1) {
+    const double ecc_anomaly = solve_kepler(mean, e);
+    const double recovered = ecc_anomaly - e * std::sin(ecc_anomaly);
+    EXPECT_NEAR(wrap_two_pi(recovered), wrap_two_pi(mean), 1e-9)
+        << "e=" << e << " M=" << mean;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eccentricities, KeplerSolver,
+                         ::testing::Values(0.0, 0.001, 0.1, 0.3, 0.5, 0.7, 0.9,
+                                           0.97));
+
+TEST(KeplerSolver, TrueAnomalyMatchesEccentricAtApsides) {
+  EXPECT_NEAR(true_anomaly_from_eccentric(0.0, 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(true_anomaly_from_eccentric(kPi, 0.5)), kPi, 1e-9);
+}
+
+// --- Propagator -------------------------------------------------------------------
+
+TEST(Propagator, CircularOrbitKeepsRadius) {
+  const Propagator propagator(KeplerianElements::circular_leo(800.0, 45.0));
+  const double expected = constants::kEarthRadiusKm + 800.0;
+  for (double t = 0.0; t < 7000.0; t += 500.0) {
+    EXPECT_NEAR(propagator.radius_at(TimePoint::from_seconds(t)), expected, 0.01);
+  }
+}
+
+TEST(Propagator, CircularSpeedMatchesVisViva) {
+  const Propagator propagator(KeplerianElements::circular_leo(800.0, 45.0));
+  const double r = constants::kEarthRadiusKm + 800.0;
+  const double expected = std::sqrt(constants::kMuEarth / r);
+  const auto state = propagator.state_at(TimePoint::from_seconds(1234.0));
+  EXPECT_NEAR(state.velocity_km_s.norm(), expected, 1e-6);
+}
+
+TEST(Propagator, PeriodReturnsToStart) {
+  const auto elements = KeplerianElements::circular_leo(800.0, 60.0, 30.0, 10.0);
+  const Propagator propagator(elements);
+  const auto start = propagator.state_at(TimePoint::origin());
+  const auto after =
+      propagator.state_at(TimePoint::origin() + elements.period());
+  EXPECT_NEAR((after.position_km - start.position_km).norm(), 0.0, 0.1);
+}
+
+TEST(Propagator, EccentricOrbitConservesEnergy) {
+  KeplerianElements elements;
+  elements.semi_major_axis_km = 8000.0;
+  elements.eccentricity = 0.2;
+  elements.inclination_rad = deg_to_rad(30.0);
+  const Propagator propagator(elements);
+  const double expected_energy =
+      -constants::kMuEarth / (2.0 * elements.semi_major_axis_km);
+  for (double t = 0.0; t < 8000.0; t += 400.0) {
+    const auto state = propagator.state_at(TimePoint::from_seconds(t));
+    const double v2 = state.velocity_km_s.dot(state.velocity_km_s);
+    const double energy = v2 / 2.0 - constants::kMuEarth / state.position_km.norm();
+    EXPECT_NEAR(energy, expected_energy, 1e-6) << "t=" << t;
+  }
+}
+
+TEST(Propagator, EccentricOrbitConservesAngularMomentum) {
+  KeplerianElements elements;
+  elements.semi_major_axis_km = 9000.0;
+  elements.eccentricity = 0.3;
+  const Propagator propagator(elements);
+  const auto h0 = propagator.state_at(TimePoint::origin());
+  const double expected = h0.position_km.cross(h0.velocity_km_s).norm();
+  for (double t = 500.0; t < 9000.0; t += 500.0) {
+    const auto state = propagator.state_at(TimePoint::from_seconds(t));
+    const double h = state.position_km.cross(state.velocity_km_s).norm();
+    EXPECT_NEAR(h, expected, 1e-6);
+  }
+}
+
+TEST(Propagator, ApsisRadiiMatchElements) {
+  KeplerianElements elements;
+  elements.semi_major_axis_km = 10000.0;
+  elements.eccentricity = 0.4;
+  const Propagator propagator(elements);
+  // Mean anomaly 0 = perigee; pi = apogee (epoch at perigee).
+  EXPECT_NEAR(propagator.radius_at(TimePoint::origin()), 6000.0, 1e-6);
+  const auto half = TimePoint::origin() + elements.period() / 2.0;
+  EXPECT_NEAR(propagator.radius_at(half), 14000.0, 1e-3);
+}
+
+TEST(Propagator, InclinationBoundsLatitudeExcursion) {
+  const Propagator propagator(KeplerianElements::circular_leo(800.0, 30.0));
+  double max_z_over_r = 0.0;
+  for (double t = 0.0; t < 7000.0; t += 50.0) {
+    const auto state = propagator.state_at(TimePoint::from_seconds(t));
+    max_z_over_r = std::max(max_z_over_r,
+                            std::abs(state.position_km.z) / state.position_km.norm());
+  }
+  EXPECT_NEAR(std::asin(max_z_over_r), deg_to_rad(30.0), 0.01);
+}
+
+// --- Frames -----------------------------------------------------------------------
+
+TEST(Frames, EciEcefRoundTrip) {
+  const Vec3 eci{4000.0, 3000.0, 2000.0};
+  const TimePoint t = TimePoint::from_seconds(12345.0);
+  const Vec3 back = ecef_to_eci(eci_to_ecef(eci, t), t);
+  EXPECT_NEAR(back.x, eci.x, 1e-9);
+  EXPECT_NEAR(back.y, eci.y, 1e-9);
+  EXPECT_NEAR(back.z, eci.z, 1e-9);
+}
+
+TEST(Frames, RotationPreservesNormAndZ) {
+  const Vec3 eci{4000.0, 3000.0, 2000.0};
+  const Vec3 ecef = eci_to_ecef(eci, TimePoint::from_seconds(5000.0));
+  EXPECT_NEAR(ecef.norm(), eci.norm(), 1e-9);
+  EXPECT_DOUBLE_EQ(ecef.z, eci.z);
+}
+
+TEST(Frames, GeodeticEquatorAndPole) {
+  const Vec3 equator = geodetic_to_ecef(Geodetic::from_degrees(0.0, 0.0, 0.0));
+  EXPECT_NEAR(equator.x, constants::kEarthRadiusKm, 1e-6);
+  EXPECT_NEAR(equator.y, 0.0, 1e-9);
+  EXPECT_NEAR(equator.z, 0.0, 1e-9);
+
+  const Vec3 pole = geodetic_to_ecef(Geodetic::from_degrees(90.0, 0.0, 0.0));
+  EXPECT_NEAR(pole.x, 0.0, 1e-6);
+  // Polar radius b = a(1-f) ~ 6356.75 km.
+  EXPECT_NEAR(pole.z, 6356.7523, 1e-3);
+}
+
+TEST(Frames, AltitudeExtendsRadially) {
+  const Vec3 ground = geodetic_to_ecef(Geodetic::from_degrees(45.0, 10.0, 0.0));
+  const Vec3 high = geodetic_to_ecef(Geodetic::from_degrees(45.0, 10.0, 100.0));
+  EXPECT_GT(high.norm(), ground.norm() + 99.0);
+}
+
+TEST(Frames, SatelliteDirectlyOverheadHasHighElevation) {
+  // Observer on the equator at longitude 0 at t=0 (GMST 0 => ECI x-axis).
+  const Geodetic observer = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  const Vec3 satellite{constants::kEarthRadiusKm + 800.0, 0.0, 0.0};
+  const auto look = look_angles(observer, satellite, Vec3{}, TimePoint::origin());
+  EXPECT_GT(rad_to_deg(look.elevation_rad), 89.0);
+  EXPECT_NEAR(look.range_km, 800.0, 5.0);
+}
+
+TEST(Frames, SatelliteBelowHorizonHasNegativeElevation) {
+  const Geodetic observer = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  const Vec3 antipode{-(constants::kEarthRadiusKm + 800.0), 0.0, 0.0};
+  const auto look = look_angles(observer, antipode, Vec3{}, TimePoint::origin());
+  EXPECT_LT(look.elevation_rad, 0.0);
+}
+
+TEST(Frames, AzimuthPointsNorthToNorthernTarget) {
+  const Geodetic observer = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  // Target north of the observer at similar radius.
+  const double r = constants::kEarthRadiusKm + 500.0;
+  const Vec3 north{r * std::cos(deg_to_rad(20.0)), 0.0, r * std::sin(deg_to_rad(20.0))};
+  const auto look = look_angles(observer, north, Vec3{}, TimePoint::origin());
+  EXPECT_NEAR(rad_to_deg(look.azimuth_rad), 0.0, 1.0);
+}
+
+TEST(Frames, RangeRateSignConvention) {
+  const Geodetic observer = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  const double r = constants::kEarthRadiusKm + 800.0;
+  const Vec3 overhead{r, 0.0, 0.0};
+  // Receding radially at 1 km/s (plus Earth-rotation correction, small).
+  const auto receding =
+      look_angles(observer, overhead, Vec3{1.0, 0.0, 0.0}, TimePoint::origin());
+  EXPECT_GT(receding.range_rate_km_s, 0.5);
+  const auto approaching =
+      look_angles(observer, overhead, Vec3{-1.0, 0.0, 0.0}, TimePoint::origin());
+  EXPECT_LT(approaching.range_rate_km_s, -0.5);
+}
+
+// --- Pass prediction ---------------------------------------------------------------
+
+TEST(PassPrediction, FindsPassesOverADay) {
+  const GroundStation station = GroundStation::stanford();
+  const Propagator satellite(KeplerianElements::circular_leo(800.0, 60.0));
+  const auto passes = predict_passes(station, satellite, TimePoint::origin(),
+                                     TimePoint::from_seconds(86400.0));
+  // An 800 km 60-degree orbit yields a handful of Stanford passes per day.
+  EXPECT_GE(passes.size(), 2u);
+  EXPECT_LE(passes.size(), 8u);
+}
+
+TEST(PassPrediction, PassesAreOrderedAndSane) {
+  const GroundStation station = GroundStation::stanford();
+  const Propagator satellite(KeplerianElements::circular_leo(800.0, 60.0));
+  const auto passes = predict_passes(station, satellite, TimePoint::origin(),
+                                     TimePoint::from_seconds(86400.0));
+  TimePoint prev = TimePoint::origin();
+  for (const auto& pass : passes) {
+    EXPECT_LT(pass.aos, pass.los);
+    EXPECT_GE(pass.aos, prev);
+    prev = pass.los;
+    // LEO passes last minutes, not hours.
+    EXPECT_GT(pass.duration().to_seconds(), 30.0);
+    EXPECT_LT(pass.duration().to_seconds(), 1200.0);
+    // Peak elevation lies within the pass and above the mask.
+    EXPECT_GE(pass.max_elevation_time, pass.aos);
+    EXPECT_LE(pass.max_elevation_time, pass.los);
+    EXPECT_GE(pass.max_elevation_rad, station.min_elevation_rad());
+  }
+}
+
+TEST(PassPrediction, BoundaryElevationsSitOnTheMask) {
+  const GroundStation station = GroundStation::stanford();
+  const Propagator satellite(KeplerianElements::circular_leo(800.0, 60.0));
+  const auto passes = predict_passes(station, satellite, TimePoint::origin(),
+                                     TimePoint::from_seconds(86400.0));
+  ASSERT_FALSE(passes.empty());
+  for (const auto& pass : passes) {
+    const double aos_el = station.look_at(satellite, pass.aos).elevation_rad;
+    const double los_el = station.look_at(satellite, pass.los).elevation_rad;
+    EXPECT_NEAR(rad_to_deg(aos_el), 10.0, 0.1);
+    EXPECT_NEAR(rad_to_deg(los_el), 10.0, 0.1);
+  }
+}
+
+TEST(PassPrediction, EquatorialOrbitNeverSeenFromHighLatitude) {
+  const GroundStation station("north", Geodetic::from_degrees(70.0, 0.0, 0.0));
+  const Propagator satellite(KeplerianElements::circular_leo(500.0, 0.0));
+  const auto passes = predict_passes(station, satellite, TimePoint::origin(),
+                                     TimePoint::from_seconds(86400.0));
+  EXPECT_TRUE(passes.empty());
+}
+
+TEST(PassPrediction, VisibleExactlyInsidePasses) {
+  const GroundStation station = GroundStation::stanford();
+  const Propagator satellite(KeplerianElements::circular_leo(800.0, 60.0));
+  const auto passes = predict_passes(station, satellite, TimePoint::origin(),
+                                     TimePoint::from_seconds(43200.0));
+  ASSERT_FALSE(passes.empty());
+  const auto& pass = passes.front();
+  EXPECT_TRUE(station.visible(satellite, pass.max_elevation_time));
+  EXPECT_FALSE(station.visible(satellite, pass.aos - Duration::seconds(60.0)));
+  EXPECT_FALSE(station.visible(satellite, pass.los + Duration::seconds(60.0)));
+}
+
+// --- Doppler ---------------------------------------------------------------------
+
+TEST(Doppler, ApproachRaisesFrequency) {
+  const double nominal = 437.1e6;
+  EXPECT_GT(doppler_shifted_hz(nominal, -7.0), nominal);
+  EXPECT_LT(doppler_shifted_hz(nominal, 7.0), nominal);
+  EXPECT_DOUBLE_EQ(doppler_shifted_hz(nominal, 0.0), nominal);
+}
+
+TEST(Doppler, LeoMagnitudeIsKilohertz) {
+  // 7 km/s at 437 MHz: ~10 kHz shift.
+  const double offset = doppler_offset_hz(437.1e6, -7.0);
+  EXPECT_NEAR(offset, 10.2e3, 0.3e3);
+}
+
+TEST(Doppler, UplinkPrecompensationInverts) {
+  const double nominal = 437.1e6;
+  for (double rate : {-7.0, -1.0, 0.0, 3.5, 7.0}) {
+    const double tx = uplink_precompensated_hz(nominal, rate);
+    EXPECT_NEAR(doppler_shifted_hz(tx, rate), nominal, 1e-3) << rate;
+  }
+}
+
+}  // namespace
+}  // namespace mercury::orbit

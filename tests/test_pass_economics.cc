@@ -1,0 +1,112 @@
+// Integration tests: the §5.2 economics end to end — pass survival under
+// different trees, and maintenance-window-gated rejuvenation.
+#include <gtest/gtest.h>
+
+#include "core/health_monitor.h"
+#include "core/mercury_trees.h"
+#include "sim/simulator.h"
+#include "station/downlink.h"
+#include "station/experiment.h"
+#include "station/health_reporter.h"
+#include "station/pass_schedule.h"
+
+namespace mercury::station {
+namespace {
+
+namespace names = core::component_names;
+using core::MercuryTree;
+using util::Duration;
+using util::TimePoint;
+
+/// One pass with a tracking-subsystem failure in the middle; returns the
+/// session report.
+SessionReport pass_with_midpass_failure(MercuryTree tree, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  TrialSpec spec;
+  spec.tree = tree;
+  spec.oracle = OracleKind::kPerfect;
+  MercuryRig rig(sim, spec);
+  rig.start();
+
+  orbit::Pass pass;
+  pass.aos = sim.now() + Duration::seconds(20.0);
+  pass.los = pass.aos + Duration::minutes(10.0);
+  DownlinkSession session(rig.station(), pass);
+  session.start();
+
+  sim.run_until(pass.aos + Duration::minutes(4.0));
+  rig.station().inject_crash(names::kStr);  // the §5.2 tracking failure
+  sim.run_until(pass.los + Duration::seconds(1.0));
+  return session.report();
+}
+
+TEST(PassEconomics, TreeVKeepsThePass) {
+  const SessionReport report = pass_with_midpass_failure(MercuryTree::kTreeV, 1);
+  EXPECT_FALSE(report.link_broken);
+  EXPECT_GT(report.capture_fraction(), 0.97);
+  EXPECT_LT(report.longest_outage.to_seconds(), 8.0);
+}
+
+TEST(PassEconomics, TreeILosesThePass) {
+  const SessionReport report = pass_with_midpass_failure(MercuryTree::kTreeI, 2);
+  EXPECT_TRUE(report.link_broken);
+  // Everything after minute 4 of 10 is gone.
+  EXPECT_LT(report.capture_fraction(), 0.45);
+}
+
+TEST(PassEconomics, RecoveryFasterThanBreakThresholdAlwaysKeepsData) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const SessionReport report =
+        pass_with_midpass_failure(MercuryTree::kTreeIV, seed);
+    EXPECT_FALSE(report.link_broken) << "seed " << seed;
+    EXPECT_NEAR(report.outage.to_seconds(), 6.2, 1.5) << "seed " << seed;
+  }
+}
+
+TEST(PassEconomics, RejuvenationWaitsForTheMaintenanceWindow) {
+  sim::Simulator sim(33);
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  spec.oracle = OracleKind::kHeuristic;
+  MercuryRig rig(sim, spec);
+  rig.start();
+
+  // One pass 60-360 s from now; fedr's leak trips the limit mid-pass.
+  PassSchedule schedule;
+  orbit::Pass pass;
+  pass.aos = sim.now() + Duration::seconds(60.0);
+  pass.los = pass.aos + Duration::minutes(5.0);
+  schedule.add_passes("sat", {pass});
+
+  StationHealthReporter reporter(rig.station(), "hm");
+  core::HealthPolicy policy;
+  // Base 48 MB + 8 MB/min crosses 58 MB at ~75 s of uptime — inside the pass.
+  policy.memory_limit_mb = 58.0;
+  core::HealthMonitor monitor(sim, rig.station().bus(), "hm", policy);
+  monitor.set_rejuvenator([&rig](const std::string& component) {
+    return rig.rec().planned_restart(component);
+  });
+  monitor.set_maintenance_window([&] {
+    return schedule.window_open(sim.now(), Duration::seconds(30.0));
+  });
+  rig.station().add_bus_restart_listener([&] { monitor.reattach(); });
+  reporter.start();
+  monitor.start();
+
+  // Mid-pass: the limit has tripped but the window is closed — deferred.
+  sim.run_until(pass.aos + Duration::minutes(3.0));
+  EXPECT_GE(monitor.rejuvenations_deferred(), 1u);
+  EXPECT_EQ(rig.rec().planned_restarts(), 0u);
+  EXPECT_TRUE(rig.station().all_functional());  // no downtime during the pass
+
+  // After LOS the window opens and the deferred restart runs.
+  sim.run_until(pass.los + Duration::seconds(60.0));
+  EXPECT_GE(rig.rec().planned_restarts(), 1u);
+  ASSERT_FALSE(rig.rec().history().empty());
+  const auto& record = rig.rec().history().front();
+  EXPECT_TRUE(record.planned);
+  EXPECT_GE(record.report_time, pass.los);  // §5.2: planned work waited
+}
+
+}  // namespace
+}  // namespace mercury::station

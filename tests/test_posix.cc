@@ -1,0 +1,286 @@
+// Integration tests: real-process supervision (the POSIX backend).
+//
+// These spawn actual child processes (the mercury_worker binary) and use
+// wall-clock time, so timings are kept small: worker startups 50-200 ms,
+// ping period 60 ms.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "core/restart_tree.h"
+#include "posix/child_process.h"
+#include "posix/supervisor.h"
+
+#ifndef MERCURY_WORKER_BIN
+#error "MERCURY_WORKER_BIN must point at the mercury_worker binary"
+#endif
+
+namespace mercury::posix {
+namespace {
+
+const std::string kWorker = MERCURY_WORKER_BIN;
+
+// --- ChildProcess ------------------------------------------------------------
+
+TEST(ChildProcess, SpawnReadyPingPong) {
+  auto spawned =
+      ChildProcess::spawn({kWorker, "--name", "w", "--startup-ms", "30"});
+  ASSERT_TRUE(spawned.ok()) << spawned.error().message();
+  ChildProcess child = std::move(spawned).value();
+  EXPECT_GT(child.pid(), 0);
+  EXPECT_TRUE(child.running());
+
+  // Wait for READY.
+  std::string ready;
+  for (int i = 0; i < 100 && ready.empty(); ++i) {
+    usleep(10'000);
+    for (const auto& line : child.read_lines()) {
+      if (line == "READY w") ready = line;
+    }
+  }
+  EXPECT_EQ(ready, "READY w");
+
+  ASSERT_TRUE(child.write_line("PING 7"));
+  std::string pong;
+  for (int i = 0; i < 100 && pong.empty(); ++i) {
+    usleep(5'000);
+    for (const auto& line : child.read_lines()) {
+      if (line == "PONG 7") pong = line;
+    }
+  }
+  EXPECT_EQ(pong, "PONG 7");
+}
+
+TEST(ChildProcess, KillHardReaps) {
+  auto spawned =
+      ChildProcess::spawn({kWorker, "--name", "w", "--startup-ms", "10"});
+  ASSERT_TRUE(spawned.ok());
+  ChildProcess child = std::move(spawned).value();
+  child.kill_hard();
+  EXPECT_FALSE(child.running());
+  child.kill_hard();  // idempotent
+}
+
+TEST(ChildProcess, SpawnFailureReportsError) {
+  auto spawned = ChildProcess::spawn({"/no/such/binary/anywhere"});
+  if (spawned.ok()) {
+    // exec fails after fork: the child exits 127 almost immediately.
+    ChildProcess child = std::move(spawned).value();
+    usleep(50'000);
+    EXPECT_FALSE(child.running());
+  }
+}
+
+TEST(ChildProcess, WedgedWorkerStopsAnswering) {
+  auto spawned =
+      ChildProcess::spawn({kWorker, "--name", "w", "--startup-ms", "10"});
+  ASSERT_TRUE(spawned.ok());
+  ChildProcess child = std::move(spawned).value();
+  usleep(100'000);
+  child.read_lines();  // drain READY
+  ASSERT_TRUE(child.write_line("WEDGE"));
+  usleep(20'000);
+  ASSERT_TRUE(child.write_line("PING 1"));
+  usleep(100'000);
+  EXPECT_TRUE(child.read_lines().empty());
+  EXPECT_TRUE(child.running());  // fail-silent, not dead
+}
+
+// --- PosixSupervisor -----------------------------------------------------------
+
+WorkerSpec quick_worker(const std::string& name, int startup_ms,
+                        int wedge_after = -1) {
+  WorkerSpec spec;
+  spec.name = name;
+  spec.argv = {kWorker, "--name", name, "--startup-ms",
+               std::to_string(startup_ms)};
+  if (wedge_after >= 0) {
+    spec.argv.push_back("--wedge-after");
+    spec.argv.push_back(std::to_string(wedge_after));
+  }
+  spec.startup_timeout = Millis{2000};
+  return spec;
+}
+
+SupervisorConfig quick_config() {
+  SupervisorConfig config;
+  config.ping_period = Millis{60};
+  config.ping_timeout = Millis{50};
+  config.escalation_window = Millis{1000};
+  return config;
+}
+
+core::RestartTree pair_and_leaf_tree() {
+  core::RestartTree tree("R_demo");
+  const auto pair = tree.add_cell(tree.root(), "R_[a,b]");
+  tree.attach_component(pair, "a");
+  tree.attach_component(pair, "b");
+  const auto c = tree.add_cell(tree.root(), "R_c");
+  tree.attach_component(c, "c");
+  return tree;
+}
+
+TEST(PosixSupervisor, StartAllBecomesReady) {
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 50), quick_worker("b", 60), quick_worker("c", 70)},
+      quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+  EXPECT_TRUE(supervisor.all_up());
+  supervisor.run_for(Millis{300});
+  EXPECT_GT(supervisor.pongs_received(), 6u);
+  EXPECT_TRUE(supervisor.history().empty());  // no failures yet
+}
+
+TEST(PosixSupervisor, RecoversFromExternalSigkill) {
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 50), quick_worker("b", 60), quick_worker("c", 70)},
+      quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  supervisor.kill_worker("c");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.all_up() && !supervisor.history().empty(); },
+      Millis{3000}));
+  ASSERT_EQ(supervisor.history().size(), 1u);
+  EXPECT_EQ(supervisor.history()[0].reported_worker, "c");
+  EXPECT_EQ(supervisor.history()[0].restarted, std::vector<std::string>{"c"});
+  EXPECT_EQ(supervisor.history()[0].escalation_level, 0);
+  // Downtime ~ detection (<=110 ms) + startup (70 ms) + loop slack.
+  EXPECT_LT(supervisor.history()[0].downtime.count(), 1000);
+}
+
+TEST(PosixSupervisor, ConsolidatedCellRestartsBothWorkers) {
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 50), quick_worker("b", 60), quick_worker("c", 70)},
+      quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  supervisor.kill_worker("a");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.all_up() && !supervisor.history().empty(); },
+      Millis{3000}));
+  ASSERT_EQ(supervisor.history().size(), 1u);
+  EXPECT_EQ(supervisor.history()[0].restarted,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PosixSupervisor, RecoversFromWedgeWithoutProcessDeath) {
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 50), quick_worker("b", 60), quick_worker("c", 70)},
+      quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  supervisor.wedge_worker("c");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return !supervisor.history().empty() && supervisor.all_up(); },
+      Millis{3000}));
+  EXPECT_EQ(supervisor.history()[0].reported_worker, "c");
+}
+
+TEST(PosixSupervisor, SelfWedgingWorkerEscalatesToHardFailure) {
+  // Worker "c" answers one pong per incarnation, then wedges. Every restart
+  // (leaf, then root, then root again) produces another wedge within the
+  // escalation window, so the chain must end parked as a hard failure.
+  core::RestartTree tree("R_demo");
+  const auto a_cell = tree.add_cell(tree.root(), "R_a");
+  tree.attach_component(a_cell, "a");
+  const auto c_cell = tree.add_cell(tree.root(), "R_c");
+  tree.attach_component(c_cell, "c");
+
+  SupervisorConfig config = quick_config();
+  config.max_root_restarts = 1;
+  PosixSupervisor supervisor(
+      tree, {quick_worker("a", 30), quick_worker("c", 30, /*wedge_after=*/1)},
+      config);
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return !supervisor.hard_failures().empty(); }, Millis{8000}));
+  EXPECT_EQ(supervisor.hard_failures()[0], "c");
+  // The chain escalated: some restart touched more than worker c alone.
+  bool saw_escalation = false;
+  for (const auto& record : supervisor.history()) {
+    if (record.escalation_level > 0) saw_escalation = true;
+  }
+  EXPECT_TRUE(saw_escalation);
+  // Healthy worker a keeps being supervised after the parking.
+  supervisor.run_for(Millis{200});
+  EXPECT_TRUE(supervisor.worker_up("a"));
+}
+
+TEST(PosixSupervisor, HealthBeaconsDriveProactiveRejuvenation) {
+  // The worker leaks 600 MB/min (10 MB/s) from a 48 MB base; the 70 MB
+  // limit trips after ~2 s of uptime, so the supervisor should rejuvenate
+  // it proactively — a real-process rendition of the §7 health loop.
+  core::RestartTree tree("R_demo");
+  const auto a_cell = tree.add_cell(tree.root(), "R_a");
+  tree.attach_component(a_cell, "a");
+  const auto b_cell = tree.add_cell(tree.root(), "R_leaky");
+  tree.attach_component(b_cell, "leaky");
+
+  WorkerSpec leaky;
+  leaky.name = "leaky";
+  leaky.argv = {kWorker, "--name", "leaky", "--startup-ms", "30",
+                "--leak-mb-per-min", "600"};
+  SupervisorConfig config = quick_config();
+  config.memory_limit_mb = 70.0;
+  PosixSupervisor supervisor(tree, {quick_worker("a", 30), leaky}, config);
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.rejuvenations() >= 1 && supervisor.all_up(); },
+      Millis{8000}));
+  // Beacons flowed and the restart reset the figure.
+  supervisor.run_for(Millis{300});
+  const auto memory = supervisor.latest_memory_mb("leaky");
+  ASSERT_TRUE(memory.has_value());
+  EXPECT_LT(*memory, 70.0);
+  // The healthy worker was left alone.
+  for (const auto& record : supervisor.history()) {
+    EXPECT_EQ(record.reported_worker, "leaky");
+  }
+  EXPECT_TRUE(supervisor.hard_failures().empty());
+}
+
+TEST(PosixSupervisor, NoHealthPolicyMeansNoRejuvenation) {
+  core::RestartTree tree("R_demo");
+  const auto cell = tree.add_cell(tree.root(), "R_leaky");
+  tree.attach_component(cell, "leaky");
+  WorkerSpec leaky;
+  leaky.name = "leaky";
+  leaky.argv = {kWorker, "--name", "leaky", "--startup-ms", "30",
+                "--leak-mb-per-min", "600"};
+  PosixSupervisor supervisor(tree, {leaky}, quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+  supervisor.run_for(Millis{800});
+  EXPECT_EQ(supervisor.rejuvenations(), 0u);
+  // But the beacons are still visible for observability.
+  EXPECT_TRUE(supervisor.latest_memory_mb("leaky").has_value());
+}
+
+TEST(PosixSupervisor, BackToBackFailures) {
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 40), quick_worker("b", 40), quick_worker("c", 40)},
+      quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+  for (int round = 1; round <= 3; ++round) {
+    supervisor.kill_worker("c");
+    ASSERT_TRUE(supervisor.run_until(
+        [&] {
+          return supervisor.history().size() >= static_cast<std::size_t>(round) &&
+                 supervisor.all_up();
+        },
+        Millis{3000}))
+        << "round " << round;
+  }
+  EXPECT_EQ(supervisor.history().size(), 3u);
+  EXPECT_TRUE(supervisor.hard_failures().empty());
+}
+
+}  // namespace
+}  // namespace mercury::posix

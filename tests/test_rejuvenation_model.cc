@@ -1,0 +1,241 @@
+// Unit tests: the §7 analytic rejuvenation model (CTMC steady state), the
+// restart-tree XML persistence, and the §5.2 pass schedule.
+#include <gtest/gtest.h>
+
+#include "core/mercury_trees.h"
+#include "core/rejuvenation_model.h"
+#include "core/tree_io.h"
+#include "orbit/pass_predictor.h"
+#include "station/pass_schedule.h"
+
+namespace mercury {
+namespace {
+
+using core::RejuvenationModel;
+using core::solve_rejuvenation;
+using util::Duration;
+using util::TimePoint;
+
+// --- Rejuvenation CTMC -----------------------------------------------------------
+
+TEST(RejuvenationModel, ProbabilitiesFormADistribution) {
+  RejuvenationModel model;
+  model.rejuvenation_rate = 1.0 / 120.0;
+  const auto steady = solve_rejuvenation(model);
+  EXPECT_NEAR(steady.p_fresh + steady.p_aged + steady.p_rejuvenating +
+                  steady.p_repairing,
+              1.0, 1e-12);
+  EXPECT_GE(steady.p_fresh, 0.0);
+  EXPECT_GE(steady.p_aged, 0.0);
+  EXPECT_GE(steady.p_rejuvenating, 0.0);
+  EXPECT_GE(steady.p_repairing, 0.0);
+}
+
+TEST(RejuvenationModel, NoPolicyMeansNoPlannedDowntime) {
+  RejuvenationModel model;
+  model.rejuvenation_rate = 0.0;
+  const auto steady = solve_rejuvenation(model);
+  EXPECT_DOUBLE_EQ(steady.planned_downtime(), 0.0);
+  EXPECT_GT(steady.unplanned_downtime(), 0.0);
+}
+
+TEST(RejuvenationModel, RejuvenationTradesRepairForPlannedTime) {
+  RejuvenationModel reactive;
+  RejuvenationModel proactive = reactive;
+  proactive.rejuvenation_rate = 1.0 / 60.0;
+  const auto without = solve_rejuvenation(reactive);
+  const auto with = solve_rejuvenation(proactive);
+  EXPECT_LT(with.unplanned_downtime(), without.unplanned_downtime());
+  EXPECT_GT(with.planned_downtime(), 0.0);
+  EXPECT_LT(with.unplanned_failure_rate(proactive),
+            without.unplanned_failure_rate(reactive));
+}
+
+TEST(RejuvenationModel, SteadyStateMatchesHandComputation) {
+  // With no aging and no rejuvenation the chain is the classic two-state
+  // availability model: A = MTTF / (MTTF + MTTR).
+  RejuvenationModel model;
+  model.aging_rate = 0.0;
+  model.fresh_failure_rate = 1.0 / 600.0;
+  model.aged_failure_rate = 1.0 / 600.0;  // unused (never aged)
+  model.rejuvenation_rate = 0.0;
+  model.repair_duration_s = 6.0;
+  const auto steady = solve_rejuvenation(model);
+  EXPECT_NEAR(steady.availability(), 600.0 / 606.0, 1e-9);
+}
+
+TEST(RejuvenationModel, OptimalRateIsZeroWithoutHazardIncrease) {
+  // Memoryless component: aging does not raise the failure rate, so
+  // proactive restarts only add downtime.
+  RejuvenationModel model;
+  model.fresh_failure_rate = 1.0 / 600.0;
+  model.aged_failure_rate = 1.0 / 600.0;
+  EXPECT_DOUBLE_EQ(core::optimal_rejuvenation_rate(model, 4.0), 0.0);
+}
+
+TEST(RejuvenationModel, OptimalRatePositiveForAgingComponent) {
+  // Strong hazard increase, expensive unplanned downtime: rejuvenate.
+  RejuvenationModel model;
+  model.aging_rate = 1.0 / 300.0;
+  model.fresh_failure_rate = 1.0 / 7200.0;
+  model.aged_failure_rate = 1.0 / 240.0;
+  const double rate = core::optimal_rejuvenation_rate(model, 4.0);
+  EXPECT_GT(rate, 0.0);
+
+  // And the optimum actually beats both extremes.
+  const auto objective = [&](double r) {
+    RejuvenationModel m = model;
+    m.rejuvenation_rate = r;
+    return solve_rejuvenation(m).weighted_downtime(4.0);
+  };
+  EXPECT_LT(objective(rate), objective(0.0));
+  EXPECT_LE(objective(rate), objective(1.0) + 1e-12);
+}
+
+TEST(RejuvenationModel, HigherUnplannedWeightWantsMoreRejuvenation) {
+  RejuvenationModel model;
+  model.aging_rate = 1.0 / 300.0;
+  model.fresh_failure_rate = 1.0 / 7200.0;
+  model.aged_failure_rate = 1.0 / 480.0;
+  const double mild = core::optimal_rejuvenation_rate(model, 1.5);
+  const double harsh = core::optimal_rejuvenation_rate(model, 10.0);
+  EXPECT_GE(harsh, mild);
+  EXPECT_GT(harsh, 0.0);
+}
+
+// --- Restart-tree XML persistence ---------------------------------------------------
+
+TEST(TreeIo, RoundTripsAllPublishedTrees) {
+  for (core::MercuryTree kind : core::published_trees()) {
+    const core::RestartTree original = core::make_mercury_tree(kind);
+    const std::string xml_text = core::tree_to_xml(original);
+    auto loaded = core::tree_from_xml(xml_text);
+    ASSERT_TRUE(loaded.ok()) << core::to_string(kind) << ": "
+                             << loaded.error().message();
+    EXPECT_TRUE(original == loaded.value()) << core::to_string(kind);
+  }
+}
+
+TEST(TreeIo, SerializedFormIsReadable) {
+  const std::string xml_text = core::tree_to_xml(core::make_tree_v());
+  EXPECT_NE(xml_text.find("<restart-tree>"), std::string::npos);
+  EXPECT_NE(xml_text.find("label=\"R_pbcom+\""), std::string::npos);
+  EXPECT_NE(xml_text.find("<component name=\"pbcom\"/>"), std::string::npos);
+}
+
+TEST(TreeIo, RejectsStructurallyInvalidDocuments) {
+  EXPECT_FALSE(core::tree_from_xml("not xml").ok());
+  EXPECT_FALSE(core::tree_from_xml("<wrong-root/>").ok());
+  EXPECT_FALSE(core::tree_from_xml("<restart-tree/>").ok());
+  // Duplicate component attachment.
+  EXPECT_FALSE(core::tree_from_xml(R"(<restart-tree><cell label="r">
+      <component name="x"/><cell label="c"><component name="x"/></cell>
+      </cell></restart-tree>)")
+                   .ok());
+  // Empty restart group.
+  EXPECT_FALSE(core::tree_from_xml(R"(<restart-tree><cell label="r">
+      <component name="x"/><cell label="hollow"/></cell></restart-tree>)")
+                   .ok());
+  // Missing attributes.
+  EXPECT_FALSE(core::tree_from_xml(
+                   R"(<restart-tree><cell><component name="x"/></cell></restart-tree>)")
+                   .ok());
+  EXPECT_FALSE(core::tree_from_xml(
+                   R"(<restart-tree><cell label="r"><component/></cell></restart-tree>)")
+                   .ok());
+}
+
+TEST(TreeIo, HandEditedTreeLoadsAndDrives) {
+  // An operator consolidates mbus+rtu by editing the XML; the loaded tree
+  // validates and answers coverage queries.
+  auto loaded = core::tree_from_xml(R"(<restart-tree>
+    <cell label="R_system">
+      <cell label="R_[mbus,rtu]"><component name="mbus"/><component name="rtu"/></cell>
+      <cell label="R_ses"><component name="ses"/></cell>
+    </cell></restart-tree>)");
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message();
+  const auto cell = loaded.value().lowest_cell_covering("mbus");
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(loaded.value().group_components(*cell),
+            (std::vector<std::string>{"mbus", "rtu"}));
+}
+
+// --- Pass schedule --------------------------------------------------------------
+
+class PassScheduleTest : public ::testing::Test {
+ protected:
+  PassScheduleTest() {
+    station::PassSchedule schedule;
+    orbit::Pass a;
+    a.aos = TimePoint::from_seconds(1000.0);
+    a.los = TimePoint::from_seconds(1600.0);
+    orbit::Pass b;
+    b.aos = TimePoint::from_seconds(5000.0);
+    b.los = TimePoint::from_seconds(5500.0);
+    schedule.add_passes("sapphire", {b, a});  // out of order on purpose
+    schedule_ = schedule;
+  }
+  station::PassSchedule schedule_;
+};
+
+TEST_F(PassScheduleTest, PassesSortedByAos) {
+  ASSERT_EQ(schedule_.pass_count(), 2u);
+  EXPECT_LT(schedule_.passes()[0].pass.aos, schedule_.passes()[1].pass.aos);
+}
+
+TEST_F(PassScheduleTest, InPassAndCurrent) {
+  EXPECT_FALSE(schedule_.in_pass(TimePoint::from_seconds(500.0)));
+  EXPECT_TRUE(schedule_.in_pass(TimePoint::from_seconds(1200.0)));
+  EXPECT_FALSE(schedule_.in_pass(TimePoint::from_seconds(1600.0)));  // LOS exclusive
+  const auto current = schedule_.current_pass(TimePoint::from_seconds(5100.0));
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->satellite, "sapphire");
+}
+
+TEST_F(PassScheduleTest, NextPass) {
+  const auto next = schedule_.next_pass(TimePoint::from_seconds(2000.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_DOUBLE_EQ(next->pass.aos.to_seconds(), 5000.0);
+  // Mid-pass, "next" is the one in progress.
+  EXPECT_DOUBLE_EQ(
+      schedule_.next_pass(TimePoint::from_seconds(1200.0))->pass.aos.to_seconds(),
+      1000.0);
+  EXPECT_FALSE(schedule_.next_pass(TimePoint::from_seconds(9000.0)).has_value());
+}
+
+TEST_F(PassScheduleTest, MaintenanceWindow) {
+  const Duration work = Duration::seconds(120.0);
+  // During a pass: closed.
+  EXPECT_FALSE(schedule_.window_open(TimePoint::from_seconds(1100.0), work));
+  // 100 s before the next AOS, needing 120 s: closed.
+  EXPECT_FALSE(schedule_.window_open(TimePoint::from_seconds(4900.0), work));
+  // 1000 s before: open.
+  EXPECT_TRUE(schedule_.window_open(TimePoint::from_seconds(4000.0), work));
+  // After all passes: open.
+  EXPECT_TRUE(schedule_.window_open(TimePoint::from_seconds(8000.0), work));
+}
+
+TEST_F(PassScheduleTest, PassTimeAccounting) {
+  const Duration total = schedule_.pass_time_in(TimePoint::from_seconds(0.0),
+                                                TimePoint::from_seconds(10'000.0));
+  EXPECT_DOUBLE_EQ(total.to_seconds(), 600.0 + 500.0);
+  const Duration partial = schedule_.pass_time_in(TimePoint::from_seconds(1300.0),
+                                                  TimePoint::from_seconds(5200.0));
+  EXPECT_DOUBLE_EQ(partial.to_seconds(), 300.0 + 200.0);
+}
+
+TEST(PassScheduleFromOrbit, BuildsFromPredictor) {
+  const auto site = orbit::GroundStation::stanford();
+  const orbit::Propagator satellite(
+      orbit::KeplerianElements::circular_leo(800.0, 60.0));
+  const auto schedule = station::PassSchedule::for_satellite(
+      "sapphire", site, satellite, TimePoint::origin(),
+      TimePoint::from_seconds(86400.0));
+  EXPECT_GE(schedule.pass_count(), 2u);
+  // §5.2: "typically about 4 per day per satellite, lasting about 15
+  // minutes each" — our 800 km orbit gives the same order of magnitude.
+  EXPECT_LE(schedule.pass_count(), 8u);
+}
+
+}  // namespace
+}  // namespace mercury

@@ -1,0 +1,202 @@
+// Unit tests: restart tree structure and queries (paper §3.1-3.2).
+#include <gtest/gtest.h>
+
+#include "core/mercury_trees.h"
+#include "core/restart_tree.h"
+
+namespace mercury::core {
+namespace {
+
+/// The paper's Fig. 2 example: R_ABC with child R_A and R_BC; R_BC has
+/// children R_B and R_C.
+RestartTree figure2_tree() {
+  RestartTree tree("R_ABC");
+  const NodeId a = tree.add_cell(tree.root(), "R_A");
+  tree.attach_component(a, "A");
+  const NodeId bc = tree.add_cell(tree.root(), "R_BC");
+  const NodeId b = tree.add_cell(bc, "R_B");
+  tree.attach_component(b, "B");
+  const NodeId c = tree.add_cell(bc, "R_C");
+  tree.attach_component(c, "C");
+  return tree;
+}
+
+TEST(RestartTree, Figure2HasFiveCellsAndFiveGroups) {
+  const RestartTree tree = figure2_tree();
+  EXPECT_EQ(tree.size(), 5u);
+  // "The tree in Figure 2 contains 5 restart groups."
+  EXPECT_EQ(tree.group_count(), 5u);
+  EXPECT_TRUE(tree.validate().ok());
+}
+
+TEST(RestartTree, PushingBcRestartsBAndC) {
+  const RestartTree tree = figure2_tree();
+  const auto bc = tree.lowest_cell_covering_all({"B", "C"});
+  ASSERT_TRUE(bc.has_value());
+  EXPECT_EQ(tree.group_components(*bc), (std::vector<std::string>{"B", "C"}));
+  EXPECT_EQ(tree.cell(*bc).label, "R_BC");
+}
+
+TEST(RestartTree, RootGroupIsEverything) {
+  const RestartTree tree = figure2_tree();
+  EXPECT_EQ(tree.group_components(tree.root()),
+            (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(tree.all_components(), (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(RestartTree, FindComponentAndCoverage) {
+  const RestartTree tree = figure2_tree();
+  const auto b_cell = tree.find_component("B");
+  ASSERT_TRUE(b_cell.has_value());
+  EXPECT_EQ(tree.cell(*b_cell).label, "R_B");
+  EXPECT_FALSE(tree.find_component("Z").has_value());
+  EXPECT_EQ(tree.lowest_cell_covering("B"), b_cell);
+}
+
+TEST(RestartTree, LowestCoveringAllCrossSubtreeIsRoot) {
+  const RestartTree tree = figure2_tree();
+  const auto node = tree.lowest_cell_covering_all({"A", "C"});
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(*node, tree.root());
+}
+
+TEST(RestartTree, LowestCoveringAllMissingComponentFails) {
+  const RestartTree tree = figure2_tree();
+  EXPECT_FALSE(tree.lowest_cell_covering_all({"A", "ghost"}).has_value());
+}
+
+TEST(RestartTree, LowestCoveringAllEmptySetIsRoot) {
+  const RestartTree tree = figure2_tree();
+  EXPECT_EQ(*tree.lowest_cell_covering_all({}), tree.root());
+}
+
+TEST(RestartTree, AncestryAndDepth) {
+  const RestartTree tree = figure2_tree();
+  const NodeId b = *tree.find_component("B");
+  const NodeId bc = tree.parent(b);
+  EXPECT_TRUE(tree.is_ancestor(tree.root(), b));
+  EXPECT_TRUE(tree.is_ancestor(bc, b));
+  EXPECT_FALSE(tree.is_ancestor(b, bc));
+  EXPECT_TRUE(tree.is_ancestor(b, b));
+  EXPECT_EQ(tree.depth(tree.root()), 0u);
+  EXPECT_EQ(tree.depth(bc), 1u);
+  EXPECT_EQ(tree.depth(b), 2u);
+  EXPECT_EQ(tree.path_to_root(b),
+            (std::vector<NodeId>{b, bc, tree.root()}));
+}
+
+TEST(RestartTree, LeafDetection) {
+  const RestartTree tree = figure2_tree();
+  EXPECT_TRUE(tree.is_leaf(*tree.find_component("A")));
+  EXPECT_FALSE(tree.is_leaf(tree.root()));
+  EXPECT_FALSE(tree.is_leaf(tree.parent(*tree.find_component("B"))));
+}
+
+TEST(RestartTree, PreorderVisitsAllOnce) {
+  const RestartTree tree = figure2_tree();
+  const auto order = tree.preorder();
+  EXPECT_EQ(order.size(), tree.size());
+  EXPECT_EQ(order.front(), tree.root());
+}
+
+TEST(RestartTree, AttachIsIdempotentAndSorted) {
+  RestartTree tree("r");
+  tree.attach_component(tree.root(), "z");
+  tree.attach_component(tree.root(), "a");
+  tree.attach_component(tree.root(), "z");
+  EXPECT_EQ(tree.cell(tree.root()).components,
+            (std::vector<std::string>{"a", "z"}));
+}
+
+TEST(RestartTree, DetachComponent) {
+  RestartTree tree = figure2_tree();
+  tree.detach_component("B");
+  EXPECT_FALSE(tree.find_component("B").has_value());
+  tree.detach_component("not-there");  // no-op
+}
+
+TEST(RestartTree, ValidateCatchesDoubleAttachment) {
+  RestartTree tree("r");
+  const NodeId a = tree.add_cell(tree.root(), "a");
+  const NodeId b = tree.add_cell(tree.root(), "b");
+  tree.attach_component(a, "x");
+  tree.attach_component(b, "x");
+  EXPECT_FALSE(tree.validate().ok());
+}
+
+TEST(RestartTree, ValidateCatchesEmptyGroup) {
+  RestartTree tree("r");
+  tree.add_cell(tree.root(), "hollow");
+  tree.attach_component(tree.root(), "x");
+  const auto status = tree.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("hollow"), std::string::npos);
+}
+
+TEST(RestartTree, ValidateEmptyTreeFails) {
+  RestartTree tree("r");
+  EXPECT_FALSE(tree.validate().ok());  // root restarts nothing
+}
+
+TEST(RestartTree, RemoveEmptyCellCompactsIds) {
+  RestartTree tree("r");
+  const NodeId a = tree.add_cell(tree.root(), "a");
+  const NodeId b = tree.add_cell(tree.root(), "b");
+  tree.attach_component(b, "x");
+  ASSERT_TRUE(tree.remove_empty_cell(a).ok());
+  EXPECT_EQ(tree.size(), 2u);
+  // b shifted down to a's slot; x still findable and tree valid.
+  const auto x_cell = tree.find_component("x");
+  ASSERT_TRUE(x_cell.has_value());
+  EXPECT_EQ(tree.cell(*x_cell).label, "b");
+  EXPECT_TRUE(tree.validate().ok());
+}
+
+TEST(RestartTree, RemoveEmptyCellRejectsRootAndNonEmpty) {
+  RestartTree tree = figure2_tree();
+  EXPECT_FALSE(tree.remove_empty_cell(tree.root()).ok());
+  EXPECT_FALSE(tree.remove_empty_cell(*tree.find_component("A")).ok());
+  const NodeId bc = tree.parent(*tree.find_component("B"));
+  EXPECT_FALSE(tree.remove_empty_cell(bc).ok());  // has children
+}
+
+TEST(RestartTree, RenderShowsStructure) {
+  const std::string rendered = figure2_tree().render();
+  EXPECT_NE(rendered.find("R_ABC"), std::string::npos);
+  EXPECT_NE(rendered.find("R_BC"), std::string::npos);
+  EXPECT_NE(rendered.find("{B}"), std::string::npos);
+}
+
+TEST(RestartTree, EqualityAndSignature) {
+  EXPECT_TRUE(figure2_tree() == figure2_tree());
+  RestartTree other = figure2_tree();
+  other.attach_component(other.root(), "D");
+  EXPECT_FALSE(figure2_tree() == other);
+
+  // Signature ignores labels but captures group structure.
+  RestartTree relabeled = figure2_tree();
+  relabeled.set_label(relabeled.root(), "different-label");
+  EXPECT_FALSE(figure2_tree() == relabeled);
+  EXPECT_TRUE(equivalent(figure2_tree(), relabeled));
+}
+
+TEST(RestartTree, SignatureDistinguishesShapes) {
+  // Consolidated {B,C} on one leaf vs joint cell with two leaves: different
+  // restart choices -> different signatures.
+  RestartTree consolidated("r");
+  const NodeId leaf = consolidated.add_cell(consolidated.root(), "bc");
+  consolidated.attach_component(leaf, "B");
+  consolidated.attach_component(leaf, "C");
+
+  RestartTree joint("r");
+  const NodeId cell = joint.add_cell(joint.root(), "bc");
+  const NodeId b = joint.add_cell(cell, "b");
+  joint.attach_component(b, "B");
+  const NodeId c = joint.add_cell(cell, "c");
+  joint.attach_component(c, "C");
+
+  EXPECT_FALSE(equivalent(consolidated, joint));
+}
+
+}  // namespace
+}  // namespace mercury::core

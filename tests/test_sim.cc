@@ -1,0 +1,216 @@
+// Unit tests: the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mercury::sim {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(Simulator, ExecutesInTimestampOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule_after(Duration::seconds(3.0), "c", [&] { order.push_back(3); });
+  sim.schedule_after(Duration::seconds(1.0), "a", [&] { order.push_back(1); });
+  sim.schedule_after(Duration::seconds(2.0), "b", [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::seconds(1.0), "e",
+                       [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesOnlyToEventTimes) {
+  Simulator sim(1);
+  TimePoint seen;
+  sim.schedule_after(Duration::seconds(5.0), "e", [&] { seen = sim.now(); });
+  EXPECT_TRUE(sim.step());
+  EXPECT_DOUBLE_EQ(seen.to_seconds(), 5.0);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndSetsNow) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1.0), "a", [&] { ++fired; });
+  sim.schedule_after(Duration::seconds(10.0), "b", [&] { ++fired; });
+  sim.run_until(TimePoint::from_seconds(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 5.0);
+  sim.run_for(Duration::seconds(5.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim(1);
+  int fired = 0;
+  const EventId id = sim.schedule_after(Duration::seconds(1.0), "e", [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim(1);
+  const EventId id = sim.schedule_after(Duration::zero(), "e", [] {});
+  sim.run_all();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdIsSafe) {
+  Simulator sim(1);
+  EXPECT_FALSE(sim.cancel(EventId{}));
+}
+
+TEST(Simulator, EventsScheduledDuringExecutionRun) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1.0), "outer", [&] {
+    sim.schedule_after(Duration::seconds(1.0), "inner", [&] { ++fired; });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 2.0);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim(1);
+  sim.run_until(TimePoint::from_seconds(10.0));
+  TimePoint fired_at;
+  sim.schedule_at(TimePoint::from_seconds(1.0), "late",
+                  [&] { fired_at = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(fired_at.to_seconds(), 10.0);
+}
+
+TEST(Simulator, HasPendingAndNextEventTime) {
+  Simulator sim(1);
+  EXPECT_FALSE(sim.has_pending());
+  EXPECT_FALSE(sim.next_event_time().is_finite());
+  const EventId id = sim.schedule_after(Duration::seconds(2.0), "e", [] {});
+  EXPECT_TRUE(sim.has_pending());
+  EXPECT_DOUBLE_EQ(sim.next_event_time().to_seconds(), 2.0);
+  sim.cancel(id);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(Simulator, RunAllGuardStopsRunaway) {
+  Simulator sim(1);
+  std::function<void()> loop = [&] {
+    sim.schedule_after(Duration::millis(1.0), "loop", loop);
+  };
+  loop();
+  sim.run_all(/*max_events=*/100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, CountersTrackActivity) {
+  Simulator sim(1);
+  sim.schedule_after(Duration::zero(), "a", [] {});
+  sim.schedule_after(Duration::zero(), "b", [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_scheduled(), 2u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Simulator sim(1);
+  std::vector<double> times;
+  PeriodicTask task(sim, "tick", Duration::seconds(1.0),
+                    [&] { times.push_back(sim.now().to_seconds()); });
+  task.start();
+  sim.run_until(TimePoint::from_seconds(3.5));
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(PeriodicTask, PhaseOffsetsFirstFiring) {
+  Simulator sim(1);
+  std::vector<double> times;
+  PeriodicTask task(sim, "tick", Duration::seconds(1.0),
+                    [&] { times.push_back(sim.now().to_seconds()); });
+  task.start_with_phase(Duration::seconds(0.25));
+  sim.run_until(TimePoint::from_seconds(2.5));
+  EXPECT_EQ(times, (std::vector<double>{0.25, 1.25, 2.25}));
+}
+
+TEST(PeriodicTask, StopHalts) {
+  Simulator sim(1);
+  int fired = 0;
+  PeriodicTask task(sim, "tick", Duration::seconds(1.0), [&] { ++fired; });
+  task.start();
+  sim.run_until(TimePoint::from_seconds(2.5));
+  task.stop();
+  EXPECT_FALSE(task.running());
+  sim.run_until(TimePoint::from_seconds(10.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTask, SetPeriodReArms) {
+  Simulator sim(1);
+  int fired = 0;
+  PeriodicTask task(sim, "tick", Duration::seconds(10.0), [&] { ++fired; });
+  task.start();
+  task.set_period(Duration::seconds(1.0));
+  sim.run_until(TimePoint::from_seconds(3.5));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTask, DestructionCancelsPendingCallback) {
+  Simulator sim(1);
+  int fired = 0;
+  {
+    PeriodicTask task(sim, "tick", Duration::seconds(1.0), [&] { ++fired; });
+    task.start();
+  }
+  sim.run_until(TimePoint::from_seconds(5.0));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PeriodicTask, SelfStopFromCallback) {
+  Simulator sim(1);
+  int fired = 0;
+  PeriodicTask task(sim, "tick", Duration::seconds(1.0), [&] {
+    ++fired;
+    if (fired == 2) task.stop();
+  });
+  task.start();
+  sim.run_until(TimePoint::from_seconds(10.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, DeterministicTraceForSameSeed) {
+  auto trace = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<double> values;
+    std::function<void(int)> chain = [&](int remaining) {
+      if (remaining == 0) return;
+      const double delay = sim.rng().uniform(0.1, 1.0);
+      sim.schedule_after(Duration::seconds(delay), "c", [&, remaining] {
+        values.push_back(sim.now().to_seconds());
+        chain(remaining - 1);
+      });
+    };
+    chain(20);
+    sim.run_all();
+    return values;
+  };
+  EXPECT_EQ(trace(42), trace(42));
+  EXPECT_NE(trace(42), trace(43));
+}
+
+}  // namespace
+}  // namespace mercury::sim

@@ -1,0 +1,122 @@
+// Unit tests: the recovery timeline.
+#include <gtest/gtest.h>
+
+#include "core/mercury_trees.h"
+#include "core/timeline.h"
+#include "sim/simulator.h"
+#include "station/experiment.h"
+
+namespace mercury::core {
+namespace {
+
+namespace names = component_names;
+using util::Duration;
+using util::TimePoint;
+
+TEST(Timeline, ObservesBoardEvents) {
+  FailureBoard board;
+  RecoveryTimeline timeline;
+  timeline.observe(board);
+
+  board.inject(make_crash("ses"), TimePoint::from_seconds(10.0));
+  board.on_restart_complete("ses", TimePoint::from_seconds(16.0));
+
+  const auto events = timeline.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TimelineEventKind::kFailureInjected);
+  EXPECT_EQ(events[0].subject, "ses");
+  EXPECT_EQ(events[1].kind, TimelineEventKind::kFailureCured);
+  EXPECT_DOUBLE_EQ(events[1].at.to_seconds(), 16.0);
+}
+
+TEST(Timeline, EventsSortedByTime) {
+  RecoveryTimeline timeline;
+  timeline.record({TimePoint::from_seconds(5.0),
+                   TimelineEventKind::kRestartCompleted, "b", ""});
+  timeline.record({TimePoint::from_seconds(1.0),
+                   TimelineEventKind::kFailureInjected, "a", ""});
+  const auto events = timeline.events();
+  EXPECT_EQ(events[0].subject, "a");
+  EXPECT_EQ(events[1].subject, "b");
+}
+
+TEST(Timeline, IngestIsIdempotent) {
+  sim::Simulator sim(31);
+  station::TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  station::MercuryRig rig(sim, spec);
+  rig.start();
+  sim.run_for(Duration::seconds(3.0));
+
+  RecoveryTimeline timeline;
+  timeline.observe(rig.station().board());
+  rig.station().inject_crash(names::kRtu);
+  while (!rig.station().all_functional()) sim.step();
+
+  timeline.ingest(rig.rec(), rig.rec().tree());
+  const auto once = timeline.size();
+  timeline.ingest(rig.rec(), rig.rec().tree());
+  EXPECT_EQ(timeline.size(), once);
+  // FAIL + CURE + RESTART begun/completed.
+  EXPECT_EQ(once, 4u);
+}
+
+TEST(Timeline, ListingShowsTheCausalChain) {
+  sim::Simulator sim(32);
+  station::TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  station::MercuryRig rig(sim, spec);
+  rig.start();
+  sim.run_for(Duration::seconds(3.0));
+
+  RecoveryTimeline timeline;
+  timeline.observe(rig.station().board());
+  rig.station().inject_crash(names::kSes);
+  while (!rig.station().all_functional()) sim.step();
+  timeline.ingest(rig.rec(), rig.rec().tree());
+
+  const std::string listing = timeline.render_listing();
+  EXPECT_NE(listing.find("FAIL"), std::string::npos);
+  EXPECT_NE(listing.find("RESTART"), std::string::npos);
+  EXPECT_NE(listing.find("DONE"), std::string::npos);
+  EXPECT_NE(listing.find("CURE"), std::string::npos);
+  EXPECT_NE(listing.find("R_[ses,str]"), std::string::npos);
+}
+
+TEST(Timeline, GanttMarksDownInterval) {
+  RecoveryTimeline timeline;
+  timeline.record({TimePoint::from_seconds(25.0),
+                   TimelineEventKind::kFailureInjected, "ses", ""});
+  timeline.record({TimePoint::from_seconds(75.0),
+                   TimelineEventKind::kFailureCured, "ses", ""});
+  const std::string gantt = timeline.render_gantt(
+      TimePoint::from_seconds(0.0), TimePoint::from_seconds(100.0), 40);
+  // Down for the middle half: ~20 '#' out of 40 columns, roughly centered.
+  const std::size_t hashes =
+      static_cast<std::size_t>(std::count(gantt.begin(), gantt.end(), '#'));
+  EXPECT_GE(hashes, 18u);
+  EXPECT_LE(hashes, 22u);
+  EXPECT_NE(gantt.find("ses"), std::string::npos);
+}
+
+TEST(Timeline, GanttOpenFailureRunsToHorizon) {
+  RecoveryTimeline timeline;
+  timeline.record({TimePoint::from_seconds(50.0),
+                   TimelineEventKind::kFailureInjected, "rtu", ""});
+  const std::string gantt = timeline.render_gantt(
+      TimePoint::from_seconds(0.0), TimePoint::from_seconds(100.0), 40);
+  const std::size_t hashes =
+      static_cast<std::size_t>(std::count(gantt.begin(), gantt.end(), '#'));
+  EXPECT_GE(hashes, 18u);  // second half all down
+}
+
+TEST(Timeline, ClearResets) {
+  RecoveryTimeline timeline;
+  timeline.record({TimePoint::origin(), TimelineEventKind::kFailureInjected,
+                   "x", ""});
+  timeline.clear();
+  EXPECT_EQ(timeline.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mercury::core

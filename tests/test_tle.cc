@@ -1,0 +1,175 @@
+// Unit tests: TLE parsing and J2 secular propagation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/pass_predictor.h"
+#include "orbit/propagator.h"
+#include "orbit/tle.h"
+
+namespace mercury::orbit {
+namespace {
+
+using util::TimePoint;
+
+// A classic ISS (ZARYA) element set (checksums valid).
+constexpr const char* kIssTle =
+    "ISS (ZARYA)\n"
+    "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927\n"
+    "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537\n";
+
+TEST(TleChecksum, KnownLines) {
+  EXPECT_EQ(tle_checksum("1 25544U 98067A   08264.51782528 -.00002182  "
+                         "00000-0 -11606-4 0  292"),
+            7);
+  EXPECT_EQ(tle_checksum("2 25544  51.6416 247.4627 0006703 130.5360 "
+                         "325.0288 15.7212539156353"),
+            7);
+}
+
+TEST(TleParse, IssFields) {
+  auto parsed = parse_tle(kIssTle);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  const Tle& tle = parsed.value();
+  EXPECT_EQ(tle.name, "ISS (ZARYA)");
+  EXPECT_EQ(tle.catalog_number, 25544);
+  EXPECT_EQ(tle.epoch_year, 2008);
+  EXPECT_NEAR(tle.epoch_day, 264.51782528, 1e-8);
+  EXPECT_NEAR(tle.inclination_deg, 51.6416, 1e-4);
+  EXPECT_NEAR(tle.raan_deg, 247.4627, 1e-4);
+  EXPECT_NEAR(tle.eccentricity, 0.0006703, 1e-9);
+  EXPECT_NEAR(tle.arg_perigee_deg, 130.5360, 1e-4);
+  EXPECT_NEAR(tle.mean_anomaly_deg, 325.0288, 1e-4);
+  EXPECT_NEAR(tle.mean_motion_rev_day, 15.72125391, 1e-8);
+  EXPECT_NEAR(tle.mean_motion_dot, -0.00002182, 1e-9);
+  EXPECT_NEAR(tle.bstar, -0.11606e-4, 1e-10);
+  EXPECT_EQ(tle.revolution_number, 56353u);
+}
+
+TEST(TleParse, TwoLineFormWithoutName) {
+  const std::string two_lines = std::string{kIssTle}.substr(12);  // drop name
+  auto parsed = parse_tle(two_lines);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  EXPECT_TRUE(parsed.value().name.empty());
+  EXPECT_EQ(parsed.value().catalog_number, 25544);
+}
+
+TEST(TleParse, SemiMajorAxisMatchesIssAltitude) {
+  auto parsed = parse_tle(kIssTle);
+  ASSERT_TRUE(parsed.ok());
+  // 15.72 rev/day => a ~ 6720 km (~350 km altitude in 2008).
+  EXPECT_NEAR(parsed.value().semi_major_axis_km(), 6720.0, 15.0);
+}
+
+TEST(TleParse, ToElementsRoundTrip) {
+  auto parsed = parse_tle(kIssTle);
+  ASSERT_TRUE(parsed.ok());
+  const auto elements = parsed.value().to_elements(TimePoint::from_seconds(100.0));
+  EXPECT_NEAR(rad_to_deg(elements.inclination_rad), 51.6416, 1e-4);
+  EXPECT_NEAR(elements.epoch.to_seconds(), 100.0, 1e-12);
+  // Orbital period from mean motion: 86400 / 15.72 ~ 5496 s.
+  EXPECT_NEAR(elements.period().to_seconds(), 86400.0 / 15.72125391, 1.0);
+}
+
+TEST(TleParse, RejectsCorruptedInput) {
+  // Flipped checksum digit.
+  std::string bad = kIssTle;
+  bad[bad.find("2927")] = '3';
+  EXPECT_FALSE(parse_tle(bad).ok());
+
+  EXPECT_FALSE(parse_tle("just one line").ok());
+  EXPECT_FALSE(parse_tle("1 short\n2 short").ok());
+
+  // Swapped line numbers.
+  std::string swapped = kIssTle;
+  const auto line1_at = swapped.find("\n1 ") + 1;
+  const auto line2_at = swapped.find("\n2 ") + 1;
+  std::swap(swapped[line1_at], swapped[line2_at]);
+  EXPECT_FALSE(parse_tle(swapped).ok());
+}
+
+TEST(TleParse, RejectsMismatchedCatalogNumbers) {
+  std::string mismatched =
+      "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927\n"
+      "2 25545  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563530\n";
+  // Fix line 2's checksum for the altered digit before asserting the
+  // catalog check (checksum is validated first).
+  mismatched[mismatched.size() - 2] =
+      static_cast<char>('0' + tle_checksum(mismatched.substr(
+                                  mismatched.find("\n2 ") + 1)));
+  EXPECT_FALSE(parse_tle(mismatched).ok());
+}
+
+// --- J2 secular propagation ----------------------------------------------------
+
+TEST(J2Secular, RatesMatchTextbookIss) {
+  // ISS-like orbit: i = 51.6 deg, ~400 km circular: nodal regression is
+  // about -5 deg/day, apsidal rotation about +4 deg/day.
+  const Propagator propagator(KeplerianElements::circular_leo(420.0, 51.6),
+                              PerturbationModel::kJ2Secular);
+  const double raan_deg_day = rad_to_deg(propagator.raan_rate_rad_s()) * 86400.0;
+  const double argp_deg_day =
+      rad_to_deg(propagator.arg_perigee_rate_rad_s()) * 86400.0;
+  EXPECT_NEAR(raan_deg_day, -5.0, 0.3);
+  EXPECT_NEAR(argp_deg_day, 3.9, 0.4);
+}
+
+TEST(J2Secular, PolarOrbitHasNoNodalRegression) {
+  const Propagator propagator(KeplerianElements::circular_leo(800.0, 90.0),
+                              PerturbationModel::kJ2Secular);
+  EXPECT_NEAR(propagator.raan_rate_rad_s(), 0.0, 1e-12);
+}
+
+TEST(J2Secular, SunSynchronousInclinationRegressesEastward) {
+  // ~98 deg retrograde LEO: RAAN rate should be positive (~+1 deg/day).
+  const Propagator propagator(KeplerianElements::circular_leo(700.0, 98.0),
+                              PerturbationModel::kJ2Secular);
+  const double raan_deg_day = rad_to_deg(propagator.raan_rate_rad_s()) * 86400.0;
+  EXPECT_GT(raan_deg_day, 0.5);
+  EXPECT_LT(raan_deg_day, 1.5);
+}
+
+TEST(J2Secular, TwoBodyModelHasZeroRates) {
+  const Propagator propagator(KeplerianElements::circular_leo(800.0, 60.0));
+  EXPECT_EQ(propagator.raan_rate_rad_s(), 0.0);
+  EXPECT_EQ(propagator.arg_perigee_rate_rad_s(), 0.0);
+}
+
+TEST(J2Secular, PassPredictionsDivergeAfterDays) {
+  // The reason ses would carry J2: after a few days the regressed orbital
+  // plane puts passes at visibly different times than two-body motion
+  // predicts. Compare the pass sets for day 3.
+  const auto elements = KeplerianElements::circular_leo(800.0, 60.0);
+  const Propagator two_body(elements);
+  const Propagator j2(elements, PerturbationModel::kJ2Secular);
+  const GroundStation station = GroundStation::stanford();
+  const TimePoint day3 = TimePoint::from_seconds(3.0 * 86400.0);
+  const TimePoint day4 = TimePoint::from_seconds(4.0 * 86400.0);
+  const auto passes_two_body = predict_passes(station, two_body, day3, day4);
+  const auto passes_j2 = predict_passes(station, j2, day3, day4);
+  ASSERT_FALSE(passes_two_body.empty());
+  ASSERT_FALSE(passes_j2.empty());
+  // The first pass of the day moves by minutes (plane regressed ~13 deg).
+  const double shift_s = std::abs(
+      (passes_j2.front().aos - passes_two_body.front().aos).to_seconds());
+  EXPECT_GT(shift_s, 120.0);
+}
+
+TEST(J2Secular, PlaneDriftsOverADay) {
+  const auto elements = KeplerianElements::circular_leo(420.0, 51.6);
+  const Propagator two_body(elements);
+  const Propagator j2(elements, PerturbationModel::kJ2Secular);
+  const TimePoint later = TimePoint::from_seconds(86400.0);
+  const auto delta =
+      (two_body.state_at(later).position_km - j2.state_at(later).position_km)
+          .norm();
+  // ~5 degrees of nodal regression displaces the orbit plane by hundreds of
+  // kilometres after a day.
+  EXPECT_GT(delta, 100.0);
+  // But the orbit energy (radius) is unchanged — J2 secular drifts angles
+  // only.
+  EXPECT_NEAR(j2.radius_at(later), two_body.radius_at(later), 1.0);
+}
+
+}  // namespace
+}  // namespace mercury::orbit
