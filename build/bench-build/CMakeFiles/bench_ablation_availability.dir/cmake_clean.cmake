@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_availability"
+  "../bench/bench_ablation_availability.pdb"
+  "CMakeFiles/bench_ablation_availability.dir/bench_ablation_availability.cc.o"
+  "CMakeFiles/bench_ablation_availability.dir/bench_ablation_availability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

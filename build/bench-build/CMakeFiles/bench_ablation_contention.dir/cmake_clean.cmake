@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_contention"
+  "../bench/bench_ablation_contention.pdb"
+  "CMakeFiles/bench_ablation_contention.dir/bench_ablation_contention.cc.o"
+  "CMakeFiles/bench_ablation_contention.dir/bench_ablation_contention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_detection_period"
+  "../bench/bench_ablation_detection_period.pdb"
+  "CMakeFiles/bench_ablation_detection_period.dir/bench_ablation_detection_period.cc.o"
+  "CMakeFiles/bench_ablation_detection_period.dir/bench_ablation_detection_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detection_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

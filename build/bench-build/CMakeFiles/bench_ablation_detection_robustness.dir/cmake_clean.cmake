@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_detection_robustness"
+  "../bench/bench_ablation_detection_robustness.pdb"
+  "CMakeFiles/bench_ablation_detection_robustness.dir/bench_ablation_detection_robustness.cc.o"
+  "CMakeFiles/bench_ablation_detection_robustness.dir/bench_ablation_detection_robustness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detection_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_learning_oracle"
+  "../bench/bench_ablation_learning_oracle.pdb"
+  "CMakeFiles/bench_ablation_learning_oracle.dir/bench_ablation_learning_oracle.cc.o"
+  "CMakeFiles/bench_ablation_learning_oracle.dir/bench_ablation_learning_oracle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_learning_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

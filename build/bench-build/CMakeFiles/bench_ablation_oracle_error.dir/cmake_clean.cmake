@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_oracle_error"
+  "../bench/bench_ablation_oracle_error.pdb"
+  "CMakeFiles/bench_ablation_oracle_error.dir/bench_ablation_oracle_error.cc.o"
+  "CMakeFiles/bench_ablation_oracle_error.dir/bench_ablation_oracle_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oracle_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pass_economics"
+  "../bench/bench_ablation_pass_economics.pdb"
+  "CMakeFiles/bench_ablation_pass_economics.dir/bench_ablation_pass_economics.cc.o"
+  "CMakeFiles/bench_ablation_pass_economics.dir/bench_ablation_pass_economics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pass_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

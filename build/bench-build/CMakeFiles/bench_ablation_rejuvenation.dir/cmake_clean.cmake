@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rejuvenation"
+  "../bench/bench_ablation_rejuvenation.pdb"
+  "CMakeFiles/bench_ablation_rejuvenation.dir/bench_ablation_rejuvenation.cc.o"
+  "CMakeFiles/bench_ablation_rejuvenation.dir/bench_ablation_rejuvenation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

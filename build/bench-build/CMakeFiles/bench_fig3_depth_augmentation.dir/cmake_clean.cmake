@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_depth_augmentation"
+  "../bench/bench_fig3_depth_augmentation.pdb"
+  "CMakeFiles/bench_fig3_depth_augmentation.dir/bench_fig3_depth_augmentation.cc.o"
+  "CMakeFiles/bench_fig3_depth_augmentation.dir/bench_fig3_depth_augmentation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_depth_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_subtree_split"
+  "../bench/bench_fig4_subtree_split.pdb"
+  "CMakeFiles/bench_fig4_subtree_split.dir/bench_fig4_subtree_split.cc.o"
+  "CMakeFiles/bench_fig4_subtree_split.dir/bench_fig4_subtree_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_subtree_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_consolidation"
+  "../bench/bench_fig5_consolidation.pdb"
+  "CMakeFiles/bench_fig5_consolidation.dir/bench_fig5_consolidation.cc.o"
+  "CMakeFiles/bench_fig5_consolidation.dir/bench_fig5_consolidation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_promotion"
+  "../bench/bench_fig6_promotion.pdb"
+  "CMakeFiles/bench_fig6_promotion.dir/bench_fig6_promotion.cc.o"
+  "CMakeFiles/bench_fig6_promotion.dir/bench_fig6_promotion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

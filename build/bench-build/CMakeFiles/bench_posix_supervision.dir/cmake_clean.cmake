@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_posix_supervision"
+  "../bench/bench_posix_supervision.pdb"
+  "CMakeFiles/bench_posix_supervision.dir/bench_posix_supervision.cc.o"
+  "CMakeFiles/bench_posix_supervision.dir/bench_posix_supervision.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_posix_supervision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

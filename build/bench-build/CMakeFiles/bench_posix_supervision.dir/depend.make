@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_posix_supervision.
+# This may be replaced when dependencies are built.

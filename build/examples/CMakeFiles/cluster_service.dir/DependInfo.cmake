@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_service.cpp" "examples/CMakeFiles/cluster_service.dir/cluster_service.cpp.o" "gcc" "examples/CMakeFiles/cluster_service.dir/cluster_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/station/CMakeFiles/mercury_station.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mercury_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/mercury_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/mercury_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/mercury_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mercury_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_service.dir/cluster_service.cpp.o"
+  "CMakeFiles/cluster_service.dir/cluster_service.cpp.o.d"
+  "cluster_service"
+  "cluster_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

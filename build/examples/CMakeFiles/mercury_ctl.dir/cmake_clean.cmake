@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_ctl.dir/mercury_ctl.cpp.o"
+  "CMakeFiles/mercury_ctl.dir/mercury_ctl.cpp.o.d"
+  "mercury_ctl"
+  "mercury_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

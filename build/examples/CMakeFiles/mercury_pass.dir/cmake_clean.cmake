@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_pass.dir/mercury_pass.cpp.o"
+  "CMakeFiles/mercury_pass.dir/mercury_pass.cpp.o.d"
+  "mercury_pass"
+  "mercury_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_day.dir/ops_day.cpp.o"
+  "CMakeFiles/ops_day.dir/ops_day.cpp.o.d"
+  "ops_day"
+  "ops_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

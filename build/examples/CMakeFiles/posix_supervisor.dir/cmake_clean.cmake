@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_supervisor.dir/posix_supervisor.cpp.o"
+  "CMakeFiles/posix_supervisor.dir/posix_supervisor.cpp.o.d"
+  "posix_supervisor"
+  "posix_supervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

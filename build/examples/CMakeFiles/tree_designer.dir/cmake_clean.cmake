@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_designer.dir/tree_designer.cpp.o"
+  "CMakeFiles/tree_designer.dir/tree_designer.cpp.o.d"
+  "tree_designer"
+  "tree_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

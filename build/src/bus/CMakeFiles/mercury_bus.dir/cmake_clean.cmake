@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_bus.dir/dedicated_link.cc.o"
+  "CMakeFiles/mercury_bus.dir/dedicated_link.cc.o.d"
+  "CMakeFiles/mercury_bus.dir/message_bus.cc.o"
+  "CMakeFiles/mercury_bus.dir/message_bus.cc.o.d"
+  "libmercury_bus.a"
+  "libmercury_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assumptions.cc" "src/core/CMakeFiles/mercury_core.dir/assumptions.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/assumptions.cc.o.d"
+  "/root/repo/src/core/availability.cc" "src/core/CMakeFiles/mercury_core.dir/availability.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/availability.cc.o.d"
+  "/root/repo/src/core/failure_board.cc" "src/core/CMakeFiles/mercury_core.dir/failure_board.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/failure_board.cc.o.d"
+  "/root/repo/src/core/failure_detector.cc" "src/core/CMakeFiles/mercury_core.dir/failure_detector.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/failure_detector.cc.o.d"
+  "/root/repo/src/core/health.cc" "src/core/CMakeFiles/mercury_core.dir/health.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/health.cc.o.d"
+  "/root/repo/src/core/health_monitor.cc" "src/core/CMakeFiles/mercury_core.dir/health_monitor.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/health_monitor.cc.o.d"
+  "/root/repo/src/core/mercury_trees.cc" "src/core/CMakeFiles/mercury_core.dir/mercury_trees.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/mercury_trees.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/mercury_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/mercury_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/recoverer.cc" "src/core/CMakeFiles/mercury_core.dir/recoverer.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/recoverer.cc.o.d"
+  "/root/repo/src/core/rejuvenation_model.cc" "src/core/CMakeFiles/mercury_core.dir/rejuvenation_model.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/rejuvenation_model.cc.o.d"
+  "/root/repo/src/core/restart_tree.cc" "src/core/CMakeFiles/mercury_core.dir/restart_tree.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/restart_tree.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/core/CMakeFiles/mercury_core.dir/timeline.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/timeline.cc.o.d"
+  "/root/repo/src/core/transformations.cc" "src/core/CMakeFiles/mercury_core.dir/transformations.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/transformations.cc.o.d"
+  "/root/repo/src/core/tree_io.cc" "src/core/CMakeFiles/mercury_core.dir/tree_io.cc.o" "gcc" "src/core/CMakeFiles/mercury_core.dir/tree_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bus/CMakeFiles/mercury_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/mercury_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mercury_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_core.dir/assumptions.cc.o"
+  "CMakeFiles/mercury_core.dir/assumptions.cc.o.d"
+  "CMakeFiles/mercury_core.dir/availability.cc.o"
+  "CMakeFiles/mercury_core.dir/availability.cc.o.d"
+  "CMakeFiles/mercury_core.dir/failure_board.cc.o"
+  "CMakeFiles/mercury_core.dir/failure_board.cc.o.d"
+  "CMakeFiles/mercury_core.dir/failure_detector.cc.o"
+  "CMakeFiles/mercury_core.dir/failure_detector.cc.o.d"
+  "CMakeFiles/mercury_core.dir/health.cc.o"
+  "CMakeFiles/mercury_core.dir/health.cc.o.d"
+  "CMakeFiles/mercury_core.dir/health_monitor.cc.o"
+  "CMakeFiles/mercury_core.dir/health_monitor.cc.o.d"
+  "CMakeFiles/mercury_core.dir/mercury_trees.cc.o"
+  "CMakeFiles/mercury_core.dir/mercury_trees.cc.o.d"
+  "CMakeFiles/mercury_core.dir/optimizer.cc.o"
+  "CMakeFiles/mercury_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/mercury_core.dir/oracle.cc.o"
+  "CMakeFiles/mercury_core.dir/oracle.cc.o.d"
+  "CMakeFiles/mercury_core.dir/recoverer.cc.o"
+  "CMakeFiles/mercury_core.dir/recoverer.cc.o.d"
+  "CMakeFiles/mercury_core.dir/rejuvenation_model.cc.o"
+  "CMakeFiles/mercury_core.dir/rejuvenation_model.cc.o.d"
+  "CMakeFiles/mercury_core.dir/restart_tree.cc.o"
+  "CMakeFiles/mercury_core.dir/restart_tree.cc.o.d"
+  "CMakeFiles/mercury_core.dir/timeline.cc.o"
+  "CMakeFiles/mercury_core.dir/timeline.cc.o.d"
+  "CMakeFiles/mercury_core.dir/transformations.cc.o"
+  "CMakeFiles/mercury_core.dir/transformations.cc.o.d"
+  "CMakeFiles/mercury_core.dir/tree_io.cc.o"
+  "CMakeFiles/mercury_core.dir/tree_io.cc.o.d"
+  "libmercury_core.a"
+  "libmercury_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

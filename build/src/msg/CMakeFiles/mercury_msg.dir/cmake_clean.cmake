@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_msg.dir/message.cc.o"
+  "CMakeFiles/mercury_msg.dir/message.cc.o.d"
+  "libmercury_msg.a"
+  "libmercury_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

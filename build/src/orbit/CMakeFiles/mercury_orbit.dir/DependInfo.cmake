@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/doppler.cc" "src/orbit/CMakeFiles/mercury_orbit.dir/doppler.cc.o" "gcc" "src/orbit/CMakeFiles/mercury_orbit.dir/doppler.cc.o.d"
+  "/root/repo/src/orbit/frames.cc" "src/orbit/CMakeFiles/mercury_orbit.dir/frames.cc.o" "gcc" "src/orbit/CMakeFiles/mercury_orbit.dir/frames.cc.o.d"
+  "/root/repo/src/orbit/ground_station.cc" "src/orbit/CMakeFiles/mercury_orbit.dir/ground_station.cc.o" "gcc" "src/orbit/CMakeFiles/mercury_orbit.dir/ground_station.cc.o.d"
+  "/root/repo/src/orbit/pass_predictor.cc" "src/orbit/CMakeFiles/mercury_orbit.dir/pass_predictor.cc.o" "gcc" "src/orbit/CMakeFiles/mercury_orbit.dir/pass_predictor.cc.o.d"
+  "/root/repo/src/orbit/propagator.cc" "src/orbit/CMakeFiles/mercury_orbit.dir/propagator.cc.o" "gcc" "src/orbit/CMakeFiles/mercury_orbit.dir/propagator.cc.o.d"
+  "/root/repo/src/orbit/tle.cc" "src/orbit/CMakeFiles/mercury_orbit.dir/tle.cc.o" "gcc" "src/orbit/CMakeFiles/mercury_orbit.dir/tle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

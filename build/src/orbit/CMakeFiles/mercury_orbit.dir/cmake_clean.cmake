@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_orbit.dir/doppler.cc.o"
+  "CMakeFiles/mercury_orbit.dir/doppler.cc.o.d"
+  "CMakeFiles/mercury_orbit.dir/frames.cc.o"
+  "CMakeFiles/mercury_orbit.dir/frames.cc.o.d"
+  "CMakeFiles/mercury_orbit.dir/ground_station.cc.o"
+  "CMakeFiles/mercury_orbit.dir/ground_station.cc.o.d"
+  "CMakeFiles/mercury_orbit.dir/pass_predictor.cc.o"
+  "CMakeFiles/mercury_orbit.dir/pass_predictor.cc.o.d"
+  "CMakeFiles/mercury_orbit.dir/propagator.cc.o"
+  "CMakeFiles/mercury_orbit.dir/propagator.cc.o.d"
+  "CMakeFiles/mercury_orbit.dir/tle.cc.o"
+  "CMakeFiles/mercury_orbit.dir/tle.cc.o.d"
+  "libmercury_orbit.a"
+  "libmercury_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_posix.dir/child_process.cc.o"
+  "CMakeFiles/mercury_posix.dir/child_process.cc.o.d"
+  "CMakeFiles/mercury_posix.dir/supervisor.cc.o"
+  "CMakeFiles/mercury_posix.dir/supervisor.cc.o.d"
+  "libmercury_posix.a"
+  "libmercury_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_worker.dir/worker_main.cc.o"
+  "CMakeFiles/mercury_worker.dir/worker_main.cc.o.d"
+  "mercury_worker"
+  "mercury_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

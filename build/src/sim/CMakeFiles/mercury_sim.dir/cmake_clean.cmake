@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_sim.dir/simulator.cc.o"
+  "CMakeFiles/mercury_sim.dir/simulator.cc.o.d"
+  "libmercury_sim.a"
+  "libmercury_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

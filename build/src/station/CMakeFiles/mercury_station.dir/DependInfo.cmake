@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/station/antenna.cc" "src/station/CMakeFiles/mercury_station.dir/antenna.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/antenna.cc.o.d"
+  "/root/repo/src/station/calibration.cc" "src/station/CMakeFiles/mercury_station.dir/calibration.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/calibration.cc.o.d"
+  "/root/repo/src/station/component.cc" "src/station/CMakeFiles/mercury_station.dir/component.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/component.cc.o.d"
+  "/root/repo/src/station/components.cc" "src/station/CMakeFiles/mercury_station.dir/components.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/components.cc.o.d"
+  "/root/repo/src/station/downlink.cc" "src/station/CMakeFiles/mercury_station.dir/downlink.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/downlink.cc.o.d"
+  "/root/repo/src/station/experiment.cc" "src/station/CMakeFiles/mercury_station.dir/experiment.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/experiment.cc.o.d"
+  "/root/repo/src/station/fault_injector.cc" "src/station/CMakeFiles/mercury_station.dir/fault_injector.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/fault_injector.cc.o.d"
+  "/root/repo/src/station/fedr_pbcom_link.cc" "src/station/CMakeFiles/mercury_station.dir/fedr_pbcom_link.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/fedr_pbcom_link.cc.o.d"
+  "/root/repo/src/station/health_reporter.cc" "src/station/CMakeFiles/mercury_station.dir/health_reporter.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/health_reporter.cc.o.d"
+  "/root/repo/src/station/pass_schedule.cc" "src/station/CMakeFiles/mercury_station.dir/pass_schedule.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/pass_schedule.cc.o.d"
+  "/root/repo/src/station/process_manager.cc" "src/station/CMakeFiles/mercury_station.dir/process_manager.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/process_manager.cc.o.d"
+  "/root/repo/src/station/radio.cc" "src/station/CMakeFiles/mercury_station.dir/radio.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/radio.cc.o.d"
+  "/root/repo/src/station/station.cc" "src/station/CMakeFiles/mercury_station.dir/station.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/station.cc.o.d"
+  "/root/repo/src/station/sync_coordinator.cc" "src/station/CMakeFiles/mercury_station.dir/sync_coordinator.cc.o" "gcc" "src/station/CMakeFiles/mercury_station.dir/sync_coordinator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mercury_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/mercury_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/mercury_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercury_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/mercury_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mercury_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

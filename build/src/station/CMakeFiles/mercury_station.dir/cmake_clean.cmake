@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_station.dir/antenna.cc.o"
+  "CMakeFiles/mercury_station.dir/antenna.cc.o.d"
+  "CMakeFiles/mercury_station.dir/calibration.cc.o"
+  "CMakeFiles/mercury_station.dir/calibration.cc.o.d"
+  "CMakeFiles/mercury_station.dir/component.cc.o"
+  "CMakeFiles/mercury_station.dir/component.cc.o.d"
+  "CMakeFiles/mercury_station.dir/components.cc.o"
+  "CMakeFiles/mercury_station.dir/components.cc.o.d"
+  "CMakeFiles/mercury_station.dir/downlink.cc.o"
+  "CMakeFiles/mercury_station.dir/downlink.cc.o.d"
+  "CMakeFiles/mercury_station.dir/experiment.cc.o"
+  "CMakeFiles/mercury_station.dir/experiment.cc.o.d"
+  "CMakeFiles/mercury_station.dir/fault_injector.cc.o"
+  "CMakeFiles/mercury_station.dir/fault_injector.cc.o.d"
+  "CMakeFiles/mercury_station.dir/fedr_pbcom_link.cc.o"
+  "CMakeFiles/mercury_station.dir/fedr_pbcom_link.cc.o.d"
+  "CMakeFiles/mercury_station.dir/health_reporter.cc.o"
+  "CMakeFiles/mercury_station.dir/health_reporter.cc.o.d"
+  "CMakeFiles/mercury_station.dir/pass_schedule.cc.o"
+  "CMakeFiles/mercury_station.dir/pass_schedule.cc.o.d"
+  "CMakeFiles/mercury_station.dir/process_manager.cc.o"
+  "CMakeFiles/mercury_station.dir/process_manager.cc.o.d"
+  "CMakeFiles/mercury_station.dir/radio.cc.o"
+  "CMakeFiles/mercury_station.dir/radio.cc.o.d"
+  "CMakeFiles/mercury_station.dir/station.cc.o"
+  "CMakeFiles/mercury_station.dir/station.cc.o.d"
+  "CMakeFiles/mercury_station.dir/sync_coordinator.cc.o"
+  "CMakeFiles/mercury_station.dir/sync_coordinator.cc.o.d"
+  "libmercury_station.a"
+  "libmercury_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_util.dir/log.cc.o"
+  "CMakeFiles/mercury_util.dir/log.cc.o.d"
+  "CMakeFiles/mercury_util.dir/rng.cc.o"
+  "CMakeFiles/mercury_util.dir/rng.cc.o.d"
+  "CMakeFiles/mercury_util.dir/stats.cc.o"
+  "CMakeFiles/mercury_util.dir/stats.cc.o.d"
+  "CMakeFiles/mercury_util.dir/strings.cc.o"
+  "CMakeFiles/mercury_util.dir/strings.cc.o.d"
+  "CMakeFiles/mercury_util.dir/time.cc.o"
+  "CMakeFiles/mercury_util.dir/time.cc.o.d"
+  "libmercury_util.a"
+  "libmercury_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

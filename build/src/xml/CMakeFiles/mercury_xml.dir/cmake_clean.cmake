@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_xml.dir/element.cc.o"
+  "CMakeFiles/mercury_xml.dir/element.cc.o.d"
+  "CMakeFiles/mercury_xml.dir/parser.cc.o"
+  "CMakeFiles/mercury_xml.dir/parser.cc.o.d"
+  "CMakeFiles/mercury_xml.dir/writer.cc.o"
+  "CMakeFiles/mercury_xml.dir/writer.cc.o.d"
+  "libmercury_xml.a"
+  "libmercury_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

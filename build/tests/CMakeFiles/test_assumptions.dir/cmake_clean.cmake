@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assumptions.dir/test_assumptions.cc.o"
+  "CMakeFiles/test_assumptions.dir/test_assumptions.cc.o.d"
+  "test_assumptions"
+  "test_assumptions.pdb"
+  "test_assumptions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fd_rec.dir/test_fd_rec.cc.o"
+  "CMakeFiles/test_fd_rec.dir/test_fd_rec.cc.o.d"
+  "test_fd_rec"
+  "test_fd_rec.pdb"
+  "test_fd_rec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fd_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pass_economics.dir/test_pass_economics.cc.o"
+  "CMakeFiles/test_pass_economics.dir/test_pass_economics.cc.o.d"
+  "test_pass_economics"
+  "test_pass_economics.pdb"
+  "test_pass_economics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pass_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

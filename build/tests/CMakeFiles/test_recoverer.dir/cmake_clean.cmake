@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recoverer.dir/test_recoverer.cc.o"
+  "CMakeFiles/test_recoverer.dir/test_recoverer.cc.o.d"
+  "test_recoverer"
+  "test_recoverer.pdb"
+  "test_recoverer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recoverer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recursive_recovery.dir/test_recursive_recovery.cc.o"
+  "CMakeFiles/test_recursive_recovery.dir/test_recursive_recovery.cc.o.d"
+  "test_recursive_recovery"
+  "test_recursive_recovery.pdb"
+  "test_recursive_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recursive_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rejuvenation_model.dir/test_rejuvenation_model.cc.o"
+  "CMakeFiles/test_rejuvenation_model.dir/test_rejuvenation_model.cc.o.d"
+  "test_rejuvenation_model"
+  "test_rejuvenation_model.pdb"
+  "test_rejuvenation_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rejuvenation_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restart_tree.dir/test_restart_tree.cc.o"
+  "CMakeFiles/test_restart_tree.dir/test_restart_tree.cc.o.d"
+  "test_restart_tree"
+  "test_restart_tree.pdb"
+  "test_restart_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restart_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

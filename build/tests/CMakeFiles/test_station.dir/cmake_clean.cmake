@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_station.dir/test_station.cc.o"
+  "CMakeFiles/test_station.dir/test_station.cc.o.d"
+  "test_station"
+  "test_station.pdb"
+  "test_station[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_msg[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_orbit[1]_include.cmake")
+include("/root/repo/build/tests/test_restart_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_transformations[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_board[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_availability[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_assumptions[1]_include.cmake")
+include("/root/repo/build/tests/test_station[1]_include.cmake")
+include("/root/repo/build/tests/test_fd_rec[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_posix[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_health[1]_include.cmake")
+include("/root/repo/build/tests/test_recursive_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_tle[1]_include.cmake")
+include("/root/repo/build/tests/test_rejuvenation_model[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_recoverer[1]_include.cmake")
+include("/root/repo/build/tests/test_timeline[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_pass_economics[1]_include.cmake")
