@@ -6,12 +6,85 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/phases.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace mercury::bench {
+
+/// Per-bench recovery tracing (docs/TRACING.md). Construct one at the top of
+/// main(); while it lives, every recovery the bench drives is recorded. On
+/// destruction it writes <name>.trace.jsonl (line-per-event schema) and
+/// <name>.trace.json (Chrome trace-event format, for chrome://tracing or
+/// ui.perfetto.dev) into $MERCURY_TRACE_DIR (default: the working directory)
+/// and prints the per-phase recovery breakdown plus aggregate counters.
+///
+/// Set MERCURY_TRACE=0 to disable tracing entirely.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string name) : name_(std::move(name)) {
+    const char* flag = std::getenv("MERCURY_TRACE");
+    if (flag != nullptr && std::string(flag) == "0") return;
+    recorder_ = std::make_unique<obs::TraceRecorder>();
+    obs::set_recorder(recorder_.get());
+  }
+
+  ~TraceSession() {
+    if (recorder_ == nullptr) return;
+    obs::set_recorder(nullptr);
+
+    const char* dir = std::getenv("MERCURY_TRACE_DIR");
+    const std::string prefix =
+        (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" + name_ : name_;
+    const std::string jsonl_path = prefix + ".trace.jsonl";
+    const std::string chrome_path = prefix + ".trace.json";
+    bool wrote = true;
+    {
+      std::ofstream out(jsonl_path);
+      recorder_->write_jsonl(out);
+      wrote = wrote && out.good();
+    }
+    {
+      std::ofstream out(chrome_path);
+      recorder_->write_chrome_trace(out);
+      wrote = wrote && out.good();
+    }
+
+    std::printf("\n--- Recovery phase breakdown (from trace) -----------------\n");
+    std::printf("%s", obs::phase_table(
+                          obs::recovery_phases(recorder_->events())).c_str());
+    std::printf("%s", recorder_->metrics_summary().c_str());
+    if (recorder_->dropped() > 0) {
+      std::printf("note: %llu events dropped at the recorder cap\n",
+                  static_cast<unsigned long long>(recorder_->dropped()));
+    }
+    if (wrote) {
+      std::printf("trace: %s (JSONL), %s (chrome://tracing / Perfetto)\n",
+                  jsonl_path.c_str(), chrome_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "warning: could not write trace files under '%s' "
+                   "(does MERCURY_TRACE_DIR exist?)\n",
+                   prefix.c_str());
+    }
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The live recorder, or nullptr when disabled via MERCURY_TRACE=0.
+  obs::TraceRecorder* recorder() { return recorder_.get(); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+};
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

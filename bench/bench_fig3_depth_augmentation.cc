@@ -14,6 +14,7 @@
 #include "station/experiment.h"
 
 int main() {
+  mercury::bench::TraceSession trace_session("bench_fig3_depth_augmentation");
   namespace names = mercury::core::component_names;
   using namespace mercury::core;
   using mercury::bench::print_header;

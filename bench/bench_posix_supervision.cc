@@ -19,6 +19,7 @@
 #endif
 
 int main() {
+  mercury::bench::TraceSession trace_session("bench_posix_supervision");
   using namespace mercury;
   using mercury::bench::print_header;
   using mercury::bench::print_row;

@@ -7,11 +7,13 @@
 // empirical mean inter-failure time per component against the paper's
 // operator estimates. This validates the workload model every other bench
 // rests on.
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "core/mercury_trees.h"
 #include "sim/simulator.h"
+#include "station/experiment.h"
 #include "station/fault_injector.h"
 #include "station/station.h"
 
@@ -21,6 +23,8 @@ int main() {
   using mercury::bench::print_row;
   using mercury::bench::print_rule;
   using mercury::util::Duration;
+
+  mercury::bench::TraceSession trace("bench_table1");
 
   print_header(
       "Table 1 — observed per-component MTTFs, empirical over 2 simulated\n"
@@ -69,5 +73,61 @@ int main() {
   std::printf(
       "\nRatios near 1.0 confirm the injector realizes the paper's observed\n"
       "failure rates (exponential inter-arrivals at the Table-1 means).\n");
-  return 0;
+
+  // Recovery-path trace validation: one supervised crash trial per Table-1
+  // component, so the emitted trace holds complete fault -> detect -> decide
+  // -> restart chains. The phase decomposition reconstructed from the trace
+  // (obs/phases.h) must tile the measured end-to-end recovery time.
+  print_header(
+      "Trace check — phase decomposition vs measured end-to-end recovery\n"
+      "(detection + decision + execution from the trace, per crash trial)");
+  const std::vector<int> phase_widths = {10, 12, 12, 12, 12, 12, 8};
+  print_row({"Component", "measured s", "detect s", "decide s", "execute s",
+             "phase sum", "|err| %"},
+            phase_widths);
+  print_rule(phase_widths);
+
+  bool phases_ok = true;
+  for (const char* component : {"ses", "str", "rtu", "fedrcom", "mbus"}) {
+    mercury::station::TrialSpec spec;
+    spec.tree = mercury::core::MercuryTree::kTreeI;
+    spec.oracle = mercury::station::OracleKind::kHeuristic;
+    spec.fail_component = component;
+    spec.seed = 7;
+
+    const std::uint64_t run_before =
+        trace.recorder() != nullptr ? trace.recorder()->run() : 0;
+    const auto result = mercury::station::run_trial(spec);
+    if (trace.recorder() == nullptr) continue;
+
+    // Sum the phases of every recovery action this trial's run produced
+    // (normally one; escalations would add rows that still tile the span).
+    double detect = 0.0, decide = 0.0, execute = 0.0;
+    const auto rows =
+        mercury::obs::recovery_phases(trace.recorder()->events());
+    for (const auto& row : rows) {
+      if (row.run != run_before + 1) continue;
+      detect += row.detection();
+      decide += row.decision();
+      execute += row.execution();
+    }
+    const double measured = result.recovery.to_seconds();
+    const double sum = detect + decide + execute;
+    const double err_pct =
+        measured > 0.0 ? 100.0 * std::abs(sum - measured) / measured : 0.0;
+    if (err_pct > 1.0) phases_ok = false;
+    print_row({component, mercury::util::format_fixed(measured, 3),
+               mercury::util::format_fixed(detect, 3),
+               mercury::util::format_fixed(decide, 3),
+               mercury::util::format_fixed(execute, 3),
+               mercury::util::format_fixed(sum, 3),
+               mercury::util::format_fixed(err_pct, 2)},
+              phase_widths);
+  }
+  if (trace.recorder() != nullptr) {
+    std::printf("\nphase decomposition %s: per-phase durations sum to the "
+                "measured\nend-to-end recovery time (tolerance 1%%)\n",
+                phases_ok ? "OK" : "MISMATCH");
+  }
+  return phases_ok ? 0 : 1;
 }

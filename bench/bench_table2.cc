@@ -31,6 +31,7 @@ double measure(MercuryTree tree, const std::string& component, std::uint64_t see
 }  // namespace
 
 int main() {
+  mercury::bench::TraceSession trace_session("bench_table2");
   namespace names = mercury::core::component_names;
   using mercury::bench::print_header;
   using mercury::bench::print_row;

@@ -15,6 +15,7 @@
 #include "core/transformations.h"
 
 int main() {
+  mercury::bench::TraceSession trace_session("bench_table3");
   using mercury::bench::print_header;
   using namespace mercury::core;
 

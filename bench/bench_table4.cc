@@ -53,6 +53,7 @@ struct RowSpec {
 }  // namespace
 
 int main() {
+  mercury::bench::TraceSession trace_session("bench_table4");
   namespace names = mercury::core::component_names;
   using mercury::bench::print_header;
   using mercury::bench::print_row;

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+#include "util/strings.h"
+
 namespace mercury::core {
+
+namespace {
+
+/// Fault onset/cure are the trace anchors every phase breakdown hangs off
+/// (obs/phases.h): detection latency is measured from fault.manifest.
+void trace_cured(const ActiveFailure& failure, util::TimePoint now) {
+  obs::instant(now, "fault", "fault.cured", "board",
+               {{"manifest", failure.spec.manifest},
+                {"id", std::to_string(failure.id)},
+                {"kind", failure.spec.kind}});
+  obs::incr("faults.cured");
+  obs::observe("fault.active_seconds", (now - failure.onset).to_seconds());
+}
+
+}  // namespace
 
 FailureSpec make_crash(std::string component) {
   FailureSpec spec;
@@ -42,6 +60,12 @@ FailureId FailureBoard::inject(FailureSpec spec, util::TimePoint now) {
   failure.spec = std::move(spec);
   failure.onset = now;
   active_.push_back(failure);
+  obs::instant(now, "fault", "fault.manifest", "board",
+               {{"manifest", active_.back().spec.manifest},
+                {"cure", util::join(active_.back().spec.cure_set, ",")},
+                {"kind", active_.back().spec.kind},
+                {"id", std::to_string(failure.id)}});
+  obs::incr("faults.injected");
   for (const auto& listener : inject_listeners_) listener(active_.back());
   return failure.id;
 }
@@ -66,6 +90,7 @@ void FailureBoard::on_restart_complete(const std::string& component,
                 active_.end());
   total_cured_ += cured.size();
   for (const auto& failure : cured) {
+    trace_cured(failure, now);
     for (const auto& listener : cure_listeners_) listener(failure, now);
   }
 }
@@ -87,6 +112,7 @@ void FailureBoard::on_soft_recovery_complete(const std::string& component,
                 active_.end());
   total_cured_ += cured.size();
   for (const auto& failure : cured) {
+    trace_cured(failure, now);
     for (const auto& listener : cure_listeners_) listener(failure, now);
   }
 }

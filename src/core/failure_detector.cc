@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -51,6 +52,7 @@ void FailureDetector::reattach() {
 
 void FailureDetector::crash() {
   alive_ = false;
+  obs::instant(sim_.now(), "proc", "fd.crash", "fd");
   LogLine(LogLevel::kInfo, sim_.now(), "fd") << "crashed (fail-silent)";
 }
 
@@ -67,6 +69,7 @@ void FailureDetector::restart_complete() {
   if (verify_timeout_.valid()) sim_.cancel(verify_timeout_);
   verifying_mbus_ = false;
   pending_reports_.clear();
+  obs::instant(sim_.now(), "proc", "fd.restarted", "fd");
   LogLine(LogLevel::kInfo, sim_.now(), "fd") << "restarted";
 }
 
@@ -103,6 +106,10 @@ void FailureDetector::on_ping_timeout(TargetState& target) {
   // consecutive misses before accusing anyone (the next periodic ping is
   // the retry).
   ++target.consecutive_misses;
+  obs::instant(sim_.now(), "detect", "fd.suspect", "fd",
+               {{"component", target.name},
+                {"misses", std::to_string(target.consecutive_misses)}});
+  obs::incr("fd.suspicions");
   if (target.consecutive_misses < config_.misses_before_report) return;
 
   if (target.name == config_.mbus_name) {
@@ -121,6 +128,8 @@ void FailureDetector::begin_mbus_verification(const std::string& pending) {
   }
   if (verifying_mbus_) return;  // probe already in flight; ride along
   verifying_mbus_ = true;
+  verify_span_ = obs::begin_span(sim_.now(), "detect", "fd.verify-mbus", "fd",
+                                 {{"pending", pending}});
   const std::uint64_t seq = seq_++;
   verify_seq_ = seq;
   bus_.send(msg::make_ping(config_.fd_name, config_.mbus_name, seq));
@@ -137,6 +146,9 @@ void FailureDetector::begin_mbus_verification(const std::string& pending) {
 void FailureDetector::finish_mbus_verification(bool mbus_alive) {
   verifying_mbus_ = false;
   verify_seq_ = 0;
+  obs::end_span(sim_.now(), verify_span_,
+                {{"mbus_alive", mbus_alive ? "1" : "0"}});
+  verify_span_ = 0;
   if (verify_timeout_.valid()) {
     sim_.cancel(verify_timeout_);
     verify_timeout_ = sim::EventId{};
@@ -184,6 +196,9 @@ void FailureDetector::report(const std::string& component) {
     target.last_report = sim_.now();
   }
   ++failures_reported_;
+  obs::instant(sim_.now(), "detect", "fd.report", "fd",
+               {{"component", component}});
+  obs::incr("fd.reports");
   LogLine(LogLevel::kInfo, sim_.now(), "fd")
       << "detected failure of " << component << "; notifying rec";
   msg::Message report = msg::make_command(config_.fd_name, config_.rec_name,
@@ -272,6 +287,8 @@ void FailureDetector::ping_rec() {
 
 void FailureDetector::on_rec_timeout() {
   if (!alive_ || !rec_restarter_) return;
+  obs::instant(sim_.now(), "detect", "fd.rec-unresponsive", "fd");
+  obs::incr("fd.rec_restarts");
   LogLine(LogLevel::kWarn, sim_.now(), "fd")
       << "rec unresponsive; initiating rec recovery";
   rec_restart_in_flight_ = true;

@@ -125,6 +125,7 @@ class FailureDetector {
   // mbus verification state.
   bool verifying_mbus_ = false;
   std::uint64_t verify_seq_ = 0;
+  std::uint64_t verify_span_ = 0;  // open obs span for the verification
   sim::EventId verify_timeout_;
   std::vector<std::string> pending_reports_;
 

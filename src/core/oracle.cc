@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace mercury::core {
+
+NodeId Oracle::traced(const OracleQuery& query, NodeId chosen) const {
+  if (query.trace_now.has_value() && obs::enabled()) {
+    obs::recorder()->instant(
+        *query.trace_now, "oracle", "oracle.choice", "oracle",
+        {{"component", query.failed_component},
+         {"cell", query.tree->cell(chosen).label},
+         {"oracle", name()},
+         {"escalation", std::to_string(query.escalation_level)}});
+    obs::recorder()->incr("oracle.choices");
+  }
+  return chosen;
+}
 
 NodeId Oracle::escalate(const OracleQuery& query) {
   assert(query.previous_node.has_value());
@@ -19,12 +34,16 @@ NodeId Oracle::attachment_cell(const OracleQuery& query) {
 }
 
 NodeId HeuristicOracle::choose(const OracleQuery& query) {
-  if (query.escalation_level > 0 && query.previous_node) return escalate(query);
-  return attachment_cell(query);
+  if (query.escalation_level > 0 && query.previous_node) {
+    return traced(query, escalate(query));
+  }
+  return traced(query, attachment_cell(query));
 }
 
 NodeId PerfectOracle::choose(const OracleQuery& query) {
-  if (query.escalation_level > 0 && query.previous_node) return escalate(query);
+  if (query.escalation_level > 0 && query.previous_node) {
+    return traced(query, escalate(query));
+  }
 
   // Union the cure sets of every failure manifesting at the component (in
   // the common case there is exactly one).
@@ -39,10 +58,10 @@ NodeId PerfectOracle::choose(const OracleQuery& query) {
   if (cure.empty()) {
     // No ground-truth failure (e.g. a detection blip): minimal restart of
     // the component itself.
-    return attachment_cell(query);
+    return traced(query, attachment_cell(query));
   }
   const auto node = query.tree->lowest_cell_covering_all(cure);
-  return node ? *node : query.tree->root();
+  return traced(query, node ? *node : query.tree->root());
 }
 
 FaultyOracle::FaultyOracle(Oracle& inner, util::Rng rng, double p_low, double p_high)
@@ -53,10 +72,14 @@ FaultyOracle::FaultyOracle(Oracle& inner, util::Rng rng, double p_low, double p_
 std::string FaultyOracle::name() const { return "faulty(" + inner_->name() + ")"; }
 
 NodeId FaultyOracle::choose(const OracleQuery& query) {
-  const NodeId honest = inner_->choose(query);
+  // The wrapper owns the traced decision; silence the inner oracle so each
+  // query produces exactly one oracle.choice event.
+  OracleQuery inner_query = query;
+  inner_query.trace_now.reset();
+  const NodeId honest = inner_->choose(inner_query);
   // Escalations are answered correctly: the §4.4 faulty oracle "realizes the
   // failure is persisting, and moves up the tree".
-  if (query.escalation_level > 0) return honest;
+  if (query.escalation_level > 0) return traced(query, honest);
 
   const RestartTree& tree = *query.tree;
   const double roll = rng_.next_double();
@@ -71,20 +94,20 @@ NodeId FaultyOracle::choose(const OracleQuery& query) {
         if (path[i] == honest) {
           assert(i > 0);
           ++mistakes_;
-          return path[i - 1];
+          return traced(query, path[i - 1]);
         }
       }
     }
-    return honest;  // nothing lower exists (tree V's point: promotion
-                    // removes the too-low option entirely)
+    return traced(query, honest);  // nothing lower exists (tree V's point:
+                                   // promotion removes the too-low option)
   }
   if (roll < p_low_ + p_high_) {
     if (honest != tree.root()) {
       ++mistakes_;
-      return tree.parent(honest);
+      return traced(query, tree.parent(honest));
     }
   }
-  return honest;
+  return traced(query, honest);
 }
 
 LearningOracle::LearningOracle(util::Rng rng,
@@ -142,7 +165,9 @@ double LearningOracle::expected_recovery(const OracleQuery& query,
 }
 
 NodeId LearningOracle::choose(const OracleQuery& query) {
-  if (query.escalation_level > 0 && query.previous_node) return escalate(query);
+  if (query.escalation_level > 0 && query.previous_node) {
+    return traced(query, escalate(query));
+  }
   const RestartTree& tree = *query.tree;
   const NodeId attachment = attachment_cell(query);
   const auto path = tree.path_to_root(attachment);
@@ -152,7 +177,7 @@ NodeId LearningOracle::choose(const OracleQuery& query) {
     // keep improving for cells the greedy policy would skip.
     const auto index = static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(path.size()) - 1));
-    return path[index];
+    return traced(query, path[index]);
   }
 
   NodeId best = attachment;
@@ -164,7 +189,7 @@ NodeId LearningOracle::choose(const OracleQuery& query) {
       best = node;
     }
   }
-  return best;
+  return traced(query, best);
 }
 
 void LearningOracle::feedback(const std::string& component, NodeId node,

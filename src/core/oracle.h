@@ -45,6 +45,11 @@ struct OracleQuery {
   int escalation_level = 0;
   /// The node restarted at the previous level (set when escalating).
   std::optional<NodeId> previous_node;
+  /// Timestamp (seconds) for the oracle.choice trace event. Callers with a
+  /// clock (recoverer: virtual time; POSIX supervisor: wall time) set it;
+  /// unset queries are not traced (the optimizer's exhaustive search calls
+  /// choose() thousands of times and would flood the trace).
+  std::optional<double> trace_now;
 };
 
 class Oracle {
@@ -71,6 +76,10 @@ class Oracle {
   static NodeId escalate(const OracleQuery& query);
   /// The failed component's own cell (fallback root if unattached).
   static NodeId attachment_cell(const OracleQuery& query);
+  /// Emit an oracle.choice trace event (when query.trace_now is set and a
+  /// recorder is installed) and pass `chosen` through. Every concrete
+  /// choose() funnels its return value here.
+  NodeId traced(const OracleQuery& query, NodeId chosen) const;
 };
 
 /// Leaf-first policy with no failure-model knowledge.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -32,6 +33,7 @@ void Recoverer::start() {
 
 void Recoverer::crash() {
   alive_ = false;
+  obs::instant(sim_.now(), "proc", "rec.crash", "rec");
   LogLine(LogLevel::kInfo, sim_.now(), "rec") << "crashed (fail-silent)";
 }
 
@@ -41,6 +43,7 @@ void Recoverer::restart_complete() {
   // in-memory chain state is process state and is lost.
   queue_.clear();
   last_.reset();
+  obs::instant(sim_.now(), "proc", "rec.restarted", "rec");
   LogLine(LogLevel::kInfo, sim_.now(), "rec") << "restarted";
 }
 
@@ -68,6 +71,8 @@ void Recoverer::on_link_message(const msg::Message& message) {
 }
 
 void Recoverer::handle_report(const std::string& component) {
+  obs::instant(sim_.now(), "recover", "rec.report-received", "rec",
+               {{"component", component}});
   // A hard failure is parked for the operator; restarting it forever is
   // exactly what the paper's policy must prevent.
   if (std::find(hard_failures_.begin(), hard_failures_.end(), component) !=
@@ -105,9 +110,13 @@ void Recoverer::handle_report(const std::string& component) {
     // choose, not a tree escalation.
     restart.escalation_level = 1;
     ++escalations_;
+    obs::instant(sim_.now(), "recover", "rec.escalate", "rec",
+                 {{"component", component}, {"level", "1"}, {"from", "soft"}});
+    obs::incr("rec.escalations");
     OracleQuery query;
     query.tree = &tree_;
     query.failed_component = component;
+    query.trace_now = sim_.now().to_seconds();
     restart.node = oracle_.choose(query);
     execute(std::move(restart));
     return;
@@ -116,7 +125,15 @@ void Recoverer::handle_report(const std::string& component) {
   if (escalating) {
     restart.escalation_level = last_->escalation_level + 1;
     ++escalations_;
+    obs::instant(sim_.now(), "recover", "rec.escalate", "rec",
+                 {{"component", component},
+                  {"level", std::to_string(restart.escalation_level)}});
+    obs::incr("rec.escalations");
     if (!last_->feedback_sent) {
+      obs::instant(sim_.now(), "oracle", "oracle.feedback", "rec",
+                   {{"component", last_->chain_component},
+                    {"cell", tree_.cell(last_->node).label},
+                    {"cured", "0"}});
       oracle_.feedback(last_->chain_component, last_->node, /*cured=*/false);
       last_->feedback_sent = true;
     }
@@ -136,6 +153,10 @@ void Recoverer::handle_report(const std::string& component) {
         LogLine(LogLevel::kError, sim_.now(), "rec")
             << "hard failure: " << component << " persists after "
             << history.count << " full restarts; giving up";
+        obs::instant(sim_.now(), "recover", "rec.hard-failure", "rec",
+                     {{"component", component},
+                      {"root_restarts", std::to_string(history.count)}});
+        obs::incr("rec.hard_failures");
         hard_failures_.push_back(component);
         return;
       }
@@ -145,6 +166,7 @@ void Recoverer::handle_report(const std::string& component) {
     query.failed_component = component;
     query.escalation_level = restart.escalation_level;
     query.previous_node = last_->node;
+    query.trace_now = sim_.now().to_seconds();
     restart.node = oracle_.choose(query);
   } else {
     // Fresh failure. With recursive recovery enabled, the first rung is the
@@ -157,6 +179,7 @@ void Recoverer::handle_report(const std::string& component) {
     OracleQuery query;
     query.tree = &tree_;
     query.failed_component = component;
+    query.trace_now = sim_.now().to_seconds();
     restart.node = oracle_.choose(query);
   }
 
@@ -169,6 +192,11 @@ void Recoverer::execute_soft(CurrentRestart restart) {
   const auto cell = tree_.lowest_cell_covering(restart.reported_component);
   restart.node = cell ? *cell : tree_.root();
   ++soft_recoveries_;
+  restart.trace_span = obs::begin_span(
+      sim_.now(), "recover", "rec.soft", "rec",
+      {{"component", restart.reported_component},
+       {"cell", tree_.cell(restart.node).label}});
+  obs::incr("rec.soft_recoveries");
   LogLine(LogLevel::kInfo, sim_.now(), "rec")
       << "soft recovery of " << restart.reported_component
       << " (recursive-recovery rung 0)";
@@ -204,6 +232,13 @@ void Recoverer::execute(CurrentRestart restart) {
               ? " [escalation level " + std::to_string(restart.escalation_level) + "]"
               : "");
 
+  restart.trace_span = obs::begin_span(
+      sim_.now(), "recover", "rec.restart", "rec",
+      {{"component", restart.reported_component},
+       {"cell", tree_.cell(restart.node).label},
+       {"group", util::join(restart.components, ",")},
+       {"escalation", std::to_string(restart.escalation_level)},
+       {"planned", restart.planned ? "1" : "0"}});
   send_mask(restart.components, true);
   current_ = restart;
   process_control_.restart_group(restart.components,
@@ -214,6 +249,12 @@ void Recoverer::on_restart_complete() {
   assert(current_.has_value());
   const CurrentRestart finished = *current_;
   current_.reset();
+
+  obs::end_span(sim_.now(), finished.trace_span);
+  obs::incr(finished.soft ? "rec.soft_completed" : "rec.restarts");
+  obs::incr("restarts.cell." + tree_.cell(finished.node).label);
+  obs::observe("recovery.action_seconds",
+               (sim_.now() - finished.report_time).to_seconds());
 
   send_mask(finished.components, false);
 
@@ -249,6 +290,11 @@ void Recoverer::on_restart_complete() {
                         if (last_.has_value() &&
                             last_->complete_time == completed_at &&
                             !last_->feedback_sent) {
+                          obs::instant(sim_.now(), "oracle", "oracle.feedback",
+                                       "rec",
+                                       {{"component", last_->chain_component},
+                                        {"cell", tree_.cell(last_->node).label},
+                                        {"cured", "1"}});
                           oracle_.feedback(last_->chain_component, last_->node,
                                            /*cured=*/true);
                           last_->feedback_sent = true;
@@ -274,6 +320,8 @@ void Recoverer::drain_queue() {
 }
 
 void Recoverer::send_mask(const std::vector<std::string>& components, bool mask) {
+  obs::instant(sim_.now(), "recover", mask ? "rec.mask" : "rec.unmask", "rec",
+               {{"components", util::join(components, ",")}});
   msg::Message command = msg::make_command(config_.rec_name, config_.fd_name,
                                            seq_++, mask ? "mask" : "unmask");
   command.body.set_attr("components", util::join(components, ","));
@@ -308,6 +356,8 @@ void Recoverer::ping_fd() {
 
 void Recoverer::on_fd_timeout() {
   if (!alive_ || !fd_restarter_) return;
+  obs::instant(sim_.now(), "detect", "rec.fd-unresponsive", "rec");
+  obs::incr("rec.fd_restarts");
   LogLine(LogLevel::kWarn, sim_.now(), "rec")
       << "fd unresponsive; initiating fd recovery";
   fd_restart_in_flight_ = true;

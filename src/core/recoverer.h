@@ -130,6 +130,7 @@ class Recoverer {
     bool planned = false;
     bool soft = false;
     util::TimePoint report_time;
+    std::uint64_t trace_span = 0;  // open obs span for this action
   };
   struct LastRestart {
     NodeId node = kInvalidNode;

@@ -3,11 +3,28 @@
 #include <algorithm>
 
 #include "core/mercury_trees.h"
+#include "obs/trace.h"
 
 namespace mercury::core {
 
 using util::Error;
 using util::Result;
+
+namespace {
+
+/// Transformations are pure tree rewrites with no clock of their own, so the
+/// trace instant sits at t=0 of whichever run applies them; `op`/`target`
+/// identify the rewrite and `cells` the resulting tree size.
+void trace_transform(const std::string& op, const std::string& target,
+                     const RestartTree& tree) {
+  obs::instant(util::TimePoint::origin(), "tree", "tree.transform", "tree",
+               {{"op", op},
+                {"target", target},
+                {"cells", std::to_string(tree.size())}});
+  obs::incr("tree.transforms");
+}
+
+}  // namespace
 
 Result<RestartTree> depth_augment(RestartTree tree, NodeId cell) {
   if (cell >= tree.size()) return Error("depth_augment: no such cell");
@@ -21,6 +38,7 @@ Result<RestartTree> depth_augment(RestartTree tree, NodeId cell) {
     tree.attach_component(leaf, component);
   }
   if (auto s = tree.validate(); !s.ok()) return s.error().wrap("depth_augment");
+  trace_transform("depth_augment", tree.cell(cell).label, tree);
   return tree;
 }
 
@@ -61,6 +79,7 @@ Result<RestartTree> split_component(RestartTree tree, const std::string& compone
     }
   }
   if (auto s = tree.validate(); !s.ok()) return s.error().wrap("split_component");
+  trace_transform("split_component", component, tree);
   return tree;
 }
 
@@ -95,6 +114,7 @@ Result<RestartTree> group_under_joint(RestartTree tree, const std::string& a,
   tree.attach_component(leaf_b, b);
 
   if (auto s = tree.validate(); !s.ok()) return s.error().wrap("group_under_joint");
+  trace_transform("group_under_joint", a + "+" + b, tree);
   return tree;
 }
 
@@ -125,6 +145,7 @@ Result<RestartTree> consolidate_group(RestartTree tree, const std::string& a,
   tree.set_label(*merged, "R_[" + a + "," + b + "]");
 
   if (auto s = tree.validate(); !s.ok()) return s.error().wrap("consolidate_group");
+  trace_transform("consolidate_group", a + "+" + b, tree);
   return tree;
 }
 
@@ -155,6 +176,7 @@ Result<RestartTree> promote_component(RestartTree tree, const std::string& compo
   tree.set_label(parent, "R_" + component + "+");
 
   if (auto s = tree.validate(); !s.ok()) return s.error().wrap("promote_component");
+  trace_transform("promote_component", component, tree);
   return tree;
 }
 

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -26,6 +27,10 @@ const Clock::time_point kProcessStart = Clock::now();
 void log_info(const std::string& who, const std::string& what) {
   util::LogLine(util::LogLevel::kInfo, log_now(kProcessStart), who) << what;
 }
+
+/// Trace timestamps on this backend are wall-clock seconds since process
+/// start — the same origin log_now uses, so logs and traces line up.
+util::TimePoint trace_now() { return log_now(kProcessStart); }
 
 }  // namespace
 
@@ -73,6 +78,15 @@ void PosixSupervisor::spawn_worker(Worker& worker) {
   worker.state = WorkerState::kStarting;
   worker.ready_deadline = Clock::now() + worker.spec.startup_timeout;
   worker.outstanding_seq = 0;
+  // Close any span left open by a killed incarnation before opening the new
+  // spawn->READY span.
+  if (worker.restart_span != 0) {
+    obs::end_span(trace_now(), worker.restart_span, {{"outcome", "superseded"}});
+  }
+  worker.restart_span =
+      obs::begin_span(trace_now(), "restart", "restart:" + worker.spec.name,
+                      "posix", {{"component", worker.spec.name}});
+  obs::incr("posix.spawns");
 }
 
 void PosixSupervisor::run_for(Millis duration) {
@@ -117,6 +131,10 @@ void PosixSupervisor::drain_worker(Worker& worker) {
       worker.state = WorkerState::kUp;
       worker.next_ping = Clock::now() + config_.ping_period;
       log_info(worker.spec.name, "READY");
+      if (worker.restart_span != 0) {
+        obs::end_span(trace_now(), worker.restart_span, {{"outcome", "ready"}});
+        worker.restart_span = 0;
+      }
     } else if (util::starts_with(line, "PONG ")) {
       const std::string seq_text = line.substr(5);
       if (util::is_all_digits(seq_text) &&
@@ -150,6 +168,10 @@ void PosixSupervisor::check_health_policy() {
     if (now - worker.last_rejuvenation < config_.rejuvenation_spacing) continue;
     log_info(name, "memory " + util::format_fixed(*worker.memory_mb, 1) +
                        " MB over limit; proactive rejuvenation (§7)");
+    obs::instant(trace_now(), "recover", "rec.rejuvenate", "posix",
+                 {{"component", name},
+                  {"mem_mb", util::format_fixed(*worker.memory_mb, 1)}});
+    obs::incr("posix.rejuvenations");
     worker.last_rejuvenation = now;
     worker.memory_mb.reset();  // a fresh figure arrives after the restart
     ++rejuvenations_;
@@ -199,11 +221,17 @@ void PosixSupervisor::check_deadlines() {
         now >= worker.ping_deadline) {
       worker.outstanding_seq = 0;
       log_info(name, "missed ping; reporting failure");
+      obs::instant(trace_now(), "detect", "fd.report", "posix",
+                   {{"component", name}, {"cause", "missed-ping"}});
+      obs::incr("fd.reports");
       on_failure(name);
     } else if (worker.state == WorkerState::kStarting &&
                now >= worker.ready_deadline) {
       worker.state = WorkerState::kDown;
       log_info(name, "startup timed out; reporting failure");
+      obs::instant(trace_now(), "detect", "fd.report", "posix",
+                   {{"component", name}, {"cause", "startup-timeout"}});
+      obs::incr("fd.reports");
       on_failure(name);
     }
   }
@@ -229,10 +257,15 @@ void PosixSupervisor::on_failure(const std::string& name) {
   core::OracleQuery query;
   query.tree = &tree_;
   query.failed_component = name;
+  query.trace_now = trace_now().to_seconds();
   if (escalating) {
     query.escalation_level = last_->escalation_level + 1;
     query.previous_node = last_->node;
     restart.escalation_level = query.escalation_level;
+    obs::instant(trace_now(), "recover", "rec.escalate", "posix",
+                 {{"component", name},
+                  {"level", std::to_string(query.escalation_level)}});
+    obs::incr("rec.escalations");
     if (last_->node == tree_.root()) {
       RootHistory& history = root_history_[name];
       const auto now = Clock::now();
@@ -244,6 +277,10 @@ void PosixSupervisor::on_failure(const std::string& name) {
       history.last = now;
       if (history.count >= config_.max_root_restarts) {
         log_info(name, "hard failure: persists after full restarts; parking");
+        obs::instant(trace_now(), "recover", "rec.hard-failure", "posix",
+                     {{"component", name},
+                      {"root_restarts", std::to_string(history.count)}});
+        obs::incr("rec.hard_failures");
         hard_failures_.push_back(name);
         return;
       }
@@ -258,6 +295,12 @@ void PosixSupervisor::begin_restart(PendingRestart restart) {
   log_info("supervisor", "restarting cell " + tree_.cell(restart.node).label +
                              " (" + util::join(restart.group, ",") + ") for " +
                              restart.reported_worker);
+  restart.trace_span = obs::begin_span(
+      trace_now(), "recover", "rec.restart", "posix",
+      {{"component", restart.reported_worker},
+       {"cell", tree_.cell(restart.node).label},
+       {"group", util::join(restart.group, ",")},
+       {"escalation", std::to_string(restart.escalation_level)}});
   for (const auto& member : restart.group) {
     auto& worker = workers_.at(member);
     spawn_worker(worker);  // kills the old incarnation, starts fresh
@@ -279,6 +322,8 @@ void PosixSupervisor::maybe_finish_restart() {
     // A member's startup timed out mid-restart: treat the whole action as
     // failed and let the escalation path rerun it one level up.
     const PendingRestart failed = *current_;
+    obs::end_span(trace_now(), failed.trace_span,
+                  {{"outcome", "member-startup-failed"}});
     LastRestart last;
     last.node = failed.node;
     last.group = failed.group;
@@ -299,6 +344,10 @@ void PosixSupervisor::maybe_finish_restart() {
   record.downtime = std::chrono::duration_cast<Millis>(Clock::now() -
                                                        current_->reported_at);
   history_.push_back(record);
+  obs::end_span(trace_now(), current_->trace_span, {{"outcome", "cured"}});
+  obs::incr("rec.restarts");
+  obs::observe("recovery.action_seconds",
+               std::chrono::duration<double>(record.downtime).count());
 
   LastRestart last;
   last.node = current_->node;
@@ -323,6 +372,9 @@ bool PosixSupervisor::all_up() const {
 void PosixSupervisor::kill_worker(const std::string& name) {
   auto& worker = workers_.at(name);
   if (worker.process.has_value()) worker.process->kill_hard();
+  obs::instant(trace_now(), "fault", "fault.manifest", "posix",
+               {{"manifest", name}, {"kind", "sigkill"}});
+  obs::incr("faults.injected");
   // State stays kUp: the supervisor has not *detected* anything yet — that
   // is the failure detector's job (fail-silent semantics).
 }
@@ -330,6 +382,9 @@ void PosixSupervisor::kill_worker(const std::string& name) {
 void PosixSupervisor::wedge_worker(const std::string& name) {
   auto& worker = workers_.at(name);
   if (worker.process.has_value()) worker.process->write_line("WEDGE");
+  obs::instant(trace_now(), "fault", "fault.manifest", "posix",
+               {{"manifest", name}, {"kind", "wedge"}});
+  obs::incr("faults.injected");
 }
 
 }  // namespace mercury::posix

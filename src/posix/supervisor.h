@@ -19,6 +19,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -119,6 +120,7 @@ class PosixSupervisor {
     Clock::time_point ready_deadline;
     std::optional<double> memory_mb;  // latest HEALTH beacon figure
     Clock::time_point last_rejuvenation{};
+    std::uint64_t restart_span = 0;  // open obs span: spawn -> READY
   };
 
   struct PendingRestart {
@@ -127,6 +129,7 @@ class PosixSupervisor {
     std::vector<std::string> group;
     int escalation_level = 0;
     Clock::time_point reported_at;
+    std::uint64_t trace_span = 0;  // open obs span for the whole action
   };
   struct LastRestart {
     core::NodeId node;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace mercury::sim {
@@ -65,6 +66,12 @@ bool Simulator::step() {
   assert(event->at >= now_);
   now_ = event->at;
   ++events_executed_;
+  // Per-event kernel tracing is opt-in (TraceRecorder::set_sim_events): a
+  // long run fires millions of events, which would bury the recovery signal.
+  if (obs::TraceRecorder* rec = obs::recorder();
+      rec != nullptr && rec->sim_events()) {
+    rec->instant(now_.to_seconds(), "sim", event->label, "sim");
+  }
   if (util::Logger::instance().enabled(util::LogLevel::kDebug)) {
     util::LogLine(util::LogLevel::kDebug, now_, "sim") << "fire " << event->label;
   }
@@ -85,6 +92,8 @@ void Simulator::run_all(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (step()) {
     if (++n >= max_events) {
+      obs::instant(now_, "sim", "sim.runaway-guard", "sim",
+                   {{"events", std::to_string(n)}});
       util::LogLine(util::LogLevel::kWarn, now_, "sim")
           << "run_all stopped after " << n << " events (runaway guard)";
       return;

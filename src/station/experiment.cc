@@ -3,7 +3,9 @@
 #include <cassert>
 
 #include "core/mercury_trees.h"
+#include "obs/trace.h"
 #include "util/log.h"
+#include "util/strings.h"
 
 namespace mercury::station {
 
@@ -104,6 +106,14 @@ void MercuryRig::start() {
 }
 
 TrialResult run_trial(const TrialSpec& spec) {
+  // Each trial is its own track in the trace (Chrome export: one "process"
+  // per run), so repeated trials starting at t=0 do not overlap.
+  obs::next_run();
+  obs::instant(util::TimePoint::origin(), "sim", "trial.start", "trial",
+               {{"seed", std::to_string(spec.seed)},
+                {"component", spec.fail_component},
+                {"oracle", to_string(spec.oracle)}});
+
   sim::Simulator sim(spec.seed);
   MercuryRig rig(sim, spec);
   rig.start();
@@ -151,6 +161,14 @@ TrialResult run_trial(const TrialSpec& spec) {
   }
   result.restarts = static_cast<int>(rig.rec().restarts_executed());
   result.escalations = static_cast<int>(rig.rec().escalations());
+  if (!result.timed_out && !result.hard_failure) {
+    // The "functionally ready" moment the paper's methodology timestamps:
+    // closes the last recovery action's execution phase in the trace,
+    // covering post-restart readiness work like the §4.3 resync.
+    obs::instant(sim.now(), "sim", "trial.recovered", "trial",
+                 {{"recovery", util::format_fixed(result.recovery.to_seconds(), 6)}});
+    obs::observe("trial.recovery_seconds", result.recovery.to_seconds());
+  }
 
   // Let the recoverer's post-recovery bookkeeping (the oracle's positive
   // cure feedback fires one escalation-window after the restart) settle, so

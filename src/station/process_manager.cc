@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "station/station.h"
 #include "util/log.h"
+#include "util/strings.h"
 
 namespace mercury::station {
 
@@ -32,9 +34,11 @@ void ProcessManager::soft_recover(const std::string& component,
   assert(station_.component(component) != nullptr &&
          "soft_recover: unknown component");
   const std::string name = component;
+  const std::uint64_t span = obs::begin_span(
+      station_.sim().now(), "restart", "soft:" + name, "pm");
   station_.sim().schedule_after(
       station_.cal().soft_recovery_duration, "soft-recover:" + name,
-      [this, name, on_complete = std::move(on_complete)] {
+      [this, name, span, on_complete = std::move(on_complete)] {
         Component* target = station_.component(name);
         // A kill that raced in supersedes the soft procedure; the restart
         // path owns recovery now.
@@ -42,6 +46,7 @@ void ProcessManager::soft_recover(const std::string& component,
           target->attach_to_bus();
           station_.board().on_soft_recovery_complete(name, station_.sim().now());
         }
+        obs::end_span(station_.sim().now(), span);
         if (on_complete) on_complete();
       });
 }
@@ -95,13 +100,19 @@ void ProcessManager::restart_group(const std::vector<std::string>& names,
     ++restarts_performed_;
 
     const std::string name = component->name();
+    const std::uint64_t span = obs::begin_span(
+        station_.sim().now(), "restart", "restart:" + name, "pm",
+        {{"component", name},
+         {"contention", util::format_fixed(contention, 3)}});
+    obs::incr("pm.restarts");
     station_.sim().schedule_after(
-        startup, "restart.complete:" + name, [this, name, group_id] {
+        startup, "restart.complete:" + name, [this, name, span, group_id] {
           Component* component = station_.component(name);
           assert(component != nullptr);
           restarting_[name] = false;
           --restarting_count_;
           component->complete_start();
+          obs::end_span(station_.sim().now(), span);
           station_.board().on_restart_complete(name, station_.sim().now());
           station_.notify_component_restarted(name);
 

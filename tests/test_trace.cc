@@ -1,0 +1,316 @@
+// Recovery-path tracing (src/obs): recorder semantics, export round-trips,
+// and the phase decomposition on a real simulated crash -> recovery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/mercury_trees.h"
+#include "core/transformations.h"
+#include "obs/phases.h"
+#include "obs/trace.h"
+#include "station/experiment.h"
+
+namespace mercury::obs {
+namespace {
+
+using util::TimePoint;
+
+TEST(TraceRecorder, RecordsEventsInEmissionOrder) {
+  TraceRecorder rec;
+  rec.instant(1.0, "fault", "fault.manifest", "board", {{"manifest", "ses"}});
+  rec.instant(2.0, "detect", "fd.report", "fd", {{"component", "ses"}});
+  rec.counter(2.5, "active", 3.0, "board");
+
+  ASSERT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.events()[0].name, "fault.manifest");
+  EXPECT_EQ(rec.events()[0].kind, EventKind::kInstant);
+  EXPECT_EQ(rec.events()[0].arg_or("manifest"), "ses");
+  EXPECT_EQ(rec.events()[1].name, "fd.report");
+  EXPECT_EQ(rec.events()[2].kind, EventKind::kCounter);
+  EXPECT_EQ(rec.events()[2].arg_or("value"), "3");
+}
+
+TEST(TraceRecorder, SpansNestAndReplayMetadataOnEnd) {
+  TraceRecorder rec;
+  const auto outer = rec.begin(1.0, "recover", "rec.restart", "rec",
+                               {{"component", "ses"}});
+  const auto inner = rec.begin(1.5, "restart", "restart:ses", "pm");
+  EXPECT_NE(outer, 0u);
+  EXPECT_NE(inner, 0u);
+  EXPECT_NE(outer, inner);
+
+  rec.end(3.0, inner, {{"outcome", "ready"}});
+  rec.end(3.5, outer);
+
+  ASSERT_EQ(rec.events().size(), 4u);
+  const TraceEvent& inner_end = rec.events()[2];
+  EXPECT_EQ(inner_end.kind, EventKind::kEnd);
+  // category/name/track replayed from the matching begin.
+  EXPECT_EQ(inner_end.category, "restart");
+  EXPECT_EQ(inner_end.name, "restart:ses");
+  EXPECT_EQ(inner_end.track, "pm");
+  EXPECT_EQ(inner_end.span, inner);
+  EXPECT_EQ(inner_end.arg_or("outcome"), "ready");
+
+  const TraceEvent& outer_end = rec.events()[3];
+  EXPECT_EQ(outer_end.name, "rec.restart");
+  EXPECT_EQ(outer_end.span, outer);
+}
+
+TEST(TraceRecorder, EndOfUnknownSpanIsDropped) {
+  TraceRecorder rec;
+  rec.end(1.0, 999);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorder, EventCapCountsDropped) {
+  TraceRecorder rec(/*max_events=*/2);
+  rec.instant(1.0, "fault", "a", "t");
+  rec.instant(2.0, "fault", "b", "t");
+  rec.instant(3.0, "fault", "c", "t");
+  EXPECT_EQ(rec.events().size(), 2u);
+  EXPECT_EQ(rec.dropped(), 1u);
+}
+
+TEST(TraceRecorder, MetricsAggregate) {
+  TraceRecorder rec;
+  rec.incr("fd.reports");
+  rec.incr("fd.reports", 2);
+  rec.observe("trial.recovery_seconds", 5.0);
+  rec.observe("trial.recovery_seconds", 7.0);
+
+  EXPECT_EQ(rec.count("fd.reports"), 3u);
+  EXPECT_EQ(rec.count("missing"), 0u);
+  ASSERT_EQ(rec.samples().count("trial.recovery_seconds"), 1u);
+  EXPECT_DOUBLE_EQ(rec.samples().at("trial.recovery_seconds").mean(), 6.0);
+  const std::string summary = rec.metrics_summary();
+  EXPECT_NE(summary.find("fd.reports"), std::string::npos);
+  EXPECT_NE(summary.find("trial.recovery_seconds"), std::string::npos);
+}
+
+TEST(TraceRecorder, RunIndexStampsSubsequentEvents) {
+  TraceRecorder rec;
+  rec.instant(1.0, "fault", "a", "t");
+  rec.next_run();
+  rec.instant(1.0, "fault", "b", "t");
+  EXPECT_EQ(rec.events()[0].run, 0u);
+  EXPECT_EQ(rec.events()[1].run, 1u);
+}
+
+TEST(TraceExport, JsonlRoundTripReproducesEvents) {
+  TraceRecorder rec;
+  rec.instant(0.25, "fault", "fault.manifest", "board",
+              {{"manifest", "ses"}, {"kind", "crash"}});
+  const auto span = rec.begin(1.0, "recover", "rec.restart", "rec",
+                              {{"cell", "R_[ses,str]"}, {"escalation", "0"}});
+  rec.next_run();
+  rec.counter(1.5, "active", 2.0, "board");
+  rec.end(2.0, span, {{"outcome", "cured"}});
+  // Values that stress the escaping and number formatting.
+  rec.instant(3.0000001, "sim", "weird \"quotes\"\n\ttabs \\ backslash", "sim",
+              {{"k", "vé"}});
+
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  std::istringstream in(out.str());
+  const std::vector<TraceEvent> back = read_jsonl(in);
+
+  ASSERT_EQ(back.size(), rec.events().size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    const TraceEvent& a = rec.events()[i];
+    const TraceEvent& b = back[i];
+    EXPECT_DOUBLE_EQ(a.t, b.t) << i;
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.category, b.category) << i;
+    EXPECT_EQ(a.name, b.name) << i;
+    EXPECT_EQ(a.track, b.track) << i;
+    EXPECT_EQ(a.span, b.span) << i;
+    EXPECT_EQ(a.run, b.run) << i;
+    ASSERT_EQ(a.args.size(), b.args.size()) << i;
+    for (std::size_t j = 0; j < a.args.size(); ++j) {
+      EXPECT_EQ(a.args[j].key, b.args[j].key);
+      EXPECT_EQ(a.args[j].value, b.args[j].value);
+    }
+  }
+}
+
+TEST(TraceExport, ReadJsonlSkipsMalformedLines) {
+  std::istringstream in(
+      "{\"t\":1,\"ph\":\"i\",\"cat\":\"fault\",\"name\":\"a\",\"track\":\"t\","
+      "\"span\":0,\"run\":0,\"args\":{}}\n"
+      "not json at all\n"
+      "{\"t\":2,\"ph\":\"i\",\"cat\":\"fault\",\"name\":\"b\",\"track\":\"t\","
+      "\"span\":0,\"run\":0,\"args\":{}}\n");
+  const auto events = read_jsonl(in);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(TraceExport, ChromeTraceIsWellFormed) {
+  TraceRecorder rec;
+  const auto span = rec.begin(1.0, "recover", "rec.restart", "rec");
+  rec.end(2.0, span);
+  rec.instant(2.5, "fault", "fault.cured", "board");
+  rec.counter(3.0, "active", 1.0, "board");
+
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+  // Track naming metadata for the viewers.
+  EXPECT_NE(text.find("thread_name"), std::string::npos);
+  // Timestamps are microseconds: t=1.0 s -> 1000000.
+  EXPECT_NE(text.find("\"ts\":1000000"), std::string::npos);
+  // Balanced braces/brackets is a cheap proxy for "parses".
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+            std::count(text.begin(), text.end(), ']'));
+}
+
+TEST(TraceGlobals, FreeFunctionsNoOpWithoutRecorder) {
+  ASSERT_EQ(recorder(), nullptr);
+  // Must not crash or leak state.
+  instant(TimePoint::from_seconds(1.0), "fault", "x", "t");
+  const auto span = begin_span(TimePoint::from_seconds(1.0), "recover", "x", "t");
+  EXPECT_EQ(span, 0u);
+  end_span(TimePoint::from_seconds(2.0), span);
+  incr("nothing");
+  observe("nothing", 1.0);
+  next_run();
+}
+
+TEST(TraceGlobals, ScopedRecorderInstallsAndRestores) {
+  ASSERT_EQ(recorder(), nullptr);
+  TraceRecorder rec;
+  {
+    ScopedRecorder scoped(rec);
+    EXPECT_EQ(recorder(), &rec);
+    instant(TimePoint::from_seconds(1.0), "fault", "x", "t");
+  }
+  EXPECT_EQ(recorder(), nullptr);
+  EXPECT_EQ(rec.events().size(), 1u);
+}
+
+TEST(TraceGlobals, TransformationsEmitTreeEvents) {
+  TraceRecorder rec;
+  ScopedRecorder scoped(rec);
+  auto tree = core::make_tree_i();
+  const auto augmented = core::depth_augment(tree, tree.root());
+  ASSERT_TRUE(augmented.ok());
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].name, "tree.transform");
+  EXPECT_EQ(rec.events()[0].arg_or("op"), "depth_augment");
+  EXPECT_EQ(rec.count("tree.transforms"), 1u);
+}
+
+// --- Phase decomposition on a real crash -> recovery ----------------------
+
+class TracedTrial : public ::testing::Test {
+ protected:
+  station::TrialResult run(const std::string& component,
+                           core::MercuryTree tree) {
+    station::TrialSpec spec;
+    spec.tree = tree;
+    spec.oracle = station::OracleKind::kHeuristic;
+    spec.fail_component = component;
+    spec.seed = 11;
+    ScopedRecorder scoped(rec_);
+    return station::run_trial(spec);
+  }
+
+  TraceRecorder rec_;
+};
+
+TEST_F(TracedTrial, CrashProducesThePipelineEventSequence) {
+  run(core::component_names::kSes, core::MercuryTree::kTreeIV);
+
+  // Index of the first event with this name; the pipeline stages must appear
+  // in causal order.
+  const auto index_of = [&](const std::string& name, EventKind kind) {
+    const auto& events = rec_.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].name == name && events[i].kind == kind) return i;
+    }
+    ADD_FAILURE() << "missing event " << name;
+    return events.size();
+  };
+
+  const auto fault = index_of("fault.manifest", EventKind::kInstant);
+  const auto suspect = index_of("fd.suspect", EventKind::kInstant);
+  const auto report = index_of("fd.report", EventKind::kInstant);
+  const auto choice = index_of("oracle.choice", EventKind::kInstant);
+  const auto action_begin = index_of("rec.restart", EventKind::kBegin);
+  const auto restart_begin = index_of("restart:ses", EventKind::kBegin);
+  const auto restart_end = index_of("restart:ses", EventKind::kEnd);
+  const auto action_end = index_of("rec.restart", EventKind::kEnd);
+  const auto cured = index_of("fault.cured", EventKind::kInstant);
+
+  EXPECT_LT(fault, suspect);
+  EXPECT_LT(suspect, report);
+  EXPECT_LT(report, choice);
+  EXPECT_LT(choice, action_begin);
+  EXPECT_LT(action_begin, restart_begin);
+  EXPECT_LT(restart_begin, restart_end);
+  EXPECT_LT(restart_end, action_end);
+  EXPECT_LT(restart_end, cured);
+
+  EXPECT_GE(rec_.count("faults.injected"), 1u);
+  EXPECT_GE(rec_.count("faults.cured"), 1u);
+  EXPECT_GE(rec_.count("fd.reports"), 1u);
+  EXPECT_GE(rec_.count("oracle.choices"), 1u);
+  EXPECT_GE(rec_.count("rec.restarts"), 1u);
+}
+
+TEST_F(TracedTrial, PhasesTileTheMeasuredRecoveryTime) {
+  const auto result = run(core::component_names::kSes, core::MercuryTree::kTreeIV);
+  ASSERT_FALSE(result.timed_out);
+  ASSERT_FALSE(result.hard_failure);
+
+  const auto rows = recovery_phases(rec_.events());
+  ASSERT_EQ(rows.size(), 1u);
+  const RecoveryPhases& row = rows[0];
+  EXPECT_EQ(row.component, "ses");
+  EXPECT_TRUE(row.has_fault);
+  EXPECT_FALSE(row.soft);
+  EXPECT_EQ(row.escalation_level, 0);
+  EXPECT_GT(row.detection(), 0.0);
+  EXPECT_GT(row.decision(), 0.0);
+  EXPECT_GT(row.execution(), 0.0);
+
+  // The three phases tile fault -> cure, so they sum to end_to_end exactly.
+  EXPECT_NEAR(row.detection() + row.decision() + row.execution(),
+              row.end_to_end(), 1e-12);
+
+  // And the trace-derived end-to-end matches the harness's measurement
+  // (well inside the 1% acceptance tolerance).
+  const double measured = result.recovery.to_seconds();
+  EXPECT_NEAR(row.end_to_end(), measured, 0.01 * measured);
+}
+
+TEST_F(TracedTrial, PhaseTableSummarizesComponents) {
+  run(core::component_names::kSes, core::MercuryTree::kTreeIV);
+  const std::string table = phase_table(recovery_phases(rec_.events()));
+  EXPECT_NE(table.find("ses"), std::string::npos);
+  EXPECT_NE(table.find("(all)"), std::string::npos);
+}
+
+TEST_F(TracedTrial, JsonlRoundTripPreservesPhases) {
+  const auto result = run(core::component_names::kSes, core::MercuryTree::kTreeIV);
+  std::ostringstream out;
+  rec_.write_jsonl(out);
+  std::istringstream in(out.str());
+  const auto rows = recovery_phases(read_jsonl(in));
+  ASSERT_EQ(rows.size(), 1u);
+  const double measured = result.recovery.to_seconds();
+  EXPECT_NEAR(rows[0].end_to_end(), measured, 0.01 * measured);
+}
+
+}  // namespace
+}  // namespace mercury::obs
