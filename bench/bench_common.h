@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -40,8 +41,21 @@ class TraceSession {
     obs::set_recorder(nullptr);
 
     const char* dir = std::getenv("MERCURY_TRACE_DIR");
-    const std::string prefix =
-        (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" + name_ : name_;
+    std::string prefix = name_;
+    if (dir != nullptr && *dir != '\0') {
+      // Create the trace directory if it does not exist yet, and say
+      // exactly what went wrong if we cannot — a silently unwritable
+      // MERCURY_TRACE_DIR used to drop traces with only a vague warning.
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        std::fprintf(stderr,
+                     "error: cannot create MERCURY_TRACE_DIR '%s': %s; "
+                     "traces will not be written\n",
+                     dir, ec.message().c_str());
+      }
+      prefix = std::string(dir) + "/" + name_;
+    }
     const std::string jsonl_path = prefix + ".trace.jsonl";
     const std::string chrome_path = prefix + ".trace.json";
     bool wrote = true;

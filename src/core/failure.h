@@ -57,4 +57,28 @@ struct ActiveFailure {
   bool cured() const { return restarted.size() == spec.cure_set.size(); }
 };
 
+/// Restart-time fault model: the cure itself is a fault domain. A restart
+/// attempt of a component can hang (startup never completes), crash during
+/// startup (the attempt ends with the component still down), or flake (a
+/// per-attempt crash probability). Deterministic first-k variants let tests
+/// and the chaos campaign script exact crash-loop shapes. Probabilities and
+/// counters are *per restart attempt of that component*; attempt counters
+/// reset on the first successful startup.
+struct RestartFaultSpec {
+  /// Probability a restart attempt hangs: startup never completes and only a
+  /// superseding restart (recoverer deadline -> escalate) can move on.
+  double hang_prob = 0.0;
+  /// Probability a restart attempt crashes at the end of its startup.
+  double crash_prob = 0.0;
+  /// The first k attempts hang deterministically (then hang_prob applies).
+  int hang_first_attempts = 0;
+  /// The first k attempts crash deterministically (crash-loop shape).
+  int fail_first_attempts = 0;
+
+  bool active() const {
+    return hang_prob > 0.0 || crash_prob > 0.0 || hang_first_attempts > 0 ||
+           fail_first_attempts > 0;
+  }
+};
+
 }  // namespace mercury::core

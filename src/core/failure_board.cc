@@ -139,6 +139,38 @@ bool FailureBoard::clear(FailureId id) {
   return true;
 }
 
+void FailureBoard::set_restart_faults(const std::string& component,
+                                      RestartFaultSpec spec) {
+  if (spec.active()) {
+    restart_faults_[component] = spec;
+  } else {
+    restart_faults_.erase(component);
+  }
+}
+
+const RestartFaultSpec& FailureBoard::restart_faults(
+    const std::string& component) const {
+  static const RestartFaultSpec kNone;
+  const auto it = restart_faults_.find(component);
+  return it != restart_faults_.end() ? it->second : kNone;
+}
+
+void FailureBoard::note_restart_hang(const std::string& component,
+                                     util::TimePoint now) {
+  ++restart_hangs_;
+  obs::instant(now, "restart", "restart.hang", "board",
+               {{"component", component}});
+  obs::incr("restart.hangs");
+}
+
+void FailureBoard::note_restart_crash(const std::string& component,
+                                      util::TimePoint now) {
+  ++restart_crashes_;
+  obs::instant(now, "restart", "restart.crash", "board",
+               {{"component", component}});
+  obs::incr("restart.crashes");
+}
+
 void FailureBoard::add_cure_listener(CureListener listener) {
   cure_listeners_.push_back(std::move(listener));
 }

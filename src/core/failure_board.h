@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,7 @@ class FailureBoard {
   bool any_active() const { return !active_.empty(); }
 
   /// Forcibly clear a failure (used by tests); returns false if unknown.
+  /// Does NOT fire cure listeners: the failure was removed, not cured.
   bool clear(FailureId id);
 
   void add_cure_listener(CureListener listener);
@@ -57,12 +59,39 @@ class FailureBoard {
   std::uint64_t total_injected() const { return next_id_ - 1; }
   std::uint64_t total_cured() const { return total_cured_; }
 
+  // --- Restart-time faults ------------------------------------------------
+  // The restart path is itself a fault domain (ISSUE 2): the board holds the
+  // ground-truth spec of how each component's restarts misbehave, and the
+  // process manager consults it at every startup attempt. An all-zero spec
+  // (the default) means restarts always succeed.
+
+  /// Install (or, with an inactive spec, remove) `component`'s restart-time
+  /// fault behavior.
+  void set_restart_faults(const std::string& component, RestartFaultSpec spec);
+
+  /// The component's restart-fault spec; all-zero default if none installed.
+  const RestartFaultSpec& restart_faults(const std::string& component) const;
+
+  bool any_restart_faults() const { return !restart_faults_.empty(); }
+
+  /// Bookkeeping hooks for the process manager: a restart attempt of
+  /// `component` hung / crashed during startup. Emit trace events and bump
+  /// counters so chaos campaigns can audit the injected restart faults.
+  void note_restart_hang(const std::string& component, util::TimePoint now);
+  void note_restart_crash(const std::string& component, util::TimePoint now);
+
+  std::uint64_t restart_hangs() const { return restart_hangs_; }
+  std::uint64_t restart_crashes() const { return restart_crashes_; }
+
  private:
   std::vector<ActiveFailure> active_;
   std::vector<CureListener> cure_listeners_;
   std::vector<InjectListener> inject_listeners_;
+  std::map<std::string, RestartFaultSpec> restart_faults_;
   FailureId next_id_ = 1;
   std::uint64_t total_cured_ = 0;
+  std::uint64_t restart_hangs_ = 0;
+  std::uint64_t restart_crashes_ = 0;
 };
 
 }  // namespace mercury::core

@@ -24,6 +24,15 @@ class ProcessControl {
   /// group. `on_complete` fires once every component in the group has
   /// finished starting up (whole-system restarts experience contention —
   /// a property of the implementation, not of this interface).
+  ///
+  /// A group naming a component whose previous restart is still in flight
+  /// (possibly hung or crash-looping — the restart path is itself a fault
+  /// domain) SUPERSEDES the stale attempt: the component is re-killed and
+  /// started fresh under the new group. The abandoned group's on_complete
+  /// still fires when its remaining members drain, so callers MUST guard
+  /// completions (the recoverer tags each action with an id and ignores
+  /// stale ones). `on_complete` is not guaranteed to fire at all for an
+  /// attempt that hangs; a hardened caller needs its own deadline.
   virtual void restart_group(const std::vector<std::string>& names,
                              std::function<void()> on_complete) = 0;
 

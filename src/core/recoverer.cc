@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "obs/trace.h"
 #include "util/log.h"
@@ -9,6 +10,7 @@
 
 namespace mercury::core {
 
+using util::Duration;
 using util::LogLevel;
 using util::LogLine;
 
@@ -40,9 +42,13 @@ void Recoverer::crash() {
 void Recoverer::restart_complete() {
   alive_ = true;
   // The generalized procedural knowledge survives in the restart tree file;
-  // in-memory chain state is process state and is lost.
+  // in-memory chain state (queue, escalation context, backoff streaks,
+  // attempt budgets) is process state and is lost. Parked hard failures
+  // survive: they are the operator-facing record.
   queue_.clear();
   last_.reset();
+  backoff_.clear();
+  chain_attempts_ = 0;
   obs::instant(sim_.now(), "proc", "rec.restarted", "rec");
   LogLine(LogLevel::kInfo, sim_.now(), "rec") << "restarted";
 }
@@ -70,15 +76,18 @@ void Recoverer::on_link_message(const msg::Message& message) {
   }
 }
 
+bool Recoverer::is_parked(const std::string& component) const {
+  return parked_.contains(component) ||
+         std::find(hard_failures_.begin(), hard_failures_.end(), component) !=
+             hard_failures_.end();
+}
+
 void Recoverer::handle_report(const std::string& component) {
   obs::instant(sim_.now(), "recover", "rec.report-received", "rec",
                {{"component", component}});
   // A hard failure is parked for the operator; restarting it forever is
   // exactly what the paper's policy must prevent.
-  if (std::find(hard_failures_.begin(), hard_failures_.end(), component) !=
-      hard_failures_.end()) {
-    return;
-  }
+  if (is_parked(component)) return;
 
   if (current_.has_value()) {
     const auto& in_flight = current_->components;
@@ -137,29 +146,9 @@ void Recoverer::handle_report(const std::string& component) {
       oracle_.feedback(last_->chain_component, last_->node, /*cured=*/false);
       last_->feedback_sent = true;
     }
-    if (last_->node == tree_.root()) {
-      // The whole system was already restarted and this component promptly
-      // failed again. Count uncured root restarts *per component*: a fresh,
-      // unrelated crash landing just after a reboot must not get an
-      // innocent component parked (it merely rides the escalation).
-      RootRestartHistory& history = root_history_[component];
-      if (sim_.now() - history.last < config_.root_retry_window) {
-        ++history.count;
-      } else {
-        history.count = 1;
-      }
-      history.last = sim_.now();
-      if (history.count >= config_.max_root_restarts) {
-        LogLine(LogLevel::kError, sim_.now(), "rec")
-            << "hard failure: " << component << " persists after "
-            << history.count << " full restarts; giving up";
-        obs::instant(sim_.now(), "recover", "rec.hard-failure", "rec",
-                     {{"component", component},
-                      {"root_restarts", std::to_string(history.count)}});
-        obs::incr("rec.hard_failures");
-        hard_failures_.push_back(component);
-        return;
-      }
+    if (last_->node == tree_.root() &&
+        note_root_restart_then_maybe_park(component)) {
+      return;
     }
     OracleQuery query;
     query.tree = &tree_;
@@ -169,8 +158,10 @@ void Recoverer::handle_report(const std::string& component) {
     query.trace_now = sim_.now().to_seconds();
     restart.node = oracle_.choose(query);
   } else {
-    // Fresh failure. With recursive recovery enabled, the first rung is the
-    // component's own soft procedure; the restart tree is the ladder above.
+    // Fresh failure: a new chain begins; the attempt budget starts over.
+    chain_attempts_ = 0;
+    // With recursive recovery enabled, the first rung is the component's own
+    // soft procedure; the restart tree is the ladder above.
     if (config_.enable_soft_recovery &&
         process_control_.supports_soft_recovery()) {
       execute_soft(std::move(restart));
@@ -186,11 +177,82 @@ void Recoverer::handle_report(const std::string& component) {
   execute(std::move(restart));
 }
 
+bool Recoverer::note_root_restart_then_maybe_park(const std::string& component) {
+  // The whole system was already restarted and this component promptly
+  // failed again. Count uncured root restarts *per component*: a fresh,
+  // unrelated crash landing just after a reboot must not get an innocent
+  // component parked (it merely rides the escalation).
+  RootRestartHistory& history = root_history_[component];
+  if (sim_.now() - history.last < config_.root_retry_window) {
+    ++history.count;
+  } else {
+    history.count = 1;
+  }
+  history.last = sim_.now();
+  if (history.count < config_.max_root_restarts) return false;
+  LogLine(LogLevel::kError, sim_.now(), "rec")
+      << "hard failure: " << component << " persists after " << history.count
+      << " full restarts; giving up";
+  obs::instant(sim_.now(), "recover", "rec.hard-failure", "rec",
+               {{"component", component},
+                {"root_restarts", std::to_string(history.count)}});
+  obs::incr("rec.hard_failures");
+  park(component, "root-restarts-exhausted");
+  return true;
+}
+
+void Recoverer::park(const std::string& component, const std::string& reason) {
+  hard_failures_.push_back(component);
+  std::vector<std::string> to_mask = {component};
+  // Stragglers: anything still restarting belongs to this chain's abandoned
+  // actions (REC serializes restarts) and is in unknown startup state —
+  // parked along with the reported component. Healthy components abandoned
+  // actions left masked go back into service.
+  for (const auto& name : process_control_.restarting_now()) {
+    if (name != component) to_mask.push_back(name);
+  }
+  for (const auto& name : to_mask) parked_.insert(name);
+  std::vector<std::string> to_unmask;
+  for (const auto& name : masked_) {
+    if (!parked_.contains(name)) to_unmask.push_back(name);
+  }
+  obs::instant(sim_.now(), "recover", "rec.parked", "rec",
+               {{"component", component},
+                {"reason", reason},
+                {"masked", util::join(to_mask, ",")}});
+  obs::incr("rec.parked");
+  LogLine(LogLevel::kError, sim_.now(), "rec")
+      << "parked " << util::join(to_mask, ",") << " (" << reason
+      << "); operating degraded until operator intervention";
+  // Permanent FD mask: the station keeps running without the parked cell
+  // instead of detect/restart-looping it. send_mask never unmasks parked
+  // components again.
+  send_mask(to_mask, true);
+  if (!to_unmask.empty()) send_mask(to_unmask, false);
+  drain_queue();
+}
+
+bool Recoverer::budget_exhausted_then_park(const CurrentRestart& restart) {
+  if (restart.planned || config_.max_attempts_per_chain <= 0) return false;
+  if (chain_attempts_ < config_.max_attempts_per_chain) return false;
+  LogLine(LogLevel::kError, sim_.now(), "rec")
+      << "hard failure: chain for " << restart.reported_component
+      << " exhausted its budget of " << config_.max_attempts_per_chain
+      << " restart attempts; giving up";
+  obs::instant(sim_.now(), "recover", "rec.hard-failure", "rec",
+               {{"component", restart.reported_component},
+                {"attempts", std::to_string(chain_attempts_)}});
+  obs::incr("rec.hard_failures");
+  park(restart.reported_component, "attempt-budget-exhausted");
+  return true;
+}
+
 void Recoverer::execute_soft(CurrentRestart restart) {
   restart.soft = true;
   restart.components = {restart.reported_component};
   const auto cell = tree_.lowest_cell_covering(restart.reported_component);
   restart.node = cell ? *cell : tree_.root();
+  restart.action_id = next_action_id_++;
   ++soft_recoveries_;
   restart.trace_span = obs::begin_span(
       sim_.now(), "recover", "rec.soft", "rec",
@@ -202,13 +264,16 @@ void Recoverer::execute_soft(CurrentRestart restart) {
       << " (recursive-recovery rung 0)";
   send_mask(restart.components, true);
   const std::string component = restart.reported_component;
+  const std::uint64_t action_id = restart.action_id;
   current_ = restart;
-  process_control_.soft_recover(component, [this] { on_restart_complete(); });
+  process_control_.soft_recover(
+      component, [this, action_id] { on_restart_complete(action_id); });
 }
 
 bool Recoverer::planned_restart(const std::string& component) {
   if (!alive_) return false;
   if (current_.has_value()) return false;  // reactive work has priority
+  if (is_parked(component)) return false;
   const auto cell = tree_.lowest_cell_covering(component);
   if (!cell) return false;
   CurrentRestart restart;
@@ -224,6 +289,56 @@ bool Recoverer::planned_restart(const std::string& component) {
 void Recoverer::execute(CurrentRestart restart) {
   restart.components = tree_.group_components(restart.node);
   assert(!restart.components.empty());
+  restart.action_id = next_action_id_++;
+
+  // Attempt budget: a chain that keeps consuming restarts — whether the
+  // failure persists or the restarts themselves keep timing out — is parked
+  // rather than retried forever.
+  if (budget_exhausted_then_park(restart)) return;
+  if (!restart.planned) ++chain_attempts_;
+
+  // Backoff (crash-loop pacing): successive attempts on the same cell are
+  // spaced out exponentially. Serialization starts immediately (current_ is
+  // set, so new reports queue), but the kill/start itself waits.
+  Duration delay = Duration::zero();
+  if (config_.backoff_base > Duration::zero()) {
+    CellBackoff& backoff = backoff_[restart.node];
+    if (sim_.now() - backoff.last > config_.backoff_decay) backoff.streak = 0;
+    if (backoff.streak > 0) {
+      const double wait_s =
+          std::min(config_.backoff_cap.to_seconds(),
+                   config_.backoff_base.to_seconds() *
+                       std::pow(config_.backoff_factor, backoff.streak - 1));
+      const util::TimePoint allowed = backoff.last + Duration::seconds(wait_s);
+      if (allowed > sim_.now()) delay = allowed - sim_.now();
+    }
+  }
+
+  if (delay > Duration::zero()) {
+    ++backoffs_applied_;
+    obs::instant(sim_.now(), "recover", "rec.backoff", "rec",
+                 {{"component", restart.reported_component},
+                  {"cell", tree_.cell(restart.node).label},
+                  {"delay_s", util::format_fixed(delay.to_seconds(), 3)}});
+    obs::incr("rec.backoffs");
+    LogLine(LogLevel::kInfo, sim_.now(), "rec")
+        << "backing off " << util::format_fixed(delay.to_seconds(), 3)
+        << " s before restarting cell " << tree_.cell(restart.node).label;
+    const std::uint64_t action_id = restart.action_id;
+    current_ = restart;
+    sim_.schedule_after(delay, "rec.backoff", [this, action_id] {
+      if (!current_.has_value() || current_->action_id != action_id) return;
+      dispatch(*current_);
+    });
+    return;
+  }
+
+  current_ = restart;
+  dispatch(restart);
+}
+
+void Recoverer::dispatch(CurrentRestart restart) {
+  assert(current_.has_value() && current_->action_id == restart.action_id);
   LogLine(LogLevel::kInfo, sim_.now(), "rec")
       << "restarting cell " << tree_.cell(restart.node).label << " ("
       << util::join(restart.components, ",") << ") for failure of "
@@ -232,7 +347,7 @@ void Recoverer::execute(CurrentRestart restart) {
               ? " [escalation level " + std::to_string(restart.escalation_level) + "]"
               : "");
 
-  restart.trace_span = obs::begin_span(
+  current_->trace_span = obs::begin_span(
       sim_.now(), "recover", "rec.restart", "rec",
       {{"component", restart.reported_component},
        {"cell", tree_.cell(restart.node).label},
@@ -240,14 +355,83 @@ void Recoverer::execute(CurrentRestart restart) {
        {"escalation", std::to_string(restart.escalation_level)},
        {"planned", restart.planned ? "1" : "0"}});
   send_mask(restart.components, true);
-  current_ = restart;
-  process_control_.restart_group(restart.components,
-                                 [this] { on_restart_complete(); });
+
+  if (config_.backoff_base > Duration::zero()) {
+    CellBackoff& backoff = backoff_[restart.node];
+    ++backoff.streak;
+    backoff.last = sim_.now();
+  }
+
+  const std::uint64_t action_id = restart.action_id;
+  // Deadline before dispatch: ProcessControl may complete synchronously.
+  if (config_.restart_deadline > Duration::zero()) {
+    current_->deadline_event =
+        sim_.schedule_after(config_.restart_deadline, "rec.restart-deadline",
+                            [this, action_id] { on_restart_timeout(action_id); });
+  }
+  process_control_.restart_group(
+      restart.components, [this, action_id] { on_restart_complete(action_id); });
 }
 
-void Recoverer::on_restart_complete() {
-  assert(current_.has_value());
+void Recoverer::on_restart_timeout(std::uint64_t action_id) {
+  if (!current_.has_value() || current_->action_id != action_id) return;
+  const CurrentRestart failed = *current_;
+  current_.reset();
+
+  ++restart_timeouts_;
+  obs::end_span(sim_.now(), failed.trace_span, {{"outcome", "timeout"}});
+  obs::instant(sim_.now(), "restart", "restart.timeout", "rec",
+               {{"component", failed.reported_component},
+                {"cell", tree_.cell(failed.node).label},
+                {"escalation", std::to_string(failed.escalation_level)}});
+  obs::incr("rec.restart_timeouts");
+  LogLine(LogLevel::kWarn, sim_.now(), "rec")
+      << "restart of cell " << tree_.cell(failed.node).label << " for "
+      << failed.reported_component << " exceeded its deadline; escalating";
+
+  if (failed.planned) {
+    // A timed-out rejuvenation turns reactive: the cell is now genuinely
+    // broken. Treat it as a fresh chain on the reported component.
+    chain_attempts_ = 0;
+  }
+
+  // The hung group's members stay masked; the superseding restart below
+  // covers a superset and re-kills the stragglers. No oracle feedback: a
+  // restart that never finished says nothing about cure sets.
+  CurrentRestart retry;
+  retry.reported_component = failed.reported_component;
+  retry.report_time = failed.report_time;
+  retry.escalation_level = failed.escalation_level + 1;
+  ++escalations_;
+  obs::instant(sim_.now(), "recover", "rec.escalate", "rec",
+               {{"component", failed.reported_component},
+                {"level", std::to_string(retry.escalation_level)},
+                {"from", "timeout"}});
+  obs::incr("rec.escalations");
+
+  if (failed.node == tree_.root()) {
+    // Even the full-system restart hangs: after the tolerated number of
+    // root-level rounds this chain is unrecoverable by restart. park()
+    // sweeps up the hung stragglers and frees the healthy members.
+    if (note_root_restart_then_maybe_park(failed.reported_component)) return;
+  }
+
+  OracleQuery query;
+  query.tree = &tree_;
+  query.failed_component = failed.reported_component;
+  query.escalation_level = retry.escalation_level;
+  query.previous_node = failed.node;
+  query.trace_now = sim_.now().to_seconds();
+  retry.node = oracle_.choose(query);
+  execute(std::move(retry));
+}
+
+void Recoverer::on_restart_complete(std::uint64_t action_id) {
+  // Stale completions are real under restart-time faults: a hung restart
+  // that finishes after its deadline fired, or a superseded group draining.
+  if (!current_.has_value() || current_->action_id != action_id) return;
   const CurrentRestart finished = *current_;
+  if (finished.deadline_event.valid()) sim_.cancel(finished.deadline_event);
   current_.reset();
 
   obs::end_span(sim_.now(), finished.trace_span);
@@ -308,6 +492,7 @@ void Recoverer::drain_queue() {
   while (!queue_.empty() && !current_.has_value()) {
     const std::string component = queue_.front();
     queue_.pop_front();
+    if (is_parked(component)) continue;
     // Reports about components the finishing restart covered are stale: the
     // restart either cured them, or FD will re-detect and escalate.
     if (last_.has_value() &&
@@ -320,11 +505,29 @@ void Recoverer::drain_queue() {
 }
 
 void Recoverer::send_mask(const std::vector<std::string>& components, bool mask) {
+  std::vector<std::string> effective = components;
+  if (!mask && !parked_.empty()) {
+    // Parked components never come back off the mask: the station operates
+    // degraded without them until an operator intervenes.
+    effective.erase(std::remove_if(effective.begin(), effective.end(),
+                                   [this](const std::string& name) {
+                                     return parked_.contains(name);
+                                   }),
+                    effective.end());
+    if (effective.empty()) return;
+  }
+  for (const auto& name : effective) {
+    if (mask) {
+      masked_.insert(name);
+    } else {
+      masked_.erase(name);
+    }
+  }
   obs::instant(sim_.now(), "recover", mask ? "rec.mask" : "rec.unmask", "rec",
-               {{"components", util::join(components, ",")}});
+               {{"components", util::join(effective, ",")}});
   msg::Message command = msg::make_command(config_.rec_name, config_.fd_name,
                                            seq_++, mask ? "mask" : "unmask");
-  command.body.set_attr("components", util::join(components, ","));
+  command.body.set_attr("components", util::join(effective, ","));
   link_.send(command);
 }
 

@@ -18,6 +18,24 @@
 //   4. gives up on a chain that keeps failing after `max_root_restarts`
 //      full-system restarts, parking it as a hard failure for the operator.
 //
+// The restart path is itself a fault domain (ISSUE 2), so REC is hardened
+// against its own cure failing:
+//
+//   * a per-restart deadline (sized by the harness from the calibration's
+//     worst-case contended startup plus margin) aborts a hung restart —
+//     ProcessControl implementations supersede the stale attempt on the next
+//     restart_group — and escalates it like a persisting failure;
+//   * exponential backoff (base/factor/cap, with decay) paces successive
+//     restart attempts of the same cell, so a crash-looping startup cannot
+//     become a restart storm;
+//   * an attempt budget per failure chain feeds the existing hard-failure
+//     parking, and parked components are masked in FD *permanently*, so the
+//     station keeps operating degraded instead of detect/restart-looping.
+//
+// All hardening knobs default off (legacy behavior); completions are guarded
+// by an action id so a hung restart that finishes late, or a superseded
+// group draining, can never be mistaken for the current action.
+//
 // REC also answers FD's pings and monitors FD in return (§2.2's two special
 // cases); the FD restart action is injected by the harness.
 #pragma once
@@ -28,6 +46,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,6 +82,28 @@ struct RecConfig {
   util::Duration fd_ping_timeout = util::Duration::millis(300.0);
   std::string fd_name = "fd";
   std::string rec_name = "rec";
+
+  // --- Restart-path hardening (ISSUE 2) -----------------------------------
+  /// Deadline for one restart action (kill -> every group member ready). A
+  /// restart still in flight when it expires is abandoned and escalated like
+  /// a persisting failure; the superseding restart re-kills the stragglers.
+  /// Size it above the worst-case contended startup (the experiment rig uses
+  /// the calibration's slowest component x full contention x margin). Zero
+  /// disables: legacy behavior, trust on_complete unconditionally.
+  util::Duration restart_deadline = util::Duration::zero();
+  /// Exponential backoff between successive restart attempts of the same
+  /// cell: attempt n of a streak starts no earlier than backoff_base *
+  /// backoff_factor^(n-1) after attempt n-1 began, capped at backoff_cap.
+  /// Zero base disables.
+  util::Duration backoff_base = util::Duration::zero();
+  double backoff_factor = 2.0;
+  util::Duration backoff_cap = util::Duration::seconds(30.0);
+  /// A cell with no restart attempts for this long forgets its streak.
+  util::Duration backoff_decay = util::Duration::seconds(60.0);
+  /// Restart attempts tolerated per failure chain (reactive actions only,
+  /// timed-out attempts included) before the chain is parked as a hard
+  /// failure. Zero disables (only max_root_restarts parks).
+  int max_attempts_per_chain = 0;
 };
 
 /// One completed recovery action, for logs and experiment audits.
@@ -120,6 +161,13 @@ class Recoverer {
   bool restart_in_progress() const { return current_.has_value(); }
   /// Chains declared unrecoverable-by-restart.
   const std::vector<std::string>& hard_failures() const { return hard_failures_; }
+  /// Components permanently masked in FD by hard-failure parking: the
+  /// station operates degraded without them until an operator intervenes.
+  const std::set<std::string>& parked() const { return parked_; }
+  /// Restart actions abandoned by the per-restart deadline.
+  std::uint64_t restart_timeouts() const { return restart_timeouts_; }
+  /// Restart attempts delayed by the same-cell backoff policy.
+  std::uint64_t backoffs_applied() const { return backoffs_applied_; }
 
  private:
   struct CurrentRestart {
@@ -131,6 +179,8 @@ class Recoverer {
     bool soft = false;
     util::TimePoint report_time;
     std::uint64_t trace_span = 0;  // open obs span for this action
+    std::uint64_t action_id = 0;   // stale-completion guard
+    sim::EventId deadline_event;   // pending restart_deadline, if any
   };
   struct LastRestart {
     NodeId node = kInvalidNode;
@@ -149,12 +199,34 @@ class Recoverer {
     int count = 0;
     util::TimePoint last = util::TimePoint::origin() - util::Duration::hours(1.0);
   };
+  /// Same-cell restart pacing (crash loops must not become restart storms).
+  struct CellBackoff {
+    int streak = 0;
+    util::TimePoint last = util::TimePoint::origin() - util::Duration::hours(1.0);
+  };
 
   void on_link_message(const msg::Message& message);
   void handle_report(const std::string& component);
   void execute(CurrentRestart restart);
   void execute_soft(CurrentRestart restart);
-  void on_restart_complete();
+  /// Open the trace span, mask the group, start the deadline and hand the
+  /// group to ProcessControl (execute() after any backoff delay).
+  void dispatch(CurrentRestart restart);
+  void on_restart_complete(std::uint64_t action_id);
+  void on_restart_timeout(std::uint64_t action_id);
+  /// True when the chain's attempt budget is exhausted; parks and returns
+  /// true, or returns false to keep going.
+  bool budget_exhausted_then_park(const CurrentRestart& restart);
+  /// Root-level give-up accounting shared by the persisting-failure and
+  /// restart-timeout escalation paths; returns true when it parked.
+  bool note_root_restart_then_maybe_park(const std::string& component);
+  /// Declare `component`'s chain a hard failure. Permanently masks it in FD,
+  /// along with any straggler still in flight from the chain's abandoned
+  /// restarts (REC serializes restarts, so every in-flight component belongs
+  /// to this chain and is in unknown startup state). Healthy components left
+  /// masked by abandoned actions are unmasked — they return to service.
+  void park(const std::string& component, const std::string& reason);
+  bool is_parked(const std::string& component) const;
   void send_mask(const std::vector<std::string>& components, bool mask);
   void drain_queue();
   void ping_fd();
@@ -172,12 +244,24 @@ class Recoverer {
   std::optional<CurrentRestart> current_;
   std::optional<LastRestart> last_;
   std::map<std::string, RootRestartHistory> root_history_;
+  std::map<NodeId, CellBackoff> backoff_;
   std::deque<std::string> queue_;
   std::vector<RecoveryRecord> history_;
   std::vector<std::string> hard_failures_;
+  std::set<std::string> parked_;
+  /// Components currently masked in FD by us (mask sent, unmask not yet).
+  /// Lets park() tell stragglers (masked + still restarting) from healthy
+  /// components abandoned actions left masked.
+  std::set<std::string> masked_;
+  /// Reactive restart attempts in the chain currently being worked
+  /// (chain = the run of escalations that began at one fresh report).
+  int chain_attempts_ = 0;
+  std::uint64_t next_action_id_ = 1;
   std::uint64_t escalations_ = 0;
   std::uint64_t planned_restarts_ = 0;
   std::uint64_t soft_recoveries_ = 0;
+  std::uint64_t restart_timeouts_ = 0;
+  std::uint64_t backoffs_applied_ = 0;
 
   // FD monitoring.
   std::function<void()> fd_restarter_;

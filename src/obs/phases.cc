@@ -1,6 +1,6 @@
 #include "obs/phases.h"
 
-#include <cstdlib>
+#include <charconv>
 #include <map>
 #include <sstream>
 #include <utility>
@@ -65,7 +65,17 @@ std::vector<RecoveryPhases> recovery_phases(
       row.cell = event.arg_or("cell");
       row.soft = event.name == "rec.soft";
       row.planned = event.arg_or("planned") == "1";
-      row.escalation_level = std::atoi(event.arg_or("escalation", "0").c_str());
+      // Checked parse: traces can come from files (jsonl round trips), so a
+      // malformed escalation arg must degrade to 0, not whatever atoi
+      // happens to return on garbage or out-of-range input.
+      const std::string escalation = event.arg_or("escalation", "0");
+      int level = 0;
+      const auto [ptr, ec] = std::from_chars(
+          escalation.data(), escalation.data() + escalation.size(), level);
+      row.escalation_level =
+          (ec == std::errc{} && ptr == escalation.data() + escalation.size())
+              ? level
+              : 0;
       row.t_action_begin = event.t;
 
       const Key key{event.run, row.component};

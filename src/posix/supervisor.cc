@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 
 #include "obs/trace.h"
@@ -121,6 +122,7 @@ void PosixSupervisor::pump(Millis max_wait) {
   send_pings();
   check_deadlines();
   check_health_policy();
+  maybe_spawn_current();
   maybe_finish_restart();
 }
 
@@ -216,6 +218,23 @@ void PosixSupervisor::check_deadlines() {
                current_->group.end();
   };
   for (auto& [name, worker] : workers_) {
+    // The startup deadline applies even to masked (in-flight group) workers:
+    // the restart path is itself a fault domain, and a hung member startup
+    // must surface (maybe_finish_restart's any_dead escalation) rather than
+    // leave the whole action in flight forever.
+    if (worker.state == WorkerState::kStarting && now >= worker.ready_deadline) {
+      worker.state = WorkerState::kDown;
+      log_info(name, "startup timed out; reporting failure");
+      obs::instant(trace_now(), "detect", "fd.report", "posix",
+                   {{"component", name}, {"cause", "startup-timeout"}});
+      obs::incr("fd.reports");
+      obs::instant(trace_now(), "restart", "restart.timeout", "posix",
+                   {{"component", name}});
+      obs::incr("posix.restart_timeouts");
+      ++restart_timeouts_;
+      if (!masked(name)) on_failure(name);
+      continue;
+    }
     if (masked(name)) continue;
     if (worker.state == WorkerState::kUp && worker.outstanding_seq != 0 &&
         now >= worker.ping_deadline) {
@@ -225,16 +244,16 @@ void PosixSupervisor::check_deadlines() {
                    {{"component", name}, {"cause", "missed-ping"}});
       obs::incr("fd.reports");
       on_failure(name);
-    } else if (worker.state == WorkerState::kStarting &&
-               now >= worker.ready_deadline) {
-      worker.state = WorkerState::kDown;
-      log_info(name, "startup timed out; reporting failure");
-      obs::instant(trace_now(), "detect", "fd.report", "posix",
-                   {{"component", name}, {"cause", "startup-timeout"}});
-      obs::incr("fd.reports");
-      on_failure(name);
     }
   }
+}
+
+void PosixSupervisor::park(const std::string& name, const std::string& reason) {
+  log_info(name, "hard failure (" + reason + "); parking");
+  obs::instant(trace_now(), "recover", "rec.parked", "posix",
+               {{"component", name}, {"reason", reason}});
+  obs::incr("rec.parked");
+  hard_failures_.push_back(name);
 }
 
 void PosixSupervisor::on_failure(const std::string& name) {
@@ -276,16 +295,34 @@ void PosixSupervisor::on_failure(const std::string& name) {
       }
       history.last = now;
       if (history.count >= config_.max_root_restarts) {
-        log_info(name, "hard failure: persists after full restarts; parking");
         obs::instant(trace_now(), "recover", "rec.hard-failure", "posix",
                      {{"component", name},
                       {"root_restarts", std::to_string(history.count)}});
         obs::incr("rec.hard_failures");
-        hard_failures_.push_back(name);
+        park(name, "persists after " + std::to_string(history.count) +
+                       " full restarts");
         return;
       }
     }
+  } else {
+    // Fresh failure: a new chain; the attempt budget starts over.
+    chain_attempts_ = 0;
   }
+  // Attempt budget (ISSUE 2): a chain that keeps consuming restarts —
+  // persisting failure or crash-looping startups — is parked, not retried
+  // forever.
+  if (config_.max_attempts_per_chain > 0 &&
+      chain_attempts_ >= config_.max_attempts_per_chain) {
+    obs::instant(trace_now(), "recover", "rec.hard-failure", "posix",
+                 {{"component", name},
+                  {"attempts", std::to_string(chain_attempts_)}});
+    obs::incr("rec.hard_failures");
+    park(name, "attempt budget of " +
+                   std::to_string(config_.max_attempts_per_chain) +
+                   " restarts exhausted");
+    return;
+  }
+  ++chain_attempts_;
   restart.node = oracle_.choose(query);
   begin_restart(std::move(restart));
 }
@@ -301,15 +338,55 @@ void PosixSupervisor::begin_restart(PendingRestart restart) {
        {"cell", tree_.cell(restart.node).label},
        {"group", util::join(restart.group, ",")},
        {"escalation", std::to_string(restart.escalation_level)}});
-  for (const auto& member : restart.group) {
+
+  // Same-cell backoff (ISSUE 2): a crash-looping cell is paced, not hammered.
+  // The group stays masked while waiting; the spawn happens in
+  // maybe_spawn_current once spawn_at arrives.
+  restart.spawn_at = Clock::now();
+  if (config_.backoff_base.count() > 0) {
+    CellBackoff& backoff = backoff_[restart.node];
+    const auto now = Clock::now();
+    if (backoff.streak > 0 && now - backoff.last > config_.backoff_decay) {
+      backoff.streak = 0;
+    }
+    if (backoff.streak > 0) {
+      const double wait_ms = std::min(
+          static_cast<double>(config_.backoff_cap.count()),
+          static_cast<double>(config_.backoff_base.count()) *
+              std::pow(config_.backoff_factor, backoff.streak - 1));
+      const auto allowed = backoff.last + Millis{static_cast<long>(wait_ms)};
+      if (allowed > now) {
+        restart.spawn_at = allowed;
+        ++backoffs_applied_;
+        obs::instant(trace_now(), "recover", "rec.backoff", "posix",
+                     {{"component", restart.reported_worker},
+                      {"cell", tree_.cell(restart.node).label}});
+        obs::incr("rec.backoffs");
+        log_info("supervisor",
+                 "backing off before restarting cell " +
+                     tree_.cell(restart.node).label);
+      }
+    }
+    ++backoff.streak;
+    backoff.last = restart.spawn_at;
+  }
+
+  current_ = std::move(restart);
+  maybe_spawn_current();
+}
+
+void PosixSupervisor::maybe_spawn_current() {
+  if (!current_.has_value() || current_->spawned) return;
+  if (Clock::now() < current_->spawn_at) return;
+  for (const auto& member : current_->group) {
     auto& worker = workers_.at(member);
     spawn_worker(worker);  // kills the old incarnation, starts fresh
   }
-  current_ = std::move(restart);
+  current_->spawned = true;
 }
 
 void PosixSupervisor::maybe_finish_restart() {
-  if (!current_.has_value()) return;
+  if (!current_.has_value() || !current_->spawned) return;
   const bool all_ready = std::all_of(
       current_->group.begin(), current_->group.end(), [this](const auto& name) {
         return workers_.at(name).state == WorkerState::kUp;
@@ -369,22 +446,34 @@ bool PosixSupervisor::all_up() const {
   });
 }
 
-void PosixSupervisor::kill_worker(const std::string& name) {
-  auto& worker = workers_.at(name);
+bool PosixSupervisor::kill_worker(const std::string& name) {
+  const auto it = workers_.find(name);
+  if (it == workers_.end()) {
+    log_info("supervisor", "kill_worker: no such worker '" + name + "'");
+    return false;
+  }
+  Worker& worker = it->second;
   if (worker.process.has_value()) worker.process->kill_hard();
   obs::instant(trace_now(), "fault", "fault.manifest", "posix",
                {{"manifest", name}, {"kind", "sigkill"}});
   obs::incr("faults.injected");
   // State stays kUp: the supervisor has not *detected* anything yet — that
   // is the failure detector's job (fail-silent semantics).
+  return true;
 }
 
-void PosixSupervisor::wedge_worker(const std::string& name) {
-  auto& worker = workers_.at(name);
+bool PosixSupervisor::wedge_worker(const std::string& name) {
+  const auto it = workers_.find(name);
+  if (it == workers_.end()) {
+    log_info("supervisor", "wedge_worker: no such worker '" + name + "'");
+    return false;
+  }
+  Worker& worker = it->second;
   if (worker.process.has_value()) worker.process->write_line("WEDGE");
   obs::instant(trace_now(), "fault", "fault.manifest", "posix",
                {{"manifest", name}, {"kind", "wedge"}});
   obs::incr("faults.injected");
+  return true;
 }
 
 }  // namespace mercury::posix

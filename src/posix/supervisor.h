@@ -60,6 +60,21 @@ struct SupervisorConfig {
   double memory_limit_mb = 0.0;
   /// Minimum spacing between proactive restarts of the same worker.
   Millis rejuvenation_spacing{2'000};
+
+  // --- Restart-path hardening (ISSUE 2), mirroring core::RecConfig --------
+  /// Exponential backoff between successive restarts of the same cell:
+  /// attempt n of a streak is delayed backoff_base * backoff_factor^(n-1),
+  /// capped at backoff_cap. Zero base disables. While a delayed restart is
+  /// pending, its group stays masked and the spawn waits.
+  Millis backoff_base{0};
+  double backoff_factor = 2.0;
+  Millis backoff_cap{5'000};
+  /// A cell with no restarts for this long forgets its streak.
+  Millis backoff_decay{10'000};
+  /// Restart attempts tolerated per failure chain (reactive actions only)
+  /// before the chain's reported worker is parked as a hard failure. Zero
+  /// disables (only max_root_restarts parks).
+  int max_attempts_per_chain = 0;
 };
 
 struct PosixRecoveryRecord {
@@ -93,16 +108,22 @@ class PosixSupervisor {
   // --- Introspection / fault injection for tests --------------------------
   bool worker_up(const std::string& name) const;
   bool all_up() const;
-  /// SIGKILL a worker out-of-band (external fault injection).
-  void kill_worker(const std::string& name);
-  /// Make a worker fail-silent without killing its process.
-  void wedge_worker(const std::string& name);
+  /// SIGKILL a worker out-of-band (external fault injection). Returns false
+  /// (and logs) for a name the supervisor does not manage.
+  bool kill_worker(const std::string& name);
+  /// Make a worker fail-silent without killing its process. Returns false
+  /// (and logs) for a name the supervisor does not manage.
+  bool wedge_worker(const std::string& name);
 
   const std::vector<PosixRecoveryRecord>& history() const { return history_; }
   const std::vector<std::string>& hard_failures() const { return hard_failures_; }
   const core::RestartTree& tree() const { return tree_; }
   std::uint64_t pings_sent() const { return pings_sent_; }
   std::uint64_t pongs_received() const { return pongs_received_; }
+  /// Restart attempts delayed by same-cell backoff (hardened configs).
+  std::uint64_t backoffs_applied() const { return backoffs_applied_; }
+  /// Worker startups abandoned by the startup deadline (hung/slow spawns).
+  std::uint64_t restart_timeouts() const { return restart_timeouts_; }
   /// Latest memory figure a worker's HEALTH beacon reported, if any.
   std::optional<double> latest_memory_mb(const std::string& name) const;
   std::uint64_t rejuvenations() const { return rejuvenations_; }
@@ -128,7 +149,12 @@ class PosixSupervisor {
     core::NodeId node;
     std::vector<std::string> group;
     int escalation_level = 0;
+    bool rejuvenation = false;  // proactive; exempt from the attempt budget
     Clock::time_point reported_at;
+    /// Backoff pacing: the group is spawned only once this time arrives;
+    /// until then the action is in flight (group masked) but not started.
+    Clock::time_point spawn_at{};
+    bool spawned = false;
     std::uint64_t trace_span = 0;  // open obs span for the whole action
   };
   struct LastRestart {
@@ -144,6 +170,11 @@ class PosixSupervisor {
     int count = 0;
     Clock::time_point last{};
   };
+  /// Same-cell restart pacing (mirrors core::Recoverer::CellBackoff).
+  struct CellBackoff {
+    int streak = 0;
+    Clock::time_point last{};
+  };
 
   void pump(Millis max_wait);
   void drain_worker(Worker& worker);
@@ -152,8 +183,11 @@ class PosixSupervisor {
   void check_health_policy();
   void on_failure(const std::string& name);
   void begin_restart(PendingRestart restart);
+  /// Spawn the current action's group once its backoff delay has elapsed.
+  void maybe_spawn_current();
   void maybe_finish_restart();
   void spawn_worker(Worker& worker);
+  void park(const std::string& name, const std::string& reason);
 
   core::RestartTree tree_;
   core::HeuristicOracle oracle_;
@@ -162,12 +196,17 @@ class PosixSupervisor {
   std::optional<PendingRestart> current_;
   std::optional<LastRestart> last_;
   std::map<std::string, RootHistory> root_history_;
+  std::map<core::NodeId, CellBackoff> backoff_;
   std::vector<PosixRecoveryRecord> history_;
   std::vector<std::string> hard_failures_;
+  /// Reactive restart attempts in the chain currently being worked.
+  int chain_attempts_ = 0;
   std::uint64_t seq_ = 1;
   std::uint64_t pings_sent_ = 0;
   std::uint64_t pongs_received_ = 0;
   std::uint64_t rejuvenations_ = 0;
+  std::uint64_t backoffs_applied_ = 0;
+  std::uint64_t restart_timeouts_ = 0;
 };
 
 }  // namespace mercury::posix

@@ -1,6 +1,8 @@
 #include "station/experiment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
 
 #include "core/mercury_trees.h"
 #include "obs/trace.h"
@@ -20,6 +22,20 @@ std::string to_string(OracleKind kind) {
     case OracleKind::kLearning: return "learning";
   }
   return "?";
+}
+
+util::Duration hardened_restart_deadline(
+    const Calibration& cal, const std::vector<std::string>& components) {
+  double worst = 0.0;
+  for (const auto& name : components) {
+    const ComponentTiming timing = cal.timing_for(name);
+    worst = std::max(worst, timing.startup_mean.to_seconds() +
+                                3.0 * timing.startup_stddev.to_seconds());
+  }
+  const double full_contention =
+      1.0 + cal.contention_slope *
+                std::max<double>(0.0, static_cast<double>(components.size()) - 2.0);
+  return Duration::seconds(worst * full_contention * 1.5);
 }
 
 MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
@@ -77,6 +93,15 @@ MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
 
   core::RecConfig rec_config;
   rec_config.enable_soft_recovery = spec.enable_soft_recovery;
+  if (spec.harden_restart_path) {
+    rec_config.restart_deadline =
+        hardened_restart_deadline(spec.cal, station_->component_names());
+    rec_config.backoff_base = spec.backoff_base;
+    rec_config.max_attempts_per_chain = spec.max_attempts_per_chain;
+  }
+  for (const auto& [name, faults] : spec.restart_faults) {
+    station_->set_restart_faults(name, faults);
+  }
   rec_ = std::make_unique<core::Recoverer>(
       sim_, *link_, core::make_mercury_tree(spec.tree), *active_oracle_,
       station_->process_manager(), rec_config);
@@ -155,12 +180,25 @@ TrialResult run_trial(const TrialSpec& spec) {
   }
 
   result.recovery = sim.now() - injected_at;
-  if (sim.now() >= deadline) {
+  if (!result.hard_failure && sim.now() >= deadline) {
     result.timed_out = true;
     result.recovery = spec.timeout;
   }
+  if (result.hard_failure) {
+    // Let the station settle into degraded operation: everything outside
+    // the parked set back up and functional. (With mbus parked this can
+    // never succeed; the loop is bounded by the trial deadline.)
+    const std::set<std::string>& parked = rig.rec().parked();
+    while (sim.now() < deadline && !rig.station().functional_except(parked)) {
+      if (!sim.step()) break;
+    }
+    result.degraded_functional = rig.station().functional_except(parked);
+  }
   result.restarts = static_cast<int>(rig.rec().restarts_executed());
   result.escalations = static_cast<int>(rig.rec().escalations());
+  result.restart_timeouts = static_cast<int>(rig.rec().restart_timeouts());
+  result.backoffs = static_cast<int>(rig.rec().backoffs_applied());
+  result.parked.assign(rig.rec().parked().begin(), rig.rec().parked().end());
   if (!result.timed_out && !result.hard_failure) {
     // The "functionally ready" moment the paper's methodology timestamps:
     // closes the last recovery action's execution phase in the trace,

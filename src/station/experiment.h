@@ -13,11 +13,13 @@
 // fully functional again.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "bus/dedicated_link.h"
+#include "core/failure.h"
 #include "core/failure_detector.h"
 #include "core/mercury_trees.h"
 #include "core/oracle.h"
@@ -68,7 +70,31 @@ struct TrialSpec {
   /// Persist an oracle across trials (e.g. LearningOracle). Non-owning;
   /// must outlive the trial and match the tree.
   core::Oracle* oracle_override = nullptr;
+
+  // --- Restart-path hardening & faults (ISSUE 2) --------------------------
+  /// Harden REC's restart path: per-restart deadline (sized from the
+  /// calibration's worst-case contended startup via
+  /// hardened_restart_deadline), exponential same-cell backoff, and an
+  /// attempt budget per failure chain. Off by default so legacy trials
+  /// reproduce the seed's numbers bit-for-bit.
+  bool harden_restart_path = false;
+  /// Attempt budget installed when hardening (restarts per failure chain
+  /// before parking as a hard failure).
+  int max_attempts_per_chain = 8;
+  /// Backoff base installed when hardening (zero keeps backoff off even
+  /// when hardened).
+  util::Duration backoff_base = util::Duration::seconds(0.5);
+  /// Restart-time faults installed on the board before the trial: each
+  /// startup attempt of a listed component may hang or crash per its spec.
+  std::map<std::string, core::RestartFaultSpec> restart_faults;
 };
+
+/// Deadline for one restart action under hardening: the calibration's worst
+/// component startup (mean + 3 sigma) under full-system contention, with a
+/// 1.5x margin. A correct restart essentially never trips it; a hung one
+/// always does.
+util::Duration hardened_restart_deadline(const Calibration& cal,
+                                         const std::vector<std::string>& components);
 
 struct TrialResult {
   util::Duration recovery = util::Duration::zero();
@@ -76,6 +102,18 @@ struct TrialResult {
   int escalations = 0;
   bool hard_failure = false;
   bool timed_out = false;
+  /// Restart actions abandoned by the per-restart deadline (hardened runs).
+  int restart_timeouts = 0;
+  /// Restart attempts delayed by same-cell backoff (hardened runs).
+  int backoffs = 0;
+  /// Components REC parked and permanently masked; non-empty implies
+  /// hard_failure and the station ended the trial operating degraded.
+  std::vector<std::string> parked;
+  /// After parking, did everything outside the parked set come back up
+  /// (Station::functional_except)? Degraded-but-operating, per ISSUE 2's
+  /// availability accounting. Always false when nothing was parked, and
+  /// when the parked set includes mbus (nothing works without the bus).
+  bool degraded_functional = false;
 };
 
 /// A fully wired Mercury system. Exposes the pieces for tests and examples.

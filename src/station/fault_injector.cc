@@ -1,5 +1,6 @@
 #include "station/fault_injector.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -37,6 +38,16 @@ FaultInjector::FaultInjector(Station& station, InjectorConfig config)
 
 void FaultInjector::start() {
   fedr_last_restart_ = station_.sim().now();
+  if (config_.restart_faults.active()) {
+    for (const auto& name : station_.component_names()) {
+      if (std::find(config_.restart_fault_exempt.begin(),
+                    config_.restart_fault_exempt.end(),
+                    name) != config_.restart_fault_exempt.end()) {
+        continue;
+      }
+      station_.set_restart_faults(name, config_.restart_faults);
+    }
+  }
   for (auto& [name, source] : sources_) schedule_next(source);
 }
 

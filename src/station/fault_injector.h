@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/failure.h"
 #include "station/station.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -33,6 +34,14 @@ struct InjectorConfig {
   /// Only inject into components that currently have no manifesting
   /// failure (a dead component cannot fail again).
   bool suppress_double_faults = true;
+  /// Restart-time fault mix (ISSUE 2) installed on every non-exempt
+  /// component at start(): each startup attempt hangs or crashes with
+  /// these probabilities. Inactive (all zero) by default — clean restarts.
+  core::RestartFaultSpec restart_faults;
+  /// Components exempt from the restart-fault mix. mbus is exempt by
+  /// default: a parked bus is total loss, not degraded operation, and the
+  /// availability ablations want the degraded regime.
+  std::vector<std::string> restart_fault_exempt = {"mbus"};
 };
 
 class FaultInjector {

@@ -23,8 +23,8 @@ std::vector<std::string> ProcessManager::component_names() const {
 
 std::vector<std::string> ProcessManager::restarting_now() const {
   std::vector<std::string> names;
-  for (const auto& [name, in_flight] : restarting_) {
-    if (in_flight) names.push_back(name);
+  for (const auto& [name, proc] : procs_) {
+    if (proc.restarting) names.push_back(name);
   }
   return names;
 }
@@ -51,80 +51,155 @@ void ProcessManager::soft_recover(const std::string& component,
       });
 }
 
+void ProcessManager::detach_from_group(Proc& proc) {
+  if (proc.group == 0) return;
+  const std::uint64_t group_id = proc.group;
+  proc.group = 0;
+  finish_group_member(group_id);
+}
+
+void ProcessManager::finish_group_member(std::uint64_t group_id) {
+  const auto it = groups_.find(group_id);
+  assert(it != groups_.end());
+  if (--it->second.remaining == 0) {
+    auto on_complete = std::move(it->second.on_complete);
+    groups_.erase(it);
+    if (on_complete) on_complete();
+  }
+}
+
 void ProcessManager::restart_group(const std::vector<std::string>& names,
                                    std::function<void()> on_complete) {
   assert(!names.empty());
   const std::uint64_t group_id = next_group_++;
   Group& group = groups_[group_id];
   group.on_complete = std::move(on_complete);
+  group.remaining = names.size();
   ++groups_restarted_;
 
   // Kill phase: everything in the group dies first (REC kills the whole
-  // subtree before bringing it back).
-  std::vector<Component*> members;
+  // subtree before bringing it back). A member already in flight from an
+  // earlier group is superseded: its stale attempt (possibly hung or
+  // crashed) is voided by the epoch bump and this group takes ownership —
+  // the abandoned group drains and completes, which its initiator must
+  // guard against (stale action ids in the recoverer).
   for (const auto& name : names) {
     Component* component = station_.component(name);
     assert(component != nullptr && "restart_group: unknown component");
-    if (restarting_[name]) {
-      // Already being restarted by an overlapping group; fold into ours by
-      // skipping the duplicate kill/start (its completion serves both —
-      // conservative, and REC's dedup makes this path rare).
-      continue;
+    (void)component;
+    Proc& proc = procs_[name];
+    if (proc.restarting) {
+      if (proc.span != 0) {
+        obs::end_span(station_.sim().now(), proc.span,
+                      {{"outcome", "superseded"}});
+        proc.span = 0;
+      }
+      detach_from_group(proc);
+    } else {
+      proc.restarting = true;
+      ++restarting_count_;
     }
-    members.push_back(component);
-    restarting_[name] = true;
-    ++restarting_count_;
+    proc.group = group_id;
+    ++proc.epoch;
+    station_.component(name)->kill();
   }
-  group.remaining = members.size();
-  if (members.empty()) {
-    // Everything already in flight elsewhere; complete immediately.
-    Group finished = std::move(groups_[group_id]);
-    groups_.erase(group_id);
-    if (finished.on_complete) finished.on_complete();
-    return;
-  }
-
-  for (Component* component : members) component->kill();
 
   // Contention (§4.1): concurrent restarts slow each other down. The factor
   // is computed once per group from the total number of in-flight restarts.
   const double contention =
       1.0 + station_.cal().contention_slope * std::max(0, restarting_count_ - 2);
 
-  for (Component* component : members) {
-    const ComponentTiming& timing = component->timing();
-    const double mean = timing.startup_mean.to_seconds();
-    const double sd = timing.startup_stddev.to_seconds();
-    const double base = rng_.normal_at_least(mean, sd, 0.5 * mean);
-    const Duration startup = Duration::seconds(base * contention);
-    ++restarts_performed_;
+  for (const auto& name : names) begin_attempt(name, contention);
+}
 
-    const std::string name = component->name();
-    const std::uint64_t span = obs::begin_span(
-        station_.sim().now(), "restart", "restart:" + name, "pm",
-        {{"component", name},
-         {"contention", util::format_fixed(contention, 3)}});
-    obs::incr("pm.restarts");
-    station_.sim().schedule_after(
-        startup, "restart.complete:" + name, [this, name, span, group_id] {
-          Component* component = station_.component(name);
-          assert(component != nullptr);
-          restarting_[name] = false;
-          --restarting_count_;
-          component->complete_start();
-          obs::end_span(station_.sim().now(), span);
-          station_.board().on_restart_complete(name, station_.sim().now());
-          station_.notify_component_restarted(name);
+void ProcessManager::begin_attempt(const std::string& name, double contention) {
+  Component* component = station_.component(name);
+  Proc& proc = procs_[name];
+  const std::uint64_t epoch = proc.epoch;
+  const int attempt = ++proc.attempts;
+  ++restarts_performed_;
 
-          const auto it = groups_.find(group_id);
-          assert(it != groups_.end());
-          if (--it->second.remaining == 0) {
-            auto on_complete = std::move(it->second.on_complete);
-            groups_.erase(it);
-            if (on_complete) on_complete();
-          }
-        });
+  // Restart-time faults (ISSUE 2). Deterministic first-k counters trump the
+  // probabilistic draws; hang trumps crash. Draws only happen for components
+  // with an active spec, so fault-free runs consume no extra randomness.
+  const core::RestartFaultSpec& faults = station_.board().restart_faults(name);
+  bool hang = false;
+  bool crash = false;
+  if (faults.active()) {
+    if (attempt <= faults.hang_first_attempts) {
+      hang = true;
+    } else if (attempt - faults.hang_first_attempts <=
+               faults.fail_first_attempts) {
+      crash = true;
+    } else {
+      if (faults.hang_prob > 0.0 && rng_.chance(faults.hang_prob)) hang = true;
+      if (!hang && faults.crash_prob > 0.0 && rng_.chance(faults.crash_prob)) {
+        crash = true;
+      }
+    }
   }
+
+  const ComponentTiming& timing = component->timing();
+  const double mean = timing.startup_mean.to_seconds();
+  const double sd = timing.startup_stddev.to_seconds();
+  const double base = rng_.normal_at_least(mean, sd, 0.5 * mean);
+  const Duration startup = Duration::seconds(base * contention);
+
+  proc.span = obs::begin_span(
+      station_.sim().now(), "restart", "restart:" + name, "pm",
+      {{"component", name},
+       {"attempt", std::to_string(attempt)},
+       {"contention", util::format_fixed(contention, 3)}});
+  obs::incr("pm.restarts");
+
+  if (hang) {
+    // The startup never completes; nothing is scheduled. Only a superseding
+    // restart (the recoverer's deadline path) moves this component again.
+    station_.board().note_restart_hang(name, station_.sim().now());
+    LogLine(LogLevel::kWarn, station_.sim().now(), name)
+        << "startup hangs (restart-time fault, attempt " << attempt << ")";
+    return;
+  }
+
+  if (crash) {
+    // The startup runs its course, then dies: the component stays down, its
+    // group stays incomplete, and the attempt counter advances.
+    station_.sim().schedule_after(
+        startup, "restart.crash:" + name, [this, name, epoch] {
+          Proc& proc = procs_[name];
+          if (proc.epoch != epoch) return;  // superseded meanwhile
+          station_.board().note_restart_crash(name, station_.sim().now());
+          if (proc.span != 0) {
+            obs::end_span(station_.sim().now(), proc.span,
+                          {{"outcome", "crashed"}});
+            proc.span = 0;
+          }
+          LogLine(LogLevel::kWarn, station_.sim().now(), name)
+              << "crashed during startup (restart-time fault)";
+        });
+    return;
+  }
+
+  station_.sim().schedule_after(
+      startup, "restart.complete:" + name, [this, name, epoch] {
+        Proc& proc = procs_[name];
+        if (proc.epoch != epoch) return;  // superseded meanwhile
+        Component* component = station_.component(name);
+        assert(component != nullptr);
+        proc.restarting = false;
+        proc.attempts = 0;
+        --restarting_count_;
+        component->complete_start();
+        if (proc.span != 0) {
+          obs::end_span(station_.sim().now(), proc.span, {{"outcome", "ready"}});
+          proc.span = 0;
+        }
+        station_.board().on_restart_complete(name, station_.sim().now());
+        station_.notify_component_restarted(name);
+        const std::uint64_t group_id = proc.group;
+        proc.group = 0;
+        finish_group_member(group_id);
+      });
 }
 
 }  // namespace mercury::station

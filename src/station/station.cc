@@ -116,6 +116,24 @@ bool Station::all_functional() const {
   return true;
 }
 
+bool Station::functional_except(const std::set<std::string>& excluded) const {
+  if (!bus_->online()) return false;
+  for (const auto& failure : board_.active()) {
+    if (!excluded.contains(failure.spec.manifest)) return false;
+  }
+  for (const auto& [name, component] : components_) {
+    if (excluded.contains(name)) continue;
+    if (!component->functional() || component->restarting()) return false;
+  }
+  return true;
+}
+
+void Station::set_restart_faults(const std::string& component_name,
+                                 core::RestartFaultSpec spec) {
+  assert(component(component_name) != nullptr);
+  board_.set_restart_faults(component_name, spec);
+}
+
 core::FailureId Station::inject_crash(const std::string& component_name) {
   assert(component(component_name) != nullptr);
   return board_.inject(core::make_crash(component_name), sim_.now());

@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -98,12 +99,27 @@ class Station {
   /// functional, no active failures, no restart in flight.
   bool all_functional() const;
 
+  /// Degraded-operation ground truth (ISSUE 2): like all_functional, but
+  /// components in `excluded` (typically REC's parked set) are ignored —
+  /// their manifesting failures, their down/restarting state. A station
+  /// that is functional_except its parked cells is operating degraded,
+  /// not broken. Note an excluded mbus still fails this check: nothing
+  /// works without the bus.
+  bool functional_except(const std::set<std::string>& excluded) const;
+
   /// Convenience fault injection.
   core::FailureId inject_crash(const std::string& component);
   core::FailureId inject_joint_fedr_pbcom();
   /// Soft-curable transient (§7): the component's bus attachment goes
   /// stale — it stops answering until a soft recovery (or restart).
   core::FailureId inject_stale_attachment(const std::string& component);
+
+  /// Install (or clear, with an inactive spec) restart-time faults for
+  /// `component`: each startup attempt may hang or crash per the spec
+  /// (ISSUE 2). Forwards to the failure board; the process manager consults
+  /// it on every attempt.
+  void set_restart_faults(const std::string& component,
+                          core::RestartFaultSpec spec);
 
  private:
   sim::Simulator& sim_;

@@ -123,6 +123,31 @@ TEST(FailureBoard, ClearRemovesById) {
   EXPECT_FALSE(board.any_active());
 }
 
+TEST(FailureBoard, ClearDoesNotFireListenersOrCountAsCured) {
+  // clear() forcibly removes a failure (operator/test intervention); it was
+  // removed, not cured, so cure listeners must stay silent — a listener
+  // treating it as a cure would credit recovery machinery that never ran.
+  FailureBoard board;
+  int cures = 0;
+  int injects = 0;
+  board.add_cure_listener([&](const ActiveFailure&, util::TimePoint) { ++cures; });
+  board.add_inject_listener([&](const ActiveFailure&) { ++injects; });
+
+  const FailureId id = board.inject(make_crash("ses"), at(0.0));
+  EXPECT_EQ(injects, 1);
+  EXPECT_TRUE(board.clear(id));
+  EXPECT_EQ(cures, 0);
+  EXPECT_EQ(board.total_cured(), 0u);
+  EXPECT_FALSE(board.any_active());
+
+  // A real cure afterwards still fires: clear() removed one failure, not
+  // the listener wiring.
+  board.inject(make_crash("ses"), at(1.0));
+  board.on_restart_complete("ses", at(2.0));
+  EXPECT_EQ(cures, 1);
+  EXPECT_EQ(injects, 2);
+}
+
 TEST(FailureBoard, CountersTrack) {
   FailureBoard board;
   board.inject(make_crash("a"), at(0.0));

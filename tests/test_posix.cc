@@ -7,6 +7,9 @@
 
 #include <unistd.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/restart_tree.h"
 #include "posix/child_process.h"
 #include "posix/supervisor.h"
@@ -210,6 +213,50 @@ TEST(PosixSupervisor, SelfWedgingWorkerEscalatesToHardFailure) {
   // Healthy worker a keeps being supervised after the parking.
   supervisor.run_for(Millis{200});
   EXPECT_TRUE(supervisor.worker_up("a"));
+}
+
+TEST(PosixSupervisor, KillOrWedgeUnknownWorkerFailsCleanly) {
+  PosixSupervisor supervisor(pair_and_leaf_tree(),
+                             {quick_worker("a", 50), quick_worker("b", 60),
+                              quick_worker("c", 70)},
+                             quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+  EXPECT_FALSE(supervisor.kill_worker("no-such-worker"));
+  EXPECT_FALSE(supervisor.wedge_worker(""));
+  EXPECT_TRUE(supervisor.kill_worker("c"));
+  // The bogus names had no side effects: only c's failure chain runs.
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.all_up() && !supervisor.history().empty(); },
+      Millis{3000}));
+  EXPECT_EQ(supervisor.history()[0].reported_worker, "c");
+}
+
+TEST(PosixSupervisor, HungStartupTimesOutEscalatesAndRecovers) {
+  // Worker c's first-ever startup hangs (pause() before READY, gated on a
+  // sentinel file); the startup deadline must abort it, report the failure,
+  // and the respawn — which finds the sentinel and proceeds — recovers.
+  const std::string sentinel =
+      "/tmp/mercury_hang_once_" + std::to_string(getpid());
+  std::remove(sentinel.c_str());
+
+  WorkerSpec hang = quick_worker("c", 30);
+  hang.argv.push_back("--hang-start-once");
+  hang.argv.push_back(sentinel);
+  hang.startup_timeout = Millis{300};
+
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 30), quick_worker("b", 30), hang}, quick_config());
+  // start_all itself rides the hardened path: the hung spawn times out at
+  // 300 ms, escalates through the oracle, and the second spawn succeeds.
+  ASSERT_TRUE(supervisor.start_all().ok());
+  EXPECT_TRUE(supervisor.all_up());
+  EXPECT_GE(supervisor.restart_timeouts(), 1u);
+  // The timeout produced a real recovery action for c.
+  ASSERT_FALSE(supervisor.history().empty());
+  EXPECT_EQ(supervisor.history()[0].reported_worker, "c");
+  EXPECT_TRUE(supervisor.worker_up("c"));
+  std::remove(sentinel.c_str());
 }
 
 TEST(PosixSupervisor, HealthBeaconsDriveProactiveRejuvenation) {

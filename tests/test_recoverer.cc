@@ -290,6 +290,146 @@ TEST_F(RecTest, SoftRungSkippedWithoutProcessSupport) {
   EXPECT_EQ(process_.groups.size(), 1u);
 }
 
+// --- Restart-path hardening (ISSUE 2) ---------------------------------------
+
+TEST_F(RecTest, RestartDeadlineAbortsHungRestartAndEscalates) {
+  RecConfig config;
+  config.restart_deadline = Duration::seconds(2.0);
+  build(config);
+  process_.durations[names::kRtu] = 100.0;  // rtu's startup hangs
+
+  report(names::kRtu);
+  ASSERT_EQ(process_.groups.size(), 1u);
+  sim_.run_for(Duration::seconds(3.0));
+  // The deadline fired and escalated to the parent (root) cell; the hung
+  // leaf action never produced a history record.
+  EXPECT_EQ(rec_->restart_timeouts(), 1u);
+  EXPECT_EQ(rec_->escalations(), 1u);
+  ASSERT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(process_.groups[1].size(), 6u);
+}
+
+TEST_F(RecTest, RepeatedRestartTimeoutsParkTheChain) {
+  RecConfig config;
+  config.restart_deadline = Duration::seconds(2.0);
+  config.max_root_restarts = 2;
+  build(config);
+  process_.durations[names::kRtu] = 100.0;  // every restart of rtu hangs
+
+  report(names::kRtu);
+  sim_.run_for(Duration::seconds(10.0));
+  // leaf timeout -> root timeout -> root timeout -> parked.
+  EXPECT_EQ(rec_->restart_timeouts(), 3u);
+  ASSERT_EQ(rec_->hard_failures().size(), 1u);
+  EXPECT_EQ(rec_->hard_failures()[0], names::kRtu);
+  EXPECT_EQ(rec_->parked(), std::set<std::string>{names::kRtu});
+  // Parked means permanently masked: no unmask for rtu was ever sent after
+  // the parking, and further reports are ignored.
+  const auto actions = process_.groups.size();
+  report(names::kRtu);
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_EQ(process_.groups.size(), actions);
+}
+
+TEST_F(RecTest, AttemptBudgetParksWithoutRootClimb) {
+  RecConfig config;
+  config.restart_deadline = Duration::seconds(2.0);
+  config.max_attempts_per_chain = 2;
+  config.max_root_restarts = 100;  // budget must park first
+  build(config);
+  process_.durations[names::kRtu] = 100.0;
+
+  report(names::kRtu);
+  sim_.run_for(Duration::seconds(10.0));
+  EXPECT_EQ(rec_->parked(), std::set<std::string>{names::kRtu});
+  // Two attempts consumed (leaf, then the escalated retry), then parked.
+  EXPECT_EQ(process_.groups.size(), 2u);
+}
+
+TEST_F(RecTest, BackoffPacesSameCellRestarts) {
+  RecConfig config;
+  config.escalation_window = Duration::millis(500.0);  // re-reports are fresh
+  config.backoff_base = Duration::seconds(4.0);
+  build(config);
+
+  report(names::kRtu);
+  sim_.run_for(Duration::seconds(2.0));  // first restart completes at ~1 s
+  report(names::kRtu);                   // fresh chain, same cell, streak = 1
+  // Attempt 2 may start no earlier than 4 s after attempt 1 began: the
+  // action is current (serialization holds) but the kill/start waits.
+  EXPECT_EQ(process_.groups.size(), 1u);
+  EXPECT_TRUE(rec_->restart_in_progress());
+  EXPECT_EQ(rec_->backoffs_applied(), 1u);
+  sim_.run_for(Duration::seconds(2.5));  // past t = 4.001
+  EXPECT_EQ(process_.groups.size(), 2u);
+}
+
+TEST_F(RecTest, BackoffStreakDecays) {
+  RecConfig config;
+  config.escalation_window = Duration::millis(500.0);
+  config.backoff_base = Duration::seconds(4.0);
+  config.backoff_decay = Duration::seconds(5.0);
+  build(config);
+
+  report(names::kRtu);
+  sim_.run_for(Duration::seconds(7.0));  // idle past the decay window
+  report(names::kRtu);
+  // The streak was forgotten: no delay, restart dispatched immediately.
+  EXPECT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(rec_->backoffs_applied(), 0u);
+}
+
+// The escalation window edge, pinned exactly. These use a zero-latency link
+// and exactly representable times (restart completes at t = 1.0, window
+// 2.5 s) so the boundary comparison is exact in double arithmetic.
+class RecWindowEdgeTest : public ::testing::Test {
+ protected:
+  RecWindowEdgeTest()
+      : sim_(7), link_(sim_, "fd", "rec", Duration::zero()), process_(sim_) {
+    RecConfig config;
+    config.escalation_window = Duration::seconds(2.5);
+    rec_ = std::make_unique<Recoverer>(sim_, link_, make_tree_iv(), oracle_,
+                                       process_, config);
+    rec_->start();
+  }
+
+  void report(const std::string& component) {
+    msg::Message m = msg::make_command("fd", "rec", ++seq_, "report-failure");
+    m.body.set_attr("component", component);
+    link_.send(m);
+  }
+
+  sim::Simulator sim_;
+  bus::DedicatedLink link_;
+  FakeProcessControl process_;
+  HeuristicOracle oracle_;
+  std::unique_ptr<Recoverer> rec_;
+  std::uint64_t seq_ = 0;
+};
+
+TEST_F(RecWindowEdgeTest, ReportAtExactWindowEdgeStartsFreshChain) {
+  report(names::kPbcom);                 // delivered at t = 0
+  sim_.run_for(Duration::seconds(3.5));  // restart completed at exactly 1.0
+  report(names::kPbcom);  // delivered at 3.5 = complete + window, exactly
+  sim_.run_for(Duration::millis(5.0));
+  // The window is exclusive (elapsed < window escalates): an elapsed time of
+  // exactly the window is a fresh chain at the leaf, not an escalation.
+  ASSERT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(process_.groups[1], std::vector<std::string>{names::kPbcom});
+  EXPECT_EQ(rec_->escalations(), 0u);
+}
+
+TEST_F(RecWindowEdgeTest, ReportJustInsideWindowEscalates) {
+  report(names::kPbcom);
+  sim_.run_for(Duration::seconds(3.375));  // complete at 1.0; 2.375 < 2.5
+  report(names::kPbcom);
+  sim_.run_for(Duration::millis(5.0));
+  ASSERT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(process_.groups[1],
+            (std::vector<std::string>{names::kFedr, names::kPbcom}));
+  EXPECT_EQ(rec_->escalations(), 1u);
+}
+
 TEST_F(RecTest, HistoryRecordsAreComplete) {
   build();
   report(names::kSes);

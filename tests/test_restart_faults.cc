@@ -1,0 +1,146 @@
+// Integration tests: restart-time faults vs the hardened recovery path
+// (ISSUE 2). The restart path is itself a fault domain — startups hang,
+// crash, or are flaky — and the recoverer's hardening (per-restart deadline,
+// same-cell backoff, attempt budgets, hard-failure parking with permanent FD
+// masks) must turn every such fault into either a full recovery or an
+// explicit degraded-operation outcome, never a stall.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/failure.h"
+#include "core/mercury_trees.h"
+#include "station/experiment.h"
+
+namespace mercury::station {
+namespace {
+
+namespace names = core::component_names;
+using core::MercuryTree;
+using core::RestartFaultSpec;
+using util::Duration;
+
+TrialSpec hang_once_spec() {
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  spec.oracle = OracleKind::kHeuristic;
+  spec.fail_component = names::kRtu;
+  spec.seed = 4242;
+  spec.timeout = Duration::seconds(150.0);
+  RestartFaultSpec fault;
+  fault.hang_first_attempts = 1;
+  spec.restart_faults[names::kRtu] = fault;
+  return spec;
+}
+
+// The ISSUE 2 regression pair: the same hung first restart stalls the legacy
+// recoverer (it trusts on_complete unconditionally, and a hung startup never
+// completes) but is aborted, escalated and recovered from by the hardened one.
+
+TEST(RestartFaults, HungRestartStallsLegacyRecoverer) {
+  TrialSpec spec = hang_once_spec();
+  spec.harden_restart_path = false;
+  const TrialResult result = run_trial(spec);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.restart_timeouts, 0);
+  EXPECT_FALSE(result.hard_failure);
+}
+
+TEST(RestartFaults, HungRestartRecoversWithDeadline) {
+  TrialSpec spec = hang_once_spec();
+  spec.harden_restart_path = true;
+  const TrialResult result = run_trial(spec);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_FALSE(result.hard_failure);
+  EXPECT_GE(result.restart_timeouts, 1);
+  EXPECT_GE(result.escalations, 1);
+  EXPECT_GT(result.recovery.to_seconds(), 0.0);
+}
+
+TEST(RestartFaults, CrashLoopingStartupRecoversViaEscalation) {
+  TrialSpec spec = hang_once_spec();
+  spec.harden_restart_path = true;
+  RestartFaultSpec fault;
+  fault.fail_first_attempts = 2;  // first two startups run, then die
+  spec.restart_faults[names::kRtu] = fault;
+  const TrialResult result = run_trial(spec);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_FALSE(result.hard_failure);
+  // A member that dies mid-startup never reports ready, so the group stays
+  // in flight until the deadline aborts it — each crashed attempt surfaces
+  // as a restart timeout, and only the final clean restart completes.
+  EXPECT_GE(result.restart_timeouts, 2);
+  EXPECT_GE(result.escalations, 1);
+  EXPECT_GT(result.recovery.to_seconds(), 0.0);
+}
+
+TEST(RestartFaults, UnrestartableComponentParksAndStationRunsDegraded) {
+  TrialSpec spec = hang_once_spec();
+  spec.harden_restart_path = true;
+  spec.max_attempts_per_chain = 5;
+  spec.timeout = Duration::seconds(500.0);
+  RestartFaultSpec fault;
+  fault.hang_prob = 1.0;  // every startup of rtu hangs, forever
+  spec.restart_faults[names::kRtu] = fault;
+  const TrialResult result = run_trial(spec);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_TRUE(result.hard_failure);
+  ASSERT_EQ(result.parked, std::vector<std::string>{names::kRtu});
+  // Everything outside the parked chain came back: degraded operation, not
+  // a wedged station.
+  EXPECT_TRUE(result.degraded_functional);
+  // The attempt budget held (one failure chain; timed-out attempts count).
+  EXPECT_LE(result.restarts, 2 * spec.max_attempts_per_chain);
+}
+
+TEST(RestartFaults, HardeningIsNoOpOnCleanTrials) {
+  // With no restart faults the deadline never trips and no cell streaks, so
+  // a hardened trial must reproduce the legacy numbers bit-for-bit.
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  spec.fail_component = names::kSes;
+  spec.seed = 777;
+  const TrialResult legacy = run_trial(spec);
+  spec.harden_restart_path = true;
+  const TrialResult hardened = run_trial(spec);
+  EXPECT_EQ(legacy.recovery.to_seconds(), hardened.recovery.to_seconds());
+  EXPECT_EQ(legacy.restarts, hardened.restarts);
+  EXPECT_EQ(hardened.restart_timeouts, 0);
+  EXPECT_EQ(hardened.backoffs, 0);
+}
+
+TEST(RestartFaults, ProbabilisticFaultsAreDeterministicInSeed) {
+  TrialSpec spec = hang_once_spec();
+  spec.harden_restart_path = true;
+  RestartFaultSpec fault;
+  fault.hang_prob = 0.3;
+  fault.crash_prob = 0.3;
+  spec.restart_faults[names::kRtu] = fault;
+  const TrialResult a = run_trial(spec);
+  const TrialResult b = run_trial(spec);
+  EXPECT_EQ(a.recovery.to_seconds(), b.recovery.to_seconds());
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.restart_timeouts, b.restart_timeouts);
+  EXPECT_EQ(a.hard_failure, b.hard_failure);
+}
+
+TEST(RestartFaults, HardenedDeadlineClearsWorstCaseStartup) {
+  // The deadline must sit above the worst contended startup (a clean restart
+  // never trips it) but well under the trial timeout (a hung one is caught
+  // with time left to escalate and recover).
+  const Calibration cal = default_calibration();
+  const auto components =
+      core::make_mercury_tree(MercuryTree::kTreeIV).all_components();
+  const Duration deadline = hardened_restart_deadline(cal, components);
+  double worst = 0.0;
+  for (const auto& name : components) {
+    const ComponentTiming timing = cal.timing_for(name);
+    worst = std::max(worst, timing.startup_mean.to_seconds() +
+                                3.0 * timing.startup_stddev.to_seconds());
+  }
+  EXPECT_GT(deadline.to_seconds(), worst);
+  EXPECT_LT(deadline.to_seconds(), 120.0);
+}
+
+}  // namespace
+}  // namespace mercury::station

@@ -146,17 +146,22 @@ TEST_F(StationTest, PairRestartDoesNotContend) {
               station.cal().pbcom.startup_mean.to_seconds(), 0.8);
 }
 
-TEST_F(StationTest, OverlappingGroupsFoldDuplicates) {
+TEST_F(StationTest, OverlappingGroupsSupersedeInFlightMembers) {
   Station& station = make_station();
   int completions = 0;
   station.process_manager().restart_group({names::kRtu}, [&] { ++completions; });
-  // Overlapping second group: rtu already in flight, ses fresh.
+  // Overlapping second group: rtu already in flight, ses fresh. The second
+  // group supersedes rtu's stale attempt (re-kill, fresh start) instead of
+  // folding into it — a hung first attempt must not absorb the retry.
   station.process_manager().restart_group({names::kRtu, names::kSes},
                                           [&] { ++completions; });
   sim_.run_all();
+  // Both groups complete: the abandoned one drains via supersession (its
+  // initiator guards with action ids), the new one finishes for real.
   EXPECT_EQ(completions, 2);
-  // rtu restarted once, ses once.
-  EXPECT_EQ(station.process_manager().restarts_performed(), 2u);
+  // rtu attempted twice (original + superseding), ses once.
+  EXPECT_EQ(station.process_manager().restarts_performed(), 3u);
+  EXPECT_FALSE(station.process_manager().restart_in_progress());
 }
 
 // --- mbus semantics -------------------------------------------------------------
