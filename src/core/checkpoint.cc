@@ -1,0 +1,114 @@
+#include "core/checkpoint.h"
+
+namespace mercury::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv1a_mix(std::uint64_t& hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  // Field separator, so {"ab","c"} and {"a","bc"} hash differently.
+  hash ^= 0xFFu;
+  hash *= kFnvPrime;
+}
+
+}  // namespace
+
+std::string_view to_string(CheckpointVerdict verdict) {
+  switch (verdict) {
+    case CheckpointVerdict::kValid: return "valid";
+    case CheckpointVerdict::kMissing: return "missing";
+    case CheckpointVerdict::kStale: return "stale";
+    case CheckpointVerdict::kVersionMismatch: return "version-mismatch";
+    case CheckpointVerdict::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::uint64_t checkpoint_checksum(const Checkpoint& checkpoint) {
+  std::uint64_t hash = kFnvOffset;
+  fnv1a_mix(hash, checkpoint.component);
+  fnv1a_mix(hash, std::to_string(checkpoint.version));
+  for (const auto& [key, value] : checkpoint.payload) {
+    fnv1a_mix(hash, key);
+    fnv1a_mix(hash, value);
+  }
+  return hash;
+}
+
+void CheckpointStore::save(
+    const std::string& component,
+    std::vector<std::pair<std::string, std::string>> payload,
+    util::TimePoint now) {
+  Checkpoint checkpoint;
+  checkpoint.component = component;
+  checkpoint.saved_at = now;
+  checkpoint.payload = std::move(payload);
+  checkpoint.checksum = checkpoint_checksum(checkpoint);
+  checkpoints_[component] = std::move(checkpoint);
+  ++saves_;
+}
+
+void CheckpointStore::put(Checkpoint checkpoint) {
+  const std::string component = checkpoint.component;
+  checkpoints_[component] = std::move(checkpoint);
+  ++saves_;
+}
+
+const Checkpoint* CheckpointStore::find(const std::string& component) const {
+  const auto it = checkpoints_.find(component);
+  return it == checkpoints_.end() ? nullptr : &it->second;
+}
+
+CheckpointVerdict CheckpointStore::validate(const std::string& component,
+                                            util::TimePoint now,
+                                            util::Duration ttl) const {
+  const Checkpoint* checkpoint = find(component);
+  if (checkpoint == nullptr) return CheckpointVerdict::kMissing;
+  if (checkpoint->checksum != checkpoint_checksum(*checkpoint)) {
+    return CheckpointVerdict::kCorrupt;
+  }
+  if (checkpoint->version != kCheckpointSchemaVersion) {
+    return CheckpointVerdict::kVersionMismatch;
+  }
+  if (now - checkpoint->saved_at > ttl) return CheckpointVerdict::kStale;
+  return CheckpointVerdict::kValid;
+}
+
+bool CheckpointStore::discard(const std::string& component) {
+  if (checkpoints_.erase(component) == 0) return false;
+  ++discards_;
+  return true;
+}
+
+void CheckpointStore::clear() { checkpoints_.clear(); }
+
+bool CheckpointStore::corrupt(const std::string& component) {
+  const auto it = checkpoints_.find(component);
+  if (it == checkpoints_.end()) return false;
+  it->second.payload.emplace_back("bitrot", "1");
+  return true;
+}
+
+bool CheckpointStore::poison(const std::string& component) {
+  if (!corrupt(component)) return false;
+  Checkpoint& checkpoint = checkpoints_[component];
+  checkpoint.checksum = checkpoint_checksum(checkpoint);
+  checkpoint.poisoned = true;
+  return true;
+}
+
+bool CheckpointStore::stale_date(const std::string& component,
+                                 util::TimePoint saved_at) {
+  const auto it = checkpoints_.find(component);
+  if (it == checkpoints_.end()) return false;
+  it->second.saved_at = saved_at;
+  return true;
+}
+
+}  // namespace mercury::core

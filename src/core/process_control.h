@@ -47,6 +47,16 @@ class ProcessControl {
   // semantics, since each component is recovered using a custom procedure;
   // restart is just one example of a recovery procedure."
 
+  // --- Checkpointed warm restarts (ISSUE 3) -------------------------------
+  /// Discard any saved soft-state checkpoints for `names`. The recoverer
+  /// calls this when a restart action blows its deadline: state the failed
+  /// attempt may have warm-started from is fault-suspected, and bad state is
+  /// exactly what a restart is meant to shed — the superseding attempt must
+  /// run cold. Default: no checkpointing, nothing to discard.
+  virtual void discard_checkpoints(const std::vector<std::string>& names) {
+    (void)names;
+  }
+
   /// Whether components offer a soft recovery procedure (cheaper than a
   /// restart; cures only soft-curable failures). Default: restart-only.
   virtual bool supports_soft_recovery() const { return false; }

@@ -395,6 +395,11 @@ void Recoverer::on_restart_timeout(std::uint64_t action_id) {
     chain_attempts_ = 0;
   }
 
+  // Whatever checkpointed state the failed attempt may have warm-started
+  // from is now fault-suspected; the superseding attempt must rebuild cold
+  // (ISSUE 3 — bad state is exactly what a restart is meant to shed).
+  process_control_.discard_checkpoints(failed.components);
+
   // The hung group's members stay masked; the superseding restart below
   // covers a superset and re-kills the stragglers. No oracle feedback: a
   // restart that never finished says nothing about cure sets.

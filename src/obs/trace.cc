@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <cassert>
+#include <charconv>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -290,10 +291,32 @@ bool parse_string(Cursor& c, std::string& out) {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
+          // Checked hex parse: a malformed escape fails the line instead of
+          // throwing out of the reader (corrupted trace files are routine).
           if (c.i + 4 > c.s.size()) return false;
-          const std::string hex(c.s.substr(c.i, 4));
+          unsigned code = 0;
+          for (std::size_t k = 0; k < 4; ++k) {
+            const char h = c.s[c.i + k];
+            unsigned digit = 0;
+            if (h >= '0' && h <= '9') digit = static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') digit = static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') digit = static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+            code = code * 16 + digit;
+          }
           c.i += 4;
-          out += static_cast<char>(std::stoi(hex, nullptr, 16));
+          // write_jsonl only emits \u00XX (control bytes), but accept any
+          // BMP code point and re-encode as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
           break;
         }
         default: return false;
@@ -318,6 +341,22 @@ bool parse_number(Cursor& c, std::string& out) {
     }
   }
   return !out.empty();
+}
+
+// Checked numeric parses: corrupted lines carry tokens like "-", ".", "e",
+// or out-of-range digit runs, all of which parse_number happily collects.
+// std::stod/std::stoull would throw on them and kill the reader; from_chars
+// reports failure and the line is skipped.
+bool parse_double_checked(std::string_view text, double& out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_u64_checked(std::string_view text, std::uint64_t& out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end;
 }
 
 bool parse_args(Cursor& c, std::vector<TraceArg>& out) {
@@ -362,9 +401,13 @@ bool parse_event(std::string_view line, TraceEvent& event) {
     } else if (key == "t" || key == "span" || key == "run") {
       std::string num;
       if (!parse_number(c, num)) return false;
-      if (key == "t") event.t = std::stod(num);
-      else if (key == "span") event.span = std::stoull(num);
-      else event.run = std::stoull(num);
+      if (key == "t") {
+        if (!parse_double_checked(num, event.t)) return false;
+      } else if (key == "span") {
+        if (!parse_u64_checked(num, event.span)) return false;
+      } else {
+        if (!parse_u64_checked(num, event.run)) return false;
+      }
     } else {
       return false;  // unknown field: not our schema
     }

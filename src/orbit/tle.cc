@@ -68,6 +68,12 @@ Result<double> parse_implied_exponent(std::string_view field,
     return Error("bad exponent digits in " + std::string{what});
   }
   const int exponent = trimmed[pos] - '0';
+  // The exponent is exactly one digit; anything after it ("12345-3x") means
+  // a corrupted or misaligned field, not a valid value.
+  if (++pos != trimmed.size()) {
+    return Error("trailing characters in " + std::string{what} + " field '" +
+                 trimmed + "'");
+  }
   const double mantissa =
       std::stod("0." + mantissa_digits);
   return sign * mantissa * std::pow(10.0, exp_sign == '-' ? -exponent : exponent);

@@ -1,13 +1,17 @@
 #include "posix/supervisor.h"
 
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "obs/trace.h"
+#include "posix/checkpoint_file.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -66,6 +70,29 @@ Status PosixSupervisor::start_all() {
 
 void PosixSupervisor::spawn_worker(Worker& worker) {
   worker.process.reset();  // kills and reaps any previous incarnation
+
+  // Checkpoint gate (ISSUE 3): validate the state file before the spawn so
+  // the child never warm-starts from a corrupt or foreign snapshot. Invalid
+  // files are deleted — the worker finds nothing and rebuilds cold.
+  if (!worker.spec.checkpoint_file.empty()) {
+    switch (ckpt::read_checkpoint_file(worker.spec.checkpoint_file,
+                                       worker.spec.name, nullptr)) {
+      case ckpt::FileState::kMissing:
+        break;
+      case ckpt::FileState::kInvalid:
+        ::unlink(worker.spec.checkpoint_file.c_str());
+        ++checkpoints_deleted_;
+        obs::incr("posix.checkpoints_deleted");
+        log_info(worker.spec.name,
+                 "invalid checkpoint file deleted (cold start enforced)");
+        break;
+      case ckpt::FileState::kValid:
+        ++checkpoints_validated_;
+        obs::incr("posix.checkpoints_validated");
+        break;
+    }
+  }
+
   auto spawned = ChildProcess::spawn(worker.spec.argv);
   if (!spawned.ok()) {
     // Spawn failures surface as a worker that never becomes READY; the
@@ -114,9 +141,15 @@ void PosixSupervisor::pump(Millis max_wait) {
       fd_owners.push_back(&worker);
     }
   }
-  ::poll(fds.empty() ? nullptr : fds.data(),
-         static_cast<nfds_t>(fds.size()),
-         static_cast<int>(max_wait.count()));
+  const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
+                        static_cast<nfds_t>(fds.size()),
+                        static_cast<int>(max_wait.count()));
+  if (rc < 0 && errno != EINTR) {
+    // A real poll failure (EBADF from a raced-away fd, ENOMEM, ...) must not
+    // kill the supervision loop — the drains below are non-blocking and the
+    // deadline checks still have to run. EINTR is routine (signals).
+    log_info("supervisor", std::string("poll failed: ") + std::strerror(errno));
+  }
 
   for (Worker* worker : fd_owners) drain_worker(*worker);
   send_pings();
@@ -138,9 +171,12 @@ void PosixSupervisor::drain_worker(Worker& worker) {
         worker.restart_span = 0;
       }
     } else if (util::starts_with(line, "PONG ")) {
-      const std::string seq_text = line.substr(5);
-      if (util::is_all_digits(seq_text) &&
-          std::stoull(seq_text) == worker.outstanding_seq) {
+      // Checked parse: a corrupted PONG can carry 20+ digits (passes
+      // is_all_digits, overflows stoull) or garbage. The supervisor is the
+      // recovery brain — it ignores bad lines, it never throws.
+      const std::optional<std::uint64_t> seq = util::parse_u64(line.substr(5));
+      if (seq.has_value() && *seq == worker.outstanding_seq &&
+          worker.outstanding_seq != 0) {
         worker.outstanding_seq = 0;
         ++pongs_received_;
       }

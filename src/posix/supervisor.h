@@ -44,6 +44,11 @@ struct WorkerSpec {
   /// READY must arrive within this after spawn, or the start is itself a
   /// failure (escalates like any other).
   Millis startup_timeout{2000};
+  /// Checkpoint state file (ISSUE 3), empty = no checkpointing. Must match
+  /// the worker's --checkpoint-file. The supervisor validates the file's
+  /// checksum before every spawn and deletes it when invalid, so the worker
+  /// never warm-starts from garbage.
+  std::string checkpoint_file;
 };
 
 struct SupervisorConfig {
@@ -127,6 +132,10 @@ class PosixSupervisor {
   /// Latest memory figure a worker's HEALTH beacon reported, if any.
   std::optional<double> latest_memory_mb(const std::string& name) const;
   std::uint64_t rejuvenations() const { return rejuvenations_; }
+  /// Checkpoint files found valid at spawn (the worker will warm-start).
+  std::uint64_t checkpoints_validated() const { return checkpoints_validated_; }
+  /// Invalid checkpoint files deleted before a spawn (cold start enforced).
+  std::uint64_t checkpoints_deleted() const { return checkpoints_deleted_; }
 
  private:
   enum class WorkerState { kDown, kStarting, kUp };
@@ -207,6 +216,8 @@ class PosixSupervisor {
   std::uint64_t rejuvenations_ = 0;
   std::uint64_t backoffs_applied_ = 0;
   std::uint64_t restart_timeouts_ = 0;
+  std::uint64_t checkpoints_validated_ = 0;
+  std::uint64_t checkpoints_deleted_ = 0;
 };
 
 }  // namespace mercury::posix

@@ -31,6 +31,21 @@
 // --hang-start-once FILE: if FILE does not exist, create it and hang forever
 // before READY (the deterministic first-attempt hang); if it exists, start
 // normally. Lets a test observe exactly one startup timeout, then recovery.
+//
+// Checkpointed warm restarts (ISSUE 3):
+//
+// --checkpoint-file FILE [--warm-startup-ms N]: if FILE holds a valid
+// checkpoint for this worker (format: posix/checkpoint_file.h), sleep only
+// the warm delay (default startup_ms / 4) instead of the full startup —
+// the slow part of starting was rebuilding exactly the state the file
+// preserves. After READY the worker (re)writes the file. The supervisor
+// validates the same checksum before spawning and deletes invalid files.
+//
+// --garble-pongs N: answer the first N pings of this incarnation with
+// corrupted protocol lines (an oversized PONG sequence, a malformed HEALTH
+// figure) before resuming normal service — regression fodder for the
+// supervisor's checked line parsing (a 20+ digit PONG used to throw
+// std::out_of_range inside the recovery brain).
 #include <sys/time.h>
 #include <unistd.h>
 
@@ -38,6 +53,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "posix/checkpoint_file.h"
 
 namespace {
 
@@ -48,6 +65,9 @@ struct Options {
   double leak_mb_per_min = 0.0;
   double fail_start_prob = 0.0;  // crash (exit 1) before READY with this prob
   std::string hang_start_once;   // sentinel path; hang before READY if absent
+  std::string checkpoint_file;   // state file enabling warm restarts
+  long warm_startup_ms = -1;     // warm delay; -1 = startup_ms / 4
+  long garble_pongs = 0;         // pings answered with corrupted lines first
 };
 
 double now_seconds() {
@@ -73,6 +93,12 @@ Options parse(int argc, char** argv) {
       options.fail_start_prob = std::strtod(argv[++i], nullptr);
     } else if (arg == "--hang-start-once" && has_value) {
       options.hang_start_once = argv[++i];
+    } else if (arg == "--checkpoint-file" && has_value) {
+      options.checkpoint_file = argv[++i];
+    } else if (arg == "--warm-startup-ms" && has_value) {
+      options.warm_startup_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--garble-pongs" && has_value) {
+      options.garble_pongs = std::strtol(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr, "worker: unknown or incomplete argument '%s'\n",
                    arg.c_str());
@@ -103,7 +129,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  usleep(static_cast<useconds_t>(options.startup_ms) * 1000);
+  // Warm restart (ISSUE 3): a valid checkpoint file means the state whose
+  // reconstruction dominates the cold startup is already on disk — sleep
+  // only the warm delay. Any invalid file yields the full cold start (and
+  // the supervisor normally deleted it before this spawn anyway).
+  long startup_ms = options.startup_ms;
+  bool warm = false;
+  if (!options.checkpoint_file.empty()) {
+    mercury::posix::ckpt::CheckpointFile checkpoint;
+    if (mercury::posix::ckpt::read_checkpoint_file(
+            options.checkpoint_file, options.name, &checkpoint) ==
+        mercury::posix::ckpt::FileState::kValid) {
+      warm = true;
+      startup_ms = options.warm_startup_ms >= 0 ? options.warm_startup_ms
+                                                : options.startup_ms / 4;
+    }
+  }
+  usleep(static_cast<useconds_t>(startup_ms) * 1000);
 
   // Probabilistic startup crash: die after the startup work, before READY.
   if (options.fail_start_prob > 0.0) {
@@ -118,15 +160,37 @@ int main(int argc, char** argv) {
 
   const double started = now_seconds();
   std::printf("READY %s\n", options.name.c_str());
+  if (!options.checkpoint_file.empty()) {
+    // The state is (re)built; persist it for the next incarnation.
+    const std::string payload =
+        std::string(warm ? "reloaded" : "rebuilt") + "-state";
+    mercury::posix::ckpt::write_checkpoint_file(options.checkpoint_file,
+                                                options.name, payload);
+    std::fprintf(stderr, "worker %s: %s start, checkpoint written to %s\n",
+                 options.name.c_str(), warm ? "warm" : "cold",
+                 options.checkpoint_file.c_str());
+  }
 
   bool wedged = false;
   long pongs = 0;
+  long garbled = 0;
   char line[512];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {
     // Strip the newline.
     line[std::strcspn(line, "\n")] = '\0';
     if (std::strncmp(line, "PING ", 5) == 0) {
       if (wedged) continue;  // fail-silent: consume, never answer
+      if (garbled < options.garble_pongs) {
+        // Corrupted replies: an overflowing all-digit sequence (passes
+        // is_all_digits, overflows 64 bits), a non-numeric one, and a
+        // HEALTH beacon with a garbage figure. A correct supervisor skips
+        // them all and times the ping out.
+        ++garbled;
+        std::printf("PONG 99999999999999999999999\n");
+        std::printf("PONG not-a-sequence-number\n");
+        std::printf("HEALTH %s mem=not-a-number\n", options.name.c_str());
+        continue;
+      }
       std::printf("PONG %s\n", line + 5);
       if (options.leak_mb_per_min > 0.0) {
         const double uptime_min = (now_seconds() - started) / 60.0;

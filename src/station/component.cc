@@ -21,17 +21,20 @@ bool Component::responsive() const {
 void Component::kill() {
   up_ = false;
   restarting_ = true;
+  warm_started_ = false;
   station_.bus().detach(name_);  // the process died; its TCP endpoint closes
   LogLine(LogLevel::kInfo, station_.sim().now(), name_) << "killed";
   on_killed();
 }
 
-void Component::complete_start() {
+void Component::complete_start(bool warm) {
   restarting_ = false;
   up_ = true;
+  warm_started_ = warm;
   last_start_ = station_.sim().now();
   attach_to_bus();
-  LogLine(LogLevel::kInfo, station_.sim().now(), name_) << "started";
+  LogLine(LogLevel::kInfo, station_.sim().now(), name_)
+      << (warm ? "started (warm)" : "started");
   on_started();
 }
 

@@ -52,11 +52,17 @@ class Component {
   /// Time this component last completed a startup.
   util::TimePoint last_start_time() const { return last_start_; }
 
+  /// Whether the last completed startup was warm (checkpoint reloaded).
+  bool warm_started() const { return warm_started_; }
+
   // --- Process lifecycle (ProcessManager only) ---------------------------
   /// The process is killed; restart begins.
   void kill();
   /// Startup finished; the component is up and re-attached to the bus.
-  void complete_start();
+  /// `warm` records that this start reloaded a checkpoint instead of
+  /// reconstructing state (ISSUE 3) — readiness protocols consult it (a
+  /// warm ses/str resumes its saved session rather than initiating fresh).
+  void complete_start(bool warm = false);
   /// Cold boot into the steady state (already up, attached, ready) without
   /// simulating the initial startup transient. Used by the experiment
   /// harness; subclasses mark themselves ready in on_instant_boot().
@@ -87,6 +93,7 @@ class Component {
   ComponentTiming timing_;
   bool up_ = false;
   bool restarting_ = false;
+  bool warm_started_ = false;
   std::uint64_t seq_ = 1;
   util::TimePoint last_start_;
 };

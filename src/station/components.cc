@@ -114,7 +114,20 @@ void RtuComponent::handle_message(const msg::Message& message) {
   send(tune);
   ++tunes_;
   last_tuned_hz_ = tuned;
+  save_tuning_checkpoint();
 }
+
+void RtuComponent::save_tuning_checkpoint() {
+  // rtu's soft state is its tuning table: the last Doppler-corrected
+  // frequency it derived from ses ephemerides. A warm rtu reloads it instead
+  // of waiting for a fresh ephemeris round.
+  station_.save_checkpoint(
+      name(), {{"last_tuned_hz",
+                last_tuned_hz_ ? util::format_fixed(*last_tuned_hz_, 0) : "none"}});
+}
+
+void RtuComponent::on_started() { save_tuning_checkpoint(); }
+void RtuComponent::on_instant_boot() { save_tuning_checkpoint(); }
 
 // --- fedrcom (fused) ----------------------------------------------------------
 
@@ -136,8 +149,20 @@ void FedrcomComponent::handle_message(const msg::Message& message) {
 }
 
 void FedrcomComponent::on_killed() { station_.serial_port().close(); }
-void FedrcomComponent::on_started() { station_.serial_port().open(); }
-void FedrcomComponent::on_instant_boot() { station_.serial_port().open(); }
+
+void FedrcomComponent::on_started() {
+  station_.serial_port().open();
+  // The fused proxy's soft state is the negotiated serial configuration —
+  // the ~20 s negotiation a warm restart skips by reloading it.
+  station_.save_checkpoint(name(), {{"serial", "negotiated"},
+                                    {"baud", "9600"}});
+}
+
+void FedrcomComponent::on_instant_boot() {
+  station_.serial_port().open();
+  station_.save_checkpoint(name(), {{"serial", "negotiated"},
+                                    {"baud", "9600"}});
+}
 
 // --- fedr (split front-end driver) ---------------------------------------------
 
@@ -172,8 +197,18 @@ void FedrComponent::handle_message(const msg::Message& message) {
 }
 
 void FedrComponent::on_killed() { link_.on_fedr_killed(); }
-void FedrComponent::on_started() { link_.on_fedr_started(); }
-void FedrComponent::on_instant_boot() { link_.on_instant_boot(); }
+
+void FedrComponent::on_started() {
+  link_.on_fedr_started();
+  // fedr's soft state is modest (the pbcom session context); the warm win is
+  // mostly the translator's warmed caches, not the cheap TCP reconnect.
+  station_.save_checkpoint(name(), {{"pbcom_session", "cached"}});
+}
+
+void FedrComponent::on_instant_boot() {
+  link_.on_instant_boot();
+  station_.save_checkpoint(name(), {{"pbcom_session", "cached"}});
+}
 
 // --- pbcom (split serial proxy) -------------------------------------------------
 
@@ -200,8 +235,16 @@ void PbcomComponent::on_killed() {
 void PbcomComponent::on_started() {
   station_.serial_port().open();
   link_.on_pbcom_started();
+  // pbcom's soft state is the negotiated serial-port parameters — the slow
+  // hardware negotiation ("over 21 seconds") a warm restart skips.
+  station_.save_checkpoint(name(), {{"serial", "negotiated"},
+                                    {"baud", "9600"}});
 }
 
-void PbcomComponent::on_instant_boot() { station_.serial_port().open(); }
+void PbcomComponent::on_instant_boot() {
+  station_.serial_port().open();
+  station_.save_checkpoint(name(), {{"serial", "negotiated"},
+                                    {"baud", "9600"}});
+}
 
 }  // namespace mercury::station

@@ -88,8 +88,12 @@ class RtuComponent : public Component {
 
  protected:
   void handle_message(const msg::Message& message) override;
+  void on_started() override;
+  void on_instant_boot() override;
 
  private:
+  void save_tuning_checkpoint();
+
   std::uint64_t tunes_ = 0;
   std::optional<double> last_tuned_hz_;
 };

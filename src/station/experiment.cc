@@ -45,6 +45,8 @@ MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
   config.enable_domain_behavior = spec.enable_domain_behavior;
   config.cal = spec.cal;
   config.bus.loss_probability = spec.bus_loss_probability;
+  config.checkpoints.enabled = spec.enable_checkpoints;
+  config.checkpoints.ttl = spec.checkpoint_ttl;
   station_ = std::make_unique<Station>(sim_, config);
 
   link_ = std::make_unique<bus::DedicatedLink>(sim_, "fd", "rec",
@@ -166,6 +168,28 @@ TrialResult run_trial(const TrialSpec& spec) {
       break;
   }
 
+  // Checkpoint damage rides along with the failure (ISSUE 3): whatever
+  // killed the component may have trashed its snapshot too.
+  if (spec.checkpoint_damage != TrialSpec::CheckpointDamage::kNone) {
+    const std::string& victim = spec.mode == FailureMode::kJointFedrPbcom
+                                    ? names::kPbcom
+                                    : spec.fail_component;
+    switch (spec.checkpoint_damage) {
+      case TrialSpec::CheckpointDamage::kNone:
+        break;
+      case TrialSpec::CheckpointDamage::kCorrupt:
+        rig.station().checkpoints().corrupt(victim);
+        break;
+      case TrialSpec::CheckpointDamage::kPoison:
+        rig.station().checkpoints().poison(victim);
+        break;
+      case TrialSpec::CheckpointDamage::kStale:
+        rig.station().checkpoints().stale_date(
+            victim, injected_at - spec.checkpoint_ttl - Duration::seconds(1.0));
+        break;
+    }
+  }
+
   TrialResult result;
   const util::TimePoint deadline = injected_at + spec.timeout;
   while (sim.now() < deadline) {
@@ -199,6 +223,12 @@ TrialResult run_trial(const TrialSpec& spec) {
   result.restart_timeouts = static_cast<int>(rig.rec().restart_timeouts());
   result.backoffs = static_cast<int>(rig.rec().backoffs_applied());
   result.parked.assign(rig.rec().parked().begin(), rig.rec().parked().end());
+  result.warm_restarts =
+      static_cast<int>(rig.station().process_manager().warm_restarts());
+  result.cold_fallbacks =
+      static_cast<int>(rig.station().process_manager().cold_fallbacks());
+  result.checkpoint_crashes =
+      static_cast<int>(rig.station().process_manager().checkpoint_crashes());
   if (!result.timed_out && !result.hard_failure) {
     // The "functionally ready" moment the paper's methodology timestamps:
     // closes the last recovery action's execution phase in the trace,

@@ -87,6 +87,18 @@ struct TrialSpec {
   /// Restart-time faults installed on the board before the trial: each
   /// startup attempt of a listed component may hang or crash per its spec.
   std::map<std::string, core::RestartFaultSpec> restart_faults;
+
+  // --- Checkpointed warm restarts (ISSUE 3) -------------------------------
+  /// Enable the station's checkpoint policy: components snapshot soft state
+  /// and restarts offer valid snapshots back as warm starts. Off by default
+  /// so legacy trials reproduce the seed's cold-path numbers bit-for-bit.
+  bool enable_checkpoints = false;
+  util::Duration checkpoint_ttl = util::Duration::minutes(10.0);
+  /// Damage applied to the failed component's checkpoint at injection time
+  /// (kPoison needs harden_restart_path: the warm attempt crashes and only
+  /// the restart deadline notices).
+  enum class CheckpointDamage { kNone, kCorrupt, kPoison, kStale };
+  CheckpointDamage checkpoint_damage = CheckpointDamage::kNone;
 };
 
 /// Deadline for one restart action under hardening: the calibration's worst
@@ -114,6 +126,12 @@ struct TrialResult {
   /// availability accounting. Always false when nothing was parked, and
   /// when the parked set includes mbus (nothing works without the bus).
   bool degraded_functional = false;
+  /// Startup attempts begun warm / forced cold despite a warm path / died
+  /// on poisoned checkpoint state (checkpointed trials only; see
+  /// ProcessManager's counters).
+  int warm_restarts = 0;
+  int cold_fallbacks = 0;
+  int checkpoint_crashes = 0;
 };
 
 /// A fully wired Mercury system. Exposes the pieces for tests and examples.

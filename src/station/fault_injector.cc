@@ -103,6 +103,21 @@ void FaultInjector::fire(Source& source) {
   }
   station_.board().inject(std::move(spec), now);
 
+  // Checkpoint damage (ISSUE 3): the crash may have trashed the victim's
+  // snapshot too. Draws only happen when damage is configured, so legacy
+  // runs consume no extra randomness.
+  if (config_.damages_checkpoints()) {
+    if (rng_.chance(config_.checkpoint_corrupt_prob)) {
+      station_.checkpoints().corrupt(source.component);
+    } else if (rng_.chance(config_.checkpoint_poison_prob)) {
+      station_.checkpoints().poison(source.component);
+    } else if (rng_.chance(config_.checkpoint_stale_prob)) {
+      station_.checkpoints().stale_date(
+          source.component,
+          now - station_.config().checkpoints.ttl - Duration::seconds(1.0));
+    }
+  }
+
   ++source.injected;
   if (source.has_failed_before) {
     source.inter_failure.add(now - source.last_failure);

@@ -42,6 +42,23 @@ struct InjectorConfig {
   /// default: a parked bus is total loss, not degraded operation, and the
   /// availability ablations want the degraded regime.
   std::vector<std::string> restart_fault_exempt = {"mbus"};
+
+  // --- Checkpoint damage (ISSUE 3) ----------------------------------------
+  // Whatever crashed a component may have trashed its saved snapshot too.
+  // Rolled per injected failure, in this order (first hit wins):
+  /// detectably corrupt the victim's checkpoint (checksum mismatch; the
+  /// restart validates, deletes, and runs cold),
+  double checkpoint_corrupt_prob = 0.0;
+  /// undetectably poison it (checksum recomputed; the warm attempt crashes
+  /// mid-startup — a restart-path fault for the hardened recoverer),
+  double checkpoint_poison_prob = 0.0;
+  /// or backdate it beyond the station's TTL (stale; cold fallback).
+  double checkpoint_stale_prob = 0.0;
+
+  bool damages_checkpoints() const {
+    return checkpoint_corrupt_prob > 0.0 || checkpoint_poison_prob > 0.0 ||
+           checkpoint_stale_prob > 0.0;
+  }
 };
 
 class FaultInjector {

@@ -51,6 +51,16 @@ void ProcessManager::soft_recover(const std::string& component,
       });
 }
 
+void ProcessManager::discard_checkpoints(const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    if (station_.checkpoints().discard(name)) {
+      obs::incr("checkpoint.suspect_discards");
+      LogLine(LogLevel::kWarn, station_.sim().now(), name)
+          << "checkpoint discarded (restart-path fault suspected)";
+    }
+  }
+}
+
 void ProcessManager::detach_from_group(Proc& proc) {
   if (proc.group == 0) return;
   const std::uint64_t group_id = proc.group;
@@ -139,17 +149,80 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
     }
   }
 
+  // Checkpoint offer (ISSUE 3): with the policy on, a component that has a
+  // warm path and a valid, fresh snapshot starts warm — the calibrated warm
+  // duration models respawn + checkpoint reload, skipping the negotiation /
+  // resync that dominates the cold mean. Everything else is a cold fallback:
+  //   * attempt > 1 means a previous attempt of this chain already failed;
+  //     the snapshot is fault-suspected and discarded unread (bad state is
+  //     exactly what the restart is meant to shed);
+  //   * a corrupt or version-skewed snapshot is discarded, never retried;
+  //   * a stale or missing snapshot simply yields the cold path.
+  // An undetectably poisoned snapshot validates clean; the warm attempt
+  // proceeds and crashes mid-startup, which the hardened recoverer's
+  // deadline treats like any other restart-path fault.
+  const core::CheckpointPolicy& policy = station_.config().checkpoints;
   const ComponentTiming& timing = component->timing();
-  const double mean = timing.startup_mean.to_seconds();
-  const double sd = timing.startup_stddev.to_seconds();
+  bool warm = false;
+  bool poisoned = false;
+  std::string cold_reason = "policy-off";
+  if (policy.enabled && !timing.has_warm_path()) {
+    cold_reason = "no-warm-path";
+  } else if (policy.enabled) {
+    if (attempt > 1) {
+      if (station_.checkpoints().discard(name)) {
+        obs::incr("checkpoint.suspect_discards");
+        LogLine(LogLevel::kWarn, station_.sim().now(), name)
+            << "checkpoint discarded (attempt " << attempt
+            << " of this chain; state is fault-suspected)";
+      }
+      cold_reason = "fault-suspect";
+    } else {
+      const core::CheckpointVerdict verdict = station_.checkpoints().validate(
+          name, station_.sim().now(), policy.ttl);
+      if (verdict == core::CheckpointVerdict::kValid) {
+        warm = true;
+        poisoned = station_.checkpoints().find(name)->poisoned;
+      } else {
+        cold_reason = std::string(core::to_string(verdict));
+        if (verdict == core::CheckpointVerdict::kCorrupt ||
+            verdict == core::CheckpointVerdict::kVersionMismatch) {
+          station_.checkpoints().discard(name);
+          obs::incr("checkpoint.invalid_discards");
+          LogLine(LogLevel::kWarn, station_.sim().now(), name)
+              << "checkpoint failed validation (" << cold_reason
+              << "); deleted, starting cold";
+        }
+      }
+    }
+    if (warm) {
+      ++warm_restarts_;
+      obs::incr("pm.warm_restarts");
+    } else if (timing.has_warm_path()) {
+      ++cold_fallbacks_;
+      obs::incr("pm.cold_fallbacks");
+    }
+  }
+
+  const double mean = (warm ? timing.warm_startup_mean : timing.startup_mean)
+                          .to_seconds();
+  const double sd = (warm ? timing.warm_startup_stddev : timing.startup_stddev)
+                        .to_seconds();
   const double base = rng_.normal_at_least(mean, sd, 0.5 * mean);
   const Duration startup = Duration::seconds(base * contention);
 
-  proc.span = obs::begin_span(
-      station_.sim().now(), "restart", "restart:" + name, "pm",
-      {{"component", name},
-       {"attempt", std::to_string(attempt)},
-       {"contention", util::format_fixed(contention, 3)}});
+  std::vector<obs::TraceArg> span_args = {
+      {"component", name},
+      {"attempt", std::to_string(attempt)},
+      {"contention", util::format_fixed(contention, 3)}};
+  if (policy.enabled) {
+    // Warm/cold annotation only under the policy, so legacy traces stay
+    // byte-identical to the seed's.
+    span_args.push_back({"start", warm ? "warm" : "cold"});
+    if (!warm) span_args.push_back({"cold_reason", cold_reason});
+  }
+  proc.span = obs::begin_span(station_.sim().now(), "restart",
+                              "restart:" + name, "pm", std::move(span_args));
   obs::incr("pm.restarts");
 
   if (hang) {
@@ -180,8 +253,33 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
     return;
   }
 
+  if (warm && poisoned) {
+    // The snapshot validated clean but its state is garbage (undetectable
+    // corruption): the warm startup runs its course, then dies reloading it.
+    // The component stays down and its group stays incomplete — only the
+    // hardened recoverer's deadline moves it again, and that path discards
+    // the poisoned snapshot so the retry runs cold.
+    ++checkpoint_crashes_;
+    station_.sim().schedule_after(
+        startup, "restart.ckpt-poisoned:" + name, [this, name, epoch] {
+          Proc& proc = procs_[name];
+          if (proc.epoch != epoch) return;  // superseded meanwhile
+          station_.checkpoints().discard(name);
+          station_.board().note_restart_crash(name, station_.sim().now());
+          obs::incr("checkpoint.poison_crashes");
+          if (proc.span != 0) {
+            obs::end_span(station_.sim().now(), proc.span,
+                          {{"outcome", "corrupt-checkpoint"}});
+            proc.span = 0;
+          }
+          LogLine(LogLevel::kWarn, station_.sim().now(), name)
+              << "crashed during warm startup (poisoned checkpoint)";
+        });
+    return;
+  }
+
   station_.sim().schedule_after(
-      startup, "restart.complete:" + name, [this, name, epoch] {
+      startup, "restart.complete:" + name, [this, name, epoch, warm] {
         Proc& proc = procs_[name];
         if (proc.epoch != epoch) return;  // superseded meanwhile
         Component* component = station_.component(name);
@@ -189,7 +287,7 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
         proc.restarting = false;
         proc.attempts = 0;
         --restarting_count_;
-        component->complete_start();
+        component->complete_start(warm);
         if (proc.span != 0) {
           obs::end_span(station_.sim().now(), proc.span, {{"outcome", "ready"}});
           proc.span = 0;

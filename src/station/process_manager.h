@@ -46,10 +46,20 @@ class ProcessManager : public core::ProcessControl {
   bool supports_soft_recovery() const override { return true; }
   void soft_recover(const std::string& component,
                     std::function<void()> on_complete) override;
+  void discard_checkpoints(const std::vector<std::string>& names) override;
 
   /// Startup attempts begun (successful or not; includes hung/crashed ones).
   std::uint64_t restarts_performed() const { return restarts_performed_; }
   std::uint64_t groups_restarted() const { return groups_restarted_; }
+
+  // --- Checkpointed warm restarts (ISSUE 3) -------------------------------
+  /// Startup attempts begun warm (valid checkpoint offered back).
+  std::uint64_t warm_restarts() const { return warm_restarts_; }
+  /// Attempts where the component has a warm path but validation (or fault
+  /// suspicion) forced the cold path. Only counted while the policy is on.
+  std::uint64_t cold_fallbacks() const { return cold_fallbacks_; }
+  /// Warm attempts that died mid-startup on undetectably poisoned state.
+  std::uint64_t checkpoint_crashes() const { return checkpoint_crashes_; }
 
  private:
   struct Group {
@@ -85,6 +95,9 @@ class ProcessManager : public core::ProcessControl {
   int restarting_count_ = 0;
   std::uint64_t restarts_performed_ = 0;
   std::uint64_t groups_restarted_ = 0;
+  std::uint64_t warm_restarts_ = 0;
+  std::uint64_t cold_fallbacks_ = 0;
+  std::uint64_t checkpoint_crashes_ = 0;
   std::uint64_t next_group_ = 1;
   std::map<std::uint64_t, Group> groups_;
 };

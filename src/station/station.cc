@@ -134,6 +134,14 @@ void Station::set_restart_faults(const std::string& component_name,
   board_.set_restart_faults(component_name, spec);
 }
 
+void Station::save_checkpoint(
+    const std::string& component_name,
+    std::vector<std::pair<std::string, std::string>> payload) {
+  if (!config_.checkpoints.enabled) return;
+  assert(component(component_name) != nullptr);
+  checkpoints_.save(component_name, std::move(payload), sim_.now());
+}
+
 core::FailureId Station::inject_crash(const std::string& component_name) {
   assert(component(component_name) != nullptr);
   return board_.inject(core::make_crash(component_name), sim_.now());

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bus/message_bus.h"
+#include "core/checkpoint.h"
 #include "core/failure_board.h"
 #include "orbit/ground_station.h"
 #include "orbit/propagator.h"
@@ -41,6 +42,9 @@ struct StationConfig {
       orbit::KeplerianElements::circular_leo(800.0, 60.0);
   orbit::GroundStation site = orbit::GroundStation::stanford();
   bus::BusConfig bus;
+  /// Checkpointed warm restarts (ISSUE 3). Disabled by default: legacy
+  /// configurations reproduce the seed's cold-path numbers bit-for-bit.
+  core::CheckpointPolicy checkpoints;
 };
 
 class Station {
@@ -54,6 +58,8 @@ class Station {
   sim::Simulator& sim() { return sim_; }
   bus::MessageBus& bus() { return *bus_; }
   core::FailureBoard& board() { return board_; }
+  core::CheckpointStore& checkpoints() { return checkpoints_; }
+  const core::CheckpointStore& checkpoints() const { return checkpoints_; }
   ProcessManager& process_manager() { return *process_manager_; }
   const StationConfig& config() const { return config_; }
   const Calibration& cal() const { return config_.cal; }
@@ -121,10 +127,16 @@ class Station {
   void set_restart_faults(const std::string& component,
                           core::RestartFaultSpec spec);
 
+  /// Save `component`'s soft-state snapshot (no-op unless the checkpoint
+  /// policy is enabled — legacy configurations stay checkpoint-free).
+  void save_checkpoint(const std::string& component,
+                       std::vector<std::pair<std::string, std::string>> payload);
+
  private:
   sim::Simulator& sim_;
   StationConfig config_;
   core::FailureBoard board_;
+  core::CheckpointStore checkpoints_;
   std::unique_ptr<bus::MessageBus> bus_;
   Radio radio_;
   SerialPort serial_port_;

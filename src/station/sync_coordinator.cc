@@ -64,10 +64,18 @@ void SyncCoordinator::on_started(const std::string& component) {
   if (peer.state == State::kAwaitPeer) {
     // Both sides fresh from a near-simultaneous restart: simultaneous
     // handshake initiation collides and renegotiates (§4.3 consolidation
-    // cost — cheap compared to a second detect+restart round).
+    // cost — cheap compared to a second detect+restart round). When both
+    // sides warm-started they hold matching checkpointed offsets and resume
+    // the saved session instead of renegotiating from scratch (ISSUE 3).
+    Component* self_component = station_.component(component);
+    const bool both_warm = self_component != nullptr &&
+                           self_component->warm_started() &&
+                           peer_component->warm_started();
     self.state = State::kNegotiating;
     peer.state = State::kNegotiating;
-    complete_handshake(station_.cal().sync_collide, epoch_);
+    complete_handshake(
+        both_warm ? station_.cal().sync_listen : station_.cal().sync_collide,
+        epoch_);
     return;
   }
 
@@ -80,6 +88,20 @@ void SyncCoordinator::on_started(const std::string& component) {
   }
 
   if (peer_component->responsive() && peer.state == State::kSynced) {
+    Component* self_component = station_.component(component);
+    if (self_component != nullptr && self_component->warm_started()) {
+      // Warm restart (ISSUE 3): the checkpointed offsets let the fresh side
+      // *resume* the session the peer still holds instead of initiating a
+      // new one — the stale-session resync bug is never tripped, so the
+      // induced peer wedge (and its whole second detect+restart round) is
+      // avoided. This is the ses/str chain's warm-restart win.
+      LogLine(LogLevel::kInfo, station_.sim().now(), "sync")
+          << component << " resumed checkpointed session with " << peer.name;
+      self.state = State::kNegotiating;
+      peer.state = State::kNegotiating;
+      complete_handshake(station_.cal().sync_listen, epoch_);
+      return;
+    }
     // The resync bug (§4.3): a fresh session initiation against a peer
     // holding a stale session wedges the peer. "A failure/restart in one of
     // these components substantially always leads to a subsequent
@@ -107,13 +129,22 @@ void SyncCoordinator::complete_handshake(util::Duration delay, std::uint64_t epo
       b_.state = State::kSynced;
       LogLine(LogLevel::kInfo, station_.sim().now(), "sync")
           << a_.name << " and " << b_.name << " resynchronized";
+      save_session_checkpoints();
     }
   });
+}
+
+void SyncCoordinator::save_session_checkpoints() {
+  ++session_;
+  const std::string session = std::to_string(session_);
+  station_.save_checkpoint(a_.name, {{"peer", b_.name}, {"session", session}});
+  station_.save_checkpoint(b_.name, {{"peer", a_.name}, {"session", session}});
 }
 
 void SyncCoordinator::on_instant_boot() {
   a_.state = State::kSynced;
   b_.state = State::kSynced;
+  save_session_checkpoints();
 }
 
 }  // namespace mercury::station

@@ -61,12 +61,18 @@ class SyncCoordinator {
   const Side& side(const std::string& component) const;
   Side& peer_of(const std::string& component);
   void complete_handshake(util::Duration delay, std::uint64_t epoch);
+  /// Snapshot both sides' session state (ISSUE 3): the sync offsets a warm
+  /// restart reloads to *resume* the session instead of initiating fresh —
+  /// which is what keeps the stale-session resync bug from wedging the peer.
+  void save_session_checkpoints();
 
   Station& station_;
   Side a_;
   Side b_;
   /// Bumped on every kill; voids in-flight handshake completions.
   std::uint64_t epoch_ = 0;
+  /// Session counter snapshotted into both sides' checkpoints.
+  std::uint64_t session_ = 0;
 };
 
 }  // namespace mercury::station

@@ -1,6 +1,8 @@
 // Small string helpers used by the XML layer and bench table printers.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,5 +30,11 @@ std::string format_fixed(double v, int precision = 2);
 
 /// True if every character is an ASCII digit and the string is non-empty.
 bool is_all_digits(std::string_view s);
+
+/// Checked decimal parse of an unsigned 64-bit value: the whole string must
+/// be digits and fit in the type (note is_all_digits passes 20+ digit runs
+/// that overflow). nullopt on any failure — never throws, for parsing
+/// protocol lines from untrusted child processes.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
 
 }  // namespace mercury::util

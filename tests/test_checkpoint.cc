@@ -1,0 +1,284 @@
+// Checkpointed warm restarts (ISSUE 3): CheckpointStore validity semantics,
+// and end-to-end trials showing warm restarts cut recovery time while every
+// damaged checkpoint still ends in a successful (cold) recovery.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/mercury_trees.h"
+#include "station/experiment.h"
+
+namespace mercury::core {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+Checkpoint make_checkpoint(const std::string& component, int version,
+                           TimePoint saved_at) {
+  Checkpoint checkpoint;
+  checkpoint.component = component;
+  checkpoint.version = version;
+  checkpoint.saved_at = saved_at;
+  checkpoint.payload = {{"k", "v"}};
+  checkpoint.checksum = checkpoint_checksum(checkpoint);
+  return checkpoint;
+}
+
+TEST(CheckpointStore, SaveFindValidate) {
+  CheckpointStore store;
+  const TimePoint t0 = TimePoint::from_seconds(10.0);
+  store.save("ses", {{"peer", "str"}, {"session", "3"}}, t0);
+
+  const Checkpoint* checkpoint = store.find("ses");
+  ASSERT_NE(checkpoint, nullptr);
+  EXPECT_EQ(checkpoint->component, "ses");
+  EXPECT_EQ(checkpoint->version, kCheckpointSchemaVersion);
+  EXPECT_EQ(checkpoint->checksum, checkpoint_checksum(*checkpoint));
+  EXPECT_FALSE(checkpoint->poisoned);
+  EXPECT_EQ(store.validate("ses", TimePoint::from_seconds(11.0),
+                           Duration::minutes(10.0)),
+            CheckpointVerdict::kValid);
+  EXPECT_EQ(store.saves(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(CheckpointStore, MissingComponentIsMissing) {
+  CheckpointStore store;
+  EXPECT_EQ(store.find("rtu"), nullptr);
+  EXPECT_EQ(store.validate("rtu", TimePoint::from_seconds(0.0),
+                           Duration::minutes(10.0)),
+            CheckpointVerdict::kMissing);
+  EXPECT_FALSE(store.discard("rtu"));
+}
+
+TEST(CheckpointStore, SnapshotOlderThanTtlIsStale) {
+  CheckpointStore store;
+  store.save("rtu", {{"hz", "437"}}, TimePoint::from_seconds(0.0));
+  const Duration ttl = Duration::seconds(60.0);
+  EXPECT_EQ(store.validate("rtu", TimePoint::from_seconds(59.0), ttl),
+            CheckpointVerdict::kValid);
+  EXPECT_EQ(store.validate("rtu", TimePoint::from_seconds(61.0), ttl),
+            CheckpointVerdict::kStale);
+  // stale_date backdates in place (the injector's lever).
+  store.save("rtu", {{"hz", "437"}}, TimePoint::from_seconds(100.0));
+  EXPECT_TRUE(store.stale_date("rtu", TimePoint::from_seconds(0.0)));
+  EXPECT_EQ(store.validate("rtu", TimePoint::from_seconds(100.0), ttl),
+            CheckpointVerdict::kStale);
+}
+
+TEST(CheckpointStore, CorruptionIsDetectedByChecksum) {
+  CheckpointStore store;
+  store.save("pbcom", {{"serial", "negotiated"}}, TimePoint::from_seconds(1.0));
+  EXPECT_TRUE(store.corrupt("pbcom"));
+  EXPECT_EQ(store.validate("pbcom", TimePoint::from_seconds(2.0),
+                           Duration::minutes(10.0)),
+            CheckpointVerdict::kCorrupt);
+  EXPECT_FALSE(store.find("pbcom")->poisoned);
+  EXPECT_FALSE(store.corrupt("no-such"));
+}
+
+TEST(CheckpointStore, PoisonPassesValidationButIsMarked) {
+  // Undetectable corruption: payload flipped AND checksum recomputed. The
+  // store validates it kValid — only the poisoned ground-truth flag (which
+  // drives the injected warm-start crash) records the truth.
+  CheckpointStore store;
+  store.save("fedr", {{"pbcom_session", "cached"}}, TimePoint::from_seconds(1.0));
+  EXPECT_TRUE(store.poison("fedr"));
+  EXPECT_EQ(store.validate("fedr", TimePoint::from_seconds(2.0),
+                           Duration::minutes(10.0)),
+            CheckpointVerdict::kValid);
+  EXPECT_TRUE(store.find("fedr")->poisoned);
+}
+
+TEST(CheckpointStore, WrongSchemaVersionNeverWarmStarts) {
+  CheckpointStore store;
+  store.put(make_checkpoint("ses", kCheckpointSchemaVersion + 1,
+                            TimePoint::from_seconds(1.0)));
+  EXPECT_EQ(store.validate("ses", TimePoint::from_seconds(2.0),
+                           Duration::minutes(10.0)),
+            CheckpointVerdict::kVersionMismatch);
+  // Checksum is judged before version: a snapshot that is both corrupt and
+  // mis-versioned reports kCorrupt.
+  Checkpoint bad = make_checkpoint("str", kCheckpointSchemaVersion + 1,
+                                   TimePoint::from_seconds(1.0));
+  bad.checksum ^= 1;
+  store.put(std::move(bad));
+  EXPECT_EQ(store.validate("str", TimePoint::from_seconds(2.0),
+                           Duration::minutes(10.0)),
+            CheckpointVerdict::kCorrupt);
+}
+
+TEST(CheckpointStore, DiscardAndOverwrite) {
+  CheckpointStore store;
+  store.save("ses", {{"session", "1"}}, TimePoint::from_seconds(1.0));
+  store.save("ses", {{"session", "2"}}, TimePoint::from_seconds(2.0));
+  ASSERT_NE(store.find("ses"), nullptr);
+  EXPECT_EQ(store.find("ses")->payload.front().second, "2");
+  EXPECT_EQ(store.saves(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.discard("ses"));
+  EXPECT_EQ(store.find("ses"), nullptr);
+  EXPECT_EQ(store.discards(), 1u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mercury::core
+
+namespace mercury::station {
+namespace {
+
+namespace names = core::component_names;
+using core::MercuryTree;
+using util::Duration;
+
+TrialSpec warm_spec(const std::string& victim) {
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  spec.oracle = OracleKind::kHeuristic;
+  spec.fail_component = victim;
+  spec.seed = 9001;
+  spec.enable_checkpoints = true;
+  return spec;
+}
+
+TEST(WarmRestartTrial, SesWarmRestartBeatsColdAndSkipsPeerWedge) {
+  // Tree II keeps ses in its own cell, so a cold ses restart resynchronizes
+  // against str and wedges it — the induced second restart that drove the
+  // paper's group consolidation. A warm ses resumes its saved session
+  // instead, so the peer never wedges.
+  TrialSpec spec = warm_spec(names::kSes);
+  spec.tree = MercuryTree::kTreeII;
+  TrialSpec cold = spec;
+  cold.enable_checkpoints = false;
+
+  const TrialResult warm_result = run_trial(spec);
+  const TrialResult cold_result = run_trial(cold);
+
+  ASSERT_FALSE(warm_result.timed_out);
+  ASSERT_FALSE(cold_result.timed_out);
+  EXPECT_GE(warm_result.warm_restarts, 1);
+  EXPECT_EQ(cold_result.warm_restarts, 0);
+  // Warm skips the resynchronization: the restarted ses resumes its session
+  // against the still-synced str instead of wedging it into a second
+  // failure, so recovery collapses and the induced restart disappears.
+  EXPECT_LT(warm_result.recovery.to_seconds(),
+            cold_result.recovery.to_seconds());
+  EXPECT_LT(warm_result.restarts, cold_result.restarts);
+}
+
+TEST(WarmRestartTrial, PbcomWarmRestartSkipsSerialNegotiation) {
+  // pbcom's cold start is the paper's worst offender ("takes over 21
+  // seconds" of serial negotiation); its checkpoint preserves the
+  // negotiated parameters, so the warm figure must be far smaller.
+  TrialSpec spec = warm_spec(names::kPbcom);
+  TrialSpec cold = spec;
+  cold.enable_checkpoints = false;
+
+  const TrialResult warm_result = run_trial(spec);
+  const TrialResult cold_result = run_trial(cold);
+
+  ASSERT_FALSE(warm_result.timed_out);
+  ASSERT_FALSE(cold_result.timed_out);
+  EXPECT_GE(warm_result.warm_restarts, 1);
+  EXPECT_LT(warm_result.recovery.to_seconds(),
+            cold_result.recovery.to_seconds());
+  // The saving is the negotiation itself, not loop noise: expect several
+  // seconds back, not milliseconds.
+  EXPECT_GT(cold_result.recovery.to_seconds() -
+                warm_result.recovery.to_seconds(),
+            5.0);
+}
+
+TEST(WarmRestartTrial, CorruptCheckpointFallsBackCold) {
+  TrialSpec spec = warm_spec(names::kRtu);
+  spec.checkpoint_damage = TrialSpec::CheckpointDamage::kCorrupt;
+  const TrialResult result = run_trial(spec);
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_FALSE(result.hard_failure);
+  EXPECT_EQ(result.warm_restarts, 0);
+  EXPECT_GE(result.cold_fallbacks, 1);
+  EXPECT_EQ(result.checkpoint_crashes, 0);
+  EXPECT_GT(result.recovery.to_seconds(), 0.0);
+}
+
+TEST(WarmRestartTrial, StaleCheckpointFallsBackCold) {
+  TrialSpec spec = warm_spec(names::kRtu);
+  spec.checkpoint_ttl = Duration::seconds(30.0);
+  spec.checkpoint_damage = TrialSpec::CheckpointDamage::kStale;
+  const TrialResult result = run_trial(spec);
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_FALSE(result.hard_failure);
+  EXPECT_EQ(result.warm_restarts, 0);
+  EXPECT_GE(result.cold_fallbacks, 1);
+  EXPECT_GT(result.recovery.to_seconds(), 0.0);
+}
+
+TEST(WarmRestartTrial, PoisonedCheckpointCrashesWarmStartThenRecoversCold) {
+  // Undetectable corruption: validation passes, the warm attempt crashes
+  // mid-startup. That is a restart-path fault by construction, so the trial
+  // needs ISSUE 2's hardening — the deadline notices the dead startup, the
+  // checkpoint is shed as fault-suspected, and the retry runs cold.
+  TrialSpec spec = warm_spec(names::kRtu);
+  spec.harden_restart_path = true;
+  spec.checkpoint_damage = TrialSpec::CheckpointDamage::kPoison;
+  const TrialResult result = run_trial(spec);
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_FALSE(result.hard_failure);
+  EXPECT_GE(result.warm_restarts, 1);       // the doomed warm attempt
+  EXPECT_GE(result.checkpoint_crashes, 1);  // ...died on the poisoned state
+  EXPECT_GE(result.restart_timeouts, 1);    // ...and the deadline caught it
+  EXPECT_GE(result.cold_fallbacks, 1);      // the retry ran cold
+  EXPECT_GT(result.recovery.to_seconds(), 0.0);
+}
+
+TEST(WarmRestartTrial, PoisonWithoutHardeningStallsLegacyPath) {
+  // The contrapositive of the test above, mirroring ISSUE 2's regression
+  // pair: without the restart deadline nothing notices the startup that
+  // died on poisoned state, and the trial stalls to its timeout.
+  TrialSpec spec = warm_spec(names::kRtu);
+  spec.harden_restart_path = false;
+  spec.checkpoint_damage = TrialSpec::CheckpointDamage::kPoison;
+  spec.timeout = Duration::seconds(60.0);
+  const TrialResult result = run_trial(spec);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_GE(result.checkpoint_crashes, 1);
+}
+
+TEST(WarmRestartTrial, SameSeedTrialsAreDeterministic) {
+  for (const auto damage : {TrialSpec::CheckpointDamage::kNone,
+                            TrialSpec::CheckpointDamage::kCorrupt,
+                            TrialSpec::CheckpointDamage::kPoison}) {
+    TrialSpec spec = warm_spec(names::kSes);
+    spec.harden_restart_path = true;
+    spec.checkpoint_damage = damage;
+    const TrialResult a = run_trial(spec);
+    const TrialResult b = run_trial(spec);
+    EXPECT_EQ(a.recovery.to_seconds(), b.recovery.to_seconds());
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.warm_restarts, b.warm_restarts);
+    EXPECT_EQ(a.cold_fallbacks, b.cold_fallbacks);
+    EXPECT_EQ(a.checkpoint_crashes, b.checkpoint_crashes);
+  }
+}
+
+TEST(WarmRestartTrial, CheckpointsOffDrawsNoExtraRandomness) {
+  // The policy gate: with checkpoints off, a trial must reproduce the
+  // legacy numbers bit-for-bit (no extra rng draws, saves, or trace args).
+  TrialSpec spec;
+  spec.tree = MercuryTree::kTreeIV;
+  spec.fail_component = names::kSes;
+  spec.seed = 777;
+  const TrialResult legacy = run_trial(spec);
+  spec.enable_checkpoints = false;  // explicit, same as default
+  spec.checkpoint_ttl = Duration::minutes(3.0);
+  const TrialResult off = run_trial(spec);
+  EXPECT_EQ(legacy.recovery.to_seconds(), off.recovery.to_seconds());
+  EXPECT_EQ(legacy.restarts, off.restarts);
+  EXPECT_EQ(off.warm_restarts, 0);
+  EXPECT_EQ(off.cold_fallbacks, 0);
+}
+
+}  // namespace
+}  // namespace mercury::station

@@ -11,8 +11,10 @@
 #include <string>
 
 #include "core/restart_tree.h"
+#include "posix/checkpoint_file.h"
 #include "posix/child_process.h"
 #include "posix/supervisor.h"
+#include "util/rng.h"
 
 #ifndef MERCURY_WORKER_BIN
 #error "MERCURY_WORKER_BIN must point at the mercury_worker binary"
@@ -307,6 +309,160 @@ TEST(PosixSupervisor, NoHealthPolicyMeansNoRejuvenation) {
   EXPECT_EQ(supervisor.rejuvenations(), 0u);
   // But the beacons are still visible for observability.
   EXPECT_TRUE(supervisor.latest_memory_mb("leaky").has_value());
+}
+
+// --- Checkpointed warm restarts & malformed protocol lines (ISSUE 3) --------
+
+core::RestartTree two_leaf_tree() {
+  core::RestartTree tree("R_demo");
+  const auto a_cell = tree.add_cell(tree.root(), "R_a");
+  tree.attach_component(a_cell, "a");
+  const auto c_cell = tree.add_cell(tree.root(), "R_c");
+  tree.attach_component(c_cell, "c");
+  return tree;
+}
+
+TEST(PosixSupervisor, WarmRestartUsesCheckpointAndShortensDowntime) {
+  const std::string file = "/tmp/mercury_ckpt_warm_" + std::to_string(getpid());
+  std::remove(file.c_str());
+
+  WorkerSpec slow;
+  slow.name = "c";
+  slow.argv = {kWorker,  "--name", "c", "--startup-ms", "600",
+               "--checkpoint-file", file, "--warm-startup-ms", "50"};
+  slow.startup_timeout = Millis{3000};
+  slow.checkpoint_file = file;
+
+  PosixSupervisor supervisor(two_leaf_tree(), {quick_worker("a", 30), slow},
+                             quick_config());
+  // First-ever start is cold (no file yet); the worker writes the
+  // checkpoint once READY.
+  ASSERT_TRUE(supervisor.start_all().ok());
+  EXPECT_EQ(supervisor.checkpoints_validated(), 0u);
+
+  supervisor.kill_worker("c");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.all_up() && !supervisor.history().empty(); },
+      Millis{5000}));
+  ASSERT_EQ(supervisor.history().size(), 1u);
+  EXPECT_GE(supervisor.checkpoints_validated(), 1u);
+  EXPECT_EQ(supervisor.checkpoints_deleted(), 0u);
+  // Warm restart: detection (<=110 ms) + 50 ms warm startup + loop slack —
+  // well under even the bare 600 ms cold startup delay.
+  EXPECT_LT(supervisor.history()[0].downtime.count(), 600);
+  std::remove(file.c_str());
+}
+
+TEST(PosixSupervisor, InvalidCheckpointFileIsDeletedBeforeSpawn) {
+  const std::string file = "/tmp/mercury_ckpt_bad_" + std::to_string(getpid());
+  {
+    // Well-formed line, wrong checksum: the supervisor must delete it so
+    // the worker cold-starts instead of warm-starting from garbage.
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("MERCURY-CKPT 1 c tampered-state deadbeef\n", f);
+    std::fclose(f);
+  }
+
+  WorkerSpec spec;
+  spec.name = "c";
+  spec.argv = {kWorker, "--name", "c", "--startup-ms", "50",
+               "--checkpoint-file", file};
+  spec.checkpoint_file = file;
+  core::RestartTree tree("R_demo");
+  const auto cell = tree.add_cell(tree.root(), "R_c");
+  tree.attach_component(cell, "c");
+
+  PosixSupervisor supervisor(tree, {spec}, quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+  EXPECT_GE(supervisor.checkpoints_deleted(), 1u);
+  EXPECT_EQ(supervisor.checkpoints_validated(), 0u);
+  // The cold start rebuilt the state and rewrote a valid file.
+  supervisor.run_for(Millis{200});
+  ckpt::CheckpointFile checkpoint;
+  EXPECT_EQ(ckpt::read_checkpoint_file(file, "c", &checkpoint),
+            ckpt::FileState::kValid);
+  EXPECT_EQ(checkpoint.payload, "rebuilt-state");
+  std::remove(file.c_str());
+}
+
+TEST(CheckpointFile, RoundTripAndSeededFuzz) {
+  const std::string file = "/tmp/mercury_ckpt_fuzz_" + std::to_string(getpid());
+
+  // Round trip.
+  ASSERT_TRUE(ckpt::write_checkpoint_file(file, "ses", "session=3,peer=str"));
+  ckpt::CheckpointFile checkpoint;
+  ASSERT_EQ(ckpt::read_checkpoint_file(file, "ses", &checkpoint),
+            ckpt::FileState::kValid);
+  EXPECT_EQ(checkpoint.name, "ses");
+  EXPECT_EQ(checkpoint.payload, "session=3,peer=str");
+  // The name is part of the contract: another worker's file never validates.
+  EXPECT_EQ(ckpt::read_checkpoint_file(file, "str", nullptr),
+            ckpt::FileState::kInvalid);
+  EXPECT_EQ(ckpt::read_checkpoint_file("/no/such/file", "ses", nullptr),
+            ckpt::FileState::kMissing);
+
+  // Deterministic fuzz: byte mutations of the valid line. The parser must
+  // never crash or over-read (the sanitizer CI job watches), and anything
+  // that no longer checksums is kInvalid — the supervisor then deletes it.
+  std::string valid_line;
+  {
+    std::FILE* f = std::fopen(file.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buffer[512];
+    ASSERT_NE(std::fgets(buffer, sizeof(buffer), f), nullptr);
+    std::fclose(f);
+    valid_line = buffer;
+  }
+  mercury::util::Rng rng(20260806);
+  for (int round = 0; round < 300; ++round) {
+    std::string line = valid_line;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 5));
+    for (int m = 0; m < mutations && !line.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0: line[pos] = static_cast<char>(rng.uniform_int(32, 126)); break;
+        case 1: line.erase(pos, 1); break;
+        default: line.insert(pos, 1, line[pos]); break;
+      }
+    }
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(line.c_str(), f);
+    std::fclose(f);
+    const ckpt::FileState state =
+        ckpt::read_checkpoint_file(file, "ses", &checkpoint);
+    EXPECT_TRUE(state == ckpt::FileState::kValid ||
+                state == ckpt::FileState::kInvalid);
+  }
+  std::remove(file.c_str());
+}
+
+TEST(PosixSupervisor, GarbledProtocolLinesNeverKillTheSupervisor) {
+  // Each incarnation of c answers its first two pings with corrupted lines
+  // (an overflowing 23-digit PONG, a non-numeric PONG, a garbage HEALTH
+  // figure), so c keeps failing, escalates, and parks. The regression under
+  // test: a 20+ digit PONG used to throw std::out_of_range out of
+  // drain_worker and take the whole supervisor down with it.
+  WorkerSpec garbler;
+  garbler.name = "c";
+  garbler.argv = {kWorker, "--name", "c", "--startup-ms", "30",
+                  "--garble-pongs", "2"};
+  SupervisorConfig config = quick_config();
+  config.max_root_restarts = 1;
+  PosixSupervisor supervisor(two_leaf_tree(),
+                             {quick_worker("a", 30), garbler}, config);
+  ASSERT_TRUE(supervisor.start_all().ok());
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return !supervisor.hard_failures().empty(); }, Millis{10000}));
+  EXPECT_EQ(supervisor.hard_failures()[0], "c");
+  // The garbage HEALTH figure was ignored, not recorded.
+  EXPECT_FALSE(supervisor.latest_memory_mb("c").has_value());
+  // And the healthy worker is still being supervised.
+  supervisor.run_for(Millis{200});
+  EXPECT_TRUE(supervisor.worker_up("a"));
+  EXPECT_GT(supervisor.pongs_received(), 0u);
 }
 
 TEST(PosixSupervisor, BackToBackFailures) {

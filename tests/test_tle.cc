@@ -88,6 +88,25 @@ TEST(TleParse, RejectsCorruptedInput) {
   EXPECT_FALSE(parse_tle(swapped).ok());
 }
 
+TEST(TleParse, RejectsTrailingGarbageInImpliedExponentField) {
+  // The bstar field's exponent is exactly one digit; a corrupted field like
+  // "1160-4x" used to parse as if the trailing byte were not there. Craft a
+  // line whose bstar field carries garbage after the exponent digit, with
+  // the checksum fixed up so the field parser (not the checksum) judges it.
+  std::string corrupted = kIssTle;
+  const auto bstar_at = corrupted.find("-11606-4");
+  ASSERT_NE(bstar_at, std::string::npos);
+  corrupted.replace(bstar_at, 8, " 1160-4x");
+  const auto line1_at = corrupted.find("\n1 ") + 1;
+  const std::string line1 = corrupted.substr(line1_at, 69);
+  corrupted[line1_at + 68] = static_cast<char>('0' + tle_checksum(line1));
+  const auto parsed = parse_tle(corrupted);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message().find("trailing characters"),
+            std::string::npos)
+      << parsed.error().message();
+}
+
 TEST(TleParse, RejectsMismatchedCatalogNumbers) {
   std::string mismatched =
       "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927\n"

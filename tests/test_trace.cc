@@ -10,6 +10,7 @@
 #include "obs/phases.h"
 #include "obs/trace.h"
 #include "station/experiment.h"
+#include "util/rng.h"
 
 namespace mercury::obs {
 namespace {
@@ -146,6 +147,104 @@ TEST(TraceExport, ReadJsonlSkipsMalformedLines) {
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].name, "a");
   EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(TraceExport, ReadJsonlSurvivesMalformedNumbersAndEscapes) {
+  // Regression (ISSUE 3 satellite): these lines used to reach std::stod /
+  // std::stoull and throw out of read_jsonl. Each must now simply be
+  // skipped, with the surrounding good lines kept.
+  const std::string good_a =
+      "{\"t\":1,\"ph\":\"i\",\"cat\":\"fault\",\"name\":\"a\",\"track\":\"t\","
+      "\"span\":0,\"run\":0,\"args\":{}}\n";
+  const std::string good_b =
+      "{\"t\":2,\"ph\":\"i\",\"cat\":\"fault\",\"name\":\"b\",\"track\":\"t\","
+      "\"span\":0,\"run\":0,\"args\":{}}\n";
+  std::istringstream in(
+      good_a +
+      // Timestamps that are sign/point/exponent tokens but not numbers.
+      "{\"t\":-,\"ph\":\"i\",\"cat\":\"c\",\"name\":\"x\",\"track\":\"t\","
+      "\"span\":0,\"run\":0,\"args\":{}}\n"
+      "{\"t\":.,\"ph\":\"i\",\"cat\":\"c\",\"name\":\"x\",\"track\":\"t\","
+      "\"span\":0,\"run\":0,\"args\":{}}\n"
+      "{\"t\":1e,\"ph\":\"i\",\"cat\":\"c\",\"name\":\"x\",\"track\":\"t\","
+      "\"span\":0,\"run\":0,\"args\":{}}\n"
+      // Overflowing double exponent (stod would throw out_of_range).
+      "{\"t\":1e999,\"ph\":\"i\",\"cat\":\"c\",\"name\":\"x\",\"track\":\"t\","
+      "\"span\":0,\"run\":0,\"args\":{}}\n"
+      // 24-digit span / run overflow 64 bits (stoull would throw).
+      "{\"t\":1,\"ph\":\"b\",\"cat\":\"c\",\"name\":\"x\",\"track\":\"t\","
+      "\"span\":999999999999999999999999,\"run\":0,\"args\":{}}\n"
+      "{\"t\":1,\"ph\":\"i\",\"cat\":\"c\",\"name\":\"x\",\"track\":\"t\","
+      "\"span\":0,\"run\":999999999999999999999999,\"args\":{}}\n"
+      // Negative span: not a digit sequence for an unsigned field.
+      "{\"t\":1,\"ph\":\"b\",\"cat\":\"c\",\"name\":\"x\",\"track\":\"t\","
+      "\"span\":-1,\"run\":0,\"args\":{}}\n"
+      // Broken \u escapes: non-hex digits, and a truncated one at
+      // end-of-string (used to read past the escape).
+      "{\"t\":1,\"ph\":\"i\",\"cat\":\"c\",\"name\":\"bad\\uZZZZesc\","
+      "\"track\":\"t\",\"span\":0,\"run\":0,\"args\":{}}\n"
+      "{\"t\":1,\"ph\":\"i\",\"cat\":\"c\",\"name\":\"trunc\\u00\","
+      "\"track\":\"t\",\"span\":0,\"run\":0,\"args\":{}}\n" +
+      good_b);
+  const auto events = read_jsonl(in);  // must not throw
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(TraceExport, ReadJsonlSurvivesSeededFuzz) {
+  // Deterministic fuzz: random byte mutations of a valid line, plus raw
+  // printable garbage. read_jsonl must never throw (the checked number /
+  // escape parsing) or over-read (the sanitizer CI job watches that);
+  // mutated lines are either parsed or skipped.
+  util::Rng rng(20260806);
+  const std::string valid =
+      "{\"t\":1.5,\"ph\":\"b\",\"cat\":\"recover\",\"name\":\"rec.restart\","
+      "\"track\":\"rec\",\"span\":42,\"run\":3,\"args\":{\"cell\":\"R_x\","
+      "\"esc\\u0061lation\":\"0\"}}";
+  for (int round = 0; round < 400; ++round) {
+    std::string line = valid;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 6));
+    for (int m = 0; m < mutations && !line.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:  // flip a byte to random printable
+          line[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:  // delete a byte (truncation mid-token, mid-escape, ...)
+          line.erase(pos, 1);
+          break;
+        default:  // duplicate a byte
+          line.insert(pos, 1, line[pos]);
+          break;
+      }
+    }
+    std::istringstream in(line + "\n");
+    const auto events = read_jsonl(in);  // must not throw
+    EXPECT_LE(events.size(), 1u);
+  }
+  // Pure garbage lines too.
+  for (int round = 0; round < 100; ++round) {
+    std::string line;
+    const auto length = rng.uniform_int(0, 120);
+    for (std::int64_t i = 0; i < length; ++i) {
+      line.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    }
+    std::istringstream in(line + "\n");
+    EXPECT_LE(read_jsonl(in).size(), 1u);  // must not throw
+  }
+}
+
+TEST(TraceExport, ReadJsonlDecodesValidUnicodeEscapes) {
+  // The checked \u parser still has to accept real escapes, including
+  // multi-byte code points, and encode them as UTF-8.
+  std::istringstream in(
+      "{\"t\":1,\"ph\":\"i\",\"cat\":\"c\",\"name\":\"caf\\u00e9 \\u2713\","
+      "\"track\":\"t\",\"span\":0,\"run\":0,\"args\":{}}\n");
+  const auto events = read_jsonl(in);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "café \u2713");
 }
 
 TEST(TraceExport, ChromeTraceIsWellFormed) {
