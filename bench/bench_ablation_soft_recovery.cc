@@ -24,11 +24,14 @@ using mercury::station::TrialSpec;
 /// Mean recovery over a workload with the given soft-curable share; the
 /// failing component cycles over the station (rate-weighted toward fedr).
 double measure(bool soft_policy, double soft_fraction, std::uint64_t seed) {
+  // The workload rng draws all 120 specs up front (deterministic, on the
+  // calling thread); the trials themselves run on the experiment runner.
   mercury::util::Rng workload(seed);
-  mercury::util::SampleStats stats;
   const std::string victims[] = {names::kFedr, names::kFedr, names::kFedr,
                                  names::kSes,  names::kStr,  names::kRtu,
                                  names::kPbcom};
+  std::vector<TrialSpec> specs;
+  specs.reserve(120);
   for (int i = 0; i < 120; ++i) {
     TrialSpec spec;
     spec.tree = mercury::core::MercuryTree::kTreeIV;
@@ -38,7 +41,11 @@ double measure(bool soft_policy, double soft_fraction, std::uint64_t seed) {
     spec.mode = workload.chance(soft_fraction) ? FailureMode::kStaleAttachment
                                                : FailureMode::kCrash;
     spec.seed = seed + static_cast<std::uint64_t>(i) * 13;
-    stats.add(mercury::station::run_trial(spec).recovery);
+    specs.push_back(std::move(spec));
+  }
+  mercury::util::SampleStats stats;
+  for (const auto& result : mercury::station::run_trial_batch(specs)) {
+    stats.add(result.recovery);
   }
   return stats.mean();
 }

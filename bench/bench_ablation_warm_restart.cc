@@ -76,17 +76,6 @@ TrialSpec make_spec(MercuryTree tree, const std::string& victim,
   return spec;
 }
 
-/// Serialize one trial's trace under a fresh recorder (fresh run/span
-/// counters, so two same-seed runs are byte-comparable).
-std::string traced_trial(const TrialSpec& spec, TrialResult* result) {
-  mercury::obs::TraceRecorder recorder;
-  mercury::obs::ScopedRecorder scope(recorder);
-  *result = mercury::station::run_trial(spec);
-  std::ostringstream out;
-  recorder.write_jsonl(out);
-  return out.str();
-}
-
 }  // namespace
 
 int main() {
@@ -124,7 +113,22 @@ int main() {
                             widths);
   mercury::bench::print_rule(widths);
 
+  // One batch over the whole (cell x mode x seed) grid, in the old serial
+  // order: the runner keeps results and the session trace byte-identical to
+  // the serial loop while spreading trials over MERCURY_JOBS workers.
+  std::vector<TrialSpec> batch;
+  for (const Cell& cell : cells) {
+    for (const Mode& mode : modes()) {
+      for (int i = 0; i < seeds; ++i) {
+        batch.push_back(make_spec(cell.tree, cell.victim, mode, 2000 + i));
+      }
+    }
+  }
+  const std::vector<TrialResult> batch_results =
+      mercury::station::run_trial_batch(batch);
+
   int failures = 0;
+  std::size_t next_result = 0;
   for (const Cell& cell : cells) {
     double cold_mean = 0.0;
     double warm_mean = 0.0;
@@ -132,8 +136,7 @@ int main() {
       mercury::util::SampleStats recovery;
       int warm_starts = 0, cold_fallbacks = 0, crashes = 0, stalls = 0;
       for (int i = 0; i < seeds; ++i) {
-        const TrialSpec spec = make_spec(cell.tree, cell.victim, mode, 2000 + i);
-        const TrialResult result = mercury::station::run_trial(spec);
+        const TrialResult& result = batch_results[next_result++];
         warm_starts += result.warm_restarts;
         cold_fallbacks += result.cold_fallbacks;
         crashes += result.checkpoint_crashes;
@@ -165,8 +168,8 @@ int main() {
       // Determinism: same seed => byte-identical trace, in every mode.
       const TrialSpec spec = make_spec(cell.tree, cell.victim, mode, 2000);
       TrialResult first, second;
-      const std::string trace_a = traced_trial(spec, &first);
-      const std::string trace_b = traced_trial(spec, &second);
+      const std::string trace_a = mercury::bench::traced_trial_jsonl(spec, &first);
+      const std::string trace_b = mercury::bench::traced_trial_jsonl(spec, &second);
       if (trace_a != trace_b || trace_a.empty()) {
         ++failures;
         std::fprintf(stderr, "NONDETERMINISM: tree %s victim %s mode %s\n",
@@ -199,5 +202,5 @@ int main() {
   std::printf(
       "OK: warm < cold on every chain; every damaged-checkpoint trial fell "
       "back cold and recovered; same-seed traces identical\n");
-  return 0;
+  return session.finish();
 }

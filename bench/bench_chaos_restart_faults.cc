@@ -125,17 +125,6 @@ TrialSpec make_spec(MercuryTree tree, const FaultMix& mix, std::uint64_t seed) {
   return spec;
 }
 
-/// Serialize one trial's trace under a fresh recorder (fresh run/span
-/// counters, so two same-seed runs are byte-comparable).
-std::string traced_trial(const TrialSpec& spec, TrialResult* result) {
-  mercury::obs::TraceRecorder recorder;
-  mercury::obs::ScopedRecorder scope(recorder);
-  *result = mercury::station::run_trial(spec);
-  std::ostringstream out;
-  recorder.write_jsonl(out);
-  return out.str();
-}
-
 }  // namespace
 
 int main() {
@@ -161,9 +150,24 @@ int main() {
                             widths);
   mercury::bench::print_rule(widths);
 
+  // The whole (tree x mix x seed) grid goes to the experiment runner as one
+  // batch — trial order (hence seeds and the merged session trace) matches
+  // the old serial triple loop, for any MERCURY_JOBS.
+  std::vector<TrialSpec> batch;
+  for (const MercuryTree tree : trees) {
+    for (const FaultMix& mix : mixes) {
+      for (int i = 0; i < seeds; ++i) {
+        batch.push_back(make_spec(tree, mix, 1000 + i));
+      }
+    }
+  }
+  const std::vector<TrialResult> batch_results =
+      mercury::station::run_trial_batch(batch);
+
   int stalls = 0;
   int budget_violations = 0;
   int determinism_failures = 0;
+  std::size_t next_result = 0;
   for (const MercuryTree tree : trees) {
     const std::string tree_name =
         tree == MercuryTree::kTreeII ? "II" : "IV";
@@ -172,8 +176,9 @@ int main() {
       int timeouts = 0, backoffs = 0;
       mercury::util::SampleStats recovery;
       for (int i = 0; i < seeds; ++i) {
-        const TrialSpec spec = make_spec(tree, mix, 1000 + i);
-        const TrialResult result = mercury::station::run_trial(spec);
+        const TrialSpec& spec = batch[next_result];
+        const TrialResult& result = batch_results[next_result];
+        ++next_result;
         timeouts += result.restart_timeouts;
         backoffs += result.backoffs;
         if (result.timed_out) {
@@ -227,8 +232,8 @@ int main() {
       // restart-fault draws ride the seeded rng streams, never wall clock.
       const TrialSpec spec = make_spec(tree, mix, 1000);
       TrialResult first, second;
-      const std::string trace_a = traced_trial(spec, &first);
-      const std::string trace_b = traced_trial(spec, &second);
+      const std::string trace_a = mercury::bench::traced_trial_jsonl(spec, &first);
+      const std::string trace_b = mercury::bench::traced_trial_jsonl(spec, &second);
       if (trace_a != trace_b || trace_a.empty()) {
         ++determinism_failures;
         std::fprintf(stderr, "NONDETERMINISM: tree %s mix %s seed 1000\n",
@@ -247,5 +252,5 @@ int main() {
   }
   std::printf("OK: every trial ended in full recovery or explicit parking; "
               "attempt budgets held; same-seed traces identical\n");
-  return 0;
+  return session.finish();
 }

@@ -10,21 +10,30 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/phases.h"
 #include "obs/trace.h"
+#include "obs/trace_check.h"
+#include "station/experiment.h"
 #include "util/strings.h"
 
 namespace mercury::bench {
 
 /// Per-bench recovery tracing (docs/TRACING.md). Construct one at the top of
-/// main(); while it lives, every recovery the bench drives is recorded. On
-/// destruction it writes <name>.trace.jsonl (line-per-event schema) and
-/// <name>.trace.json (Chrome trace-event format, for chrome://tracing or
-/// ui.perfetto.dev) into $MERCURY_TRACE_DIR (default: the working directory)
-/// and prints the per-phase recovery breakdown plus aggregate counters.
+/// main(); while it lives, every recovery the bench drives is recorded (the
+/// parallel experiment runner merges worker-thread trials back into this
+/// recorder in trial order, so the files below are byte-identical for any
+/// MERCURY_JOBS). finish() — called by the destructor if the bench does not —
+/// validates the recovery-trace invariants (obs/trace_check.h), writes
+/// <name>.trace.jsonl (line-per-event schema) and <name>.trace.json (Chrome
+/// trace-event format, for chrome://tracing or ui.perfetto.dev) into
+/// $MERCURY_TRACE_DIR (default: the working directory) and prints the
+/// per-phase recovery breakdown plus aggregate counters. Benches return
+/// `trace.finish() | failures` so an illegal recovery schedule fails the
+/// bench even when the aggregate numbers look fine.
 ///
 /// Set MERCURY_TRACE=0 to disable tracing entirely.
 class TraceSession {
@@ -36,9 +45,36 @@ class TraceSession {
     obs::set_recorder(recorder_.get());
   }
 
-  ~TraceSession() {
-    if (recorder_ == nullptr) return;
+  ~TraceSession() { finish(); }
+
+  /// Loosen or tighten the invariant checks (e.g. require_resolution=false
+  /// for benches that deliberately drive trials into timeouts).
+  void set_check_options(const obs::CheckOptions& options) {
+    check_options_ = options;
+  }
+  /// Skip invariant checking entirely (trace is still written).
+  void disable_check() { check_enabled_ = false; }
+
+  /// Check invariants, write the trace files and print the breakdown.
+  /// Returns 0 when the trace satisfies every invariant (or tracing /
+  /// checking is off), 1 otherwise. Idempotent: the first call does the
+  /// work, later calls (including the destructor's) return the same code.
+  int finish() {
+    if (finished_) return exit_code_;
+    finished_ = true;
+    if (recorder_ == nullptr) return 0;
     obs::set_recorder(nullptr);
+
+    if (check_enabled_) {
+      const std::vector<obs::TraceIssue> issues =
+          obs::check_trace(recorder_->events(), check_options_);
+      if (!issues.empty()) {
+        exit_code_ = 1;
+        std::fprintf(stderr,
+                     "\n--- TRACE INVARIANT VIOLATIONS (%zu) ------------------\n%s",
+                     issues.size(), obs::describe(issues).c_str());
+      }
+    }
 
     const char* dir = std::getenv("MERCURY_TRACE_DIR");
     std::string prefix = name_;
@@ -78,6 +114,10 @@ class TraceSession {
       std::printf("note: %llu events dropped at the recorder cap\n",
                   static_cast<unsigned long long>(recorder_->dropped()));
     }
+    if (check_enabled_ && exit_code_ == 0) {
+      std::printf("trace invariants: OK (%zu events checked)\n",
+                  recorder_->events().size());
+    }
     if (wrote) {
       std::printf("trace: %s (JSONL), %s (chrome://tracing / Perfetto)\n",
                   jsonl_path.c_str(), chrome_path.c_str());
@@ -87,6 +127,7 @@ class TraceSession {
                    "(does MERCURY_TRACE_DIR exist?)\n",
                    prefix.c_str());
     }
+    return exit_code_;
   }
 
   TraceSession(const TraceSession&) = delete;
@@ -98,6 +139,10 @@ class TraceSession {
  private:
   std::string name_;
   std::unique_ptr<obs::TraceRecorder> recorder_;
+  obs::CheckOptions check_options_;
+  bool check_enabled_ = true;
+  bool finished_ = false;
+  int exit_code_ = 0;
 };
 
 inline void print_header(const std::string& title) {
@@ -129,6 +174,18 @@ inline void print_rule(const std::vector<int>& widths) {
 /// "measured (paper X)" cell.
 inline std::string vs_paper(double measured, double paper) {
   return util::format_fixed(measured, 2) + " (" + util::format_fixed(paper, 2) + ")";
+}
+
+/// One trial under a fresh recorder (fresh run/span counters), serialized to
+/// JSONL — two same-seed calls must return byte-identical strings, the
+/// determinism oracle of the chaos and warm-restart campaigns.
+inline std::string traced_trial_jsonl(const station::TrialSpec& spec,
+                                      station::TrialResult* result) {
+  station::TracedTrial traced = station::run_trial_traced(spec);
+  *result = traced.result;
+  std::ostringstream out;
+  obs::write_jsonl(traced.events, out);
+  return out.str();
 }
 
 }  // namespace mercury::bench

@@ -43,24 +43,26 @@ int main() {
   print_row({"Failure", "recovery (paper)"}, widths);
   print_rule(widths);
 
-  TrialSpec spec;
-  spec.oracle = OracleKind::kPerfect;
-
-  spec.tree = MercuryTree::kTreeII;
-  spec.fail_component = names::kFedrcom;
-  spec.seed = 71;
-  const double fedrcom = mercury::station::run_trials(spec, 100).mean();
+  // One grid over the figure's three cells (runner parallelism spans all of
+  // them); cell order and seeds are the old serial sequence.
+  std::vector<TrialSpec> grid(3);
+  for (TrialSpec& spec : grid) spec.oracle = OracleKind::kPerfect;
+  grid[0].tree = MercuryTree::kTreeII;
+  grid[0].fail_component = names::kFedrcom;
+  grid[0].seed = 71;
+  grid[1].tree = MercuryTree::kTreeIII;
+  grid[1].fail_component = names::kFedr;
+  grid[1].seed = 72;
+  grid[2].tree = MercuryTree::kTreeIII;
+  grid[2].fail_component = names::kPbcom;
+  grid[2].seed = 73;
+  const std::vector<mercury::util::SampleStats> stats =
+      mercury::station::run_trials_grid(grid, 100);
+  const double fedrcom = stats[0].mean();
+  const double fedr = stats[1].mean();
+  const double pbcom = stats[2].mean();
   print_row({"fedrcom (tree II)", vs_paper(fedrcom, 20.93)}, widths);
-
-  spec.tree = MercuryTree::kTreeIII;
-  spec.fail_component = names::kFedr;
-  spec.seed = 72;
-  const double fedr = mercury::station::run_trials(spec, 100).mean();
   print_row({"fedr (tree III)", vs_paper(fedr, 5.76)}, widths);
-
-  spec.fail_component = names::kPbcom;
-  spec.seed = 73;
-  const double pbcom = mercury::station::run_trials(spec, 100).mean();
   print_row({"pbcom (tree III)", vs_paper(pbcom, 21.24)}, widths);
 
   // Rate-weighted: fedr inherits the translator bugs (MTTF ~11 min), pbcom
@@ -82,5 +84,5 @@ int main() {
       "\n\"Most of the failures will be cured by quick fedr restarts and a\n"
       "few ... will result in slow pbcom restarts, whereas previously they\n"
       "would have all required slow fedrcom restarts.\" (§4.2)\n");
-  return 0;
+  return trace_session.finish();
 }

@@ -39,23 +39,47 @@ int main() {
   const double paper_iii[] = {9.50, 9.76};
   const double paper_iv[] = {6.25, 6.11};
   const std::string components[] = {names::kSes, names::kStr};
+
+  // Flatten the old serial sequence — per component, a restart-count probe
+  // trial plus the 100-trial mean for each tree — into one batch for the
+  // experiment runner, preserving trial order (hence seeds and traces).
+  constexpr int kTrials = 100;
+  std::vector<TrialSpec> batch;
+  const auto push_block = [&batch](TrialSpec spec) {
+    batch.push_back(spec);  // the probe trial (restart count)
+    for (int t = 0; t < kTrials; ++t) {
+      TrialSpec trial = spec;
+      trial.seed = spec.seed + static_cast<std::uint64_t>(t);
+      batch.push_back(std::move(trial));
+    }
+  };
   std::uint64_t seed = 900;
   for (int i = 0; i < 2; ++i) {
     TrialSpec spec;
     spec.oracle = OracleKind::kPerfect;
     spec.fail_component = components[i];
-
     spec.tree = MercuryTree::kTreeIII;
     spec.seed = seed += 13;
-    const auto r3 = mercury::station::run_trial(spec);
-    const double m3 = mercury::station::run_trials(spec, 100).mean();
-
+    push_block(spec);
     spec.tree = MercuryTree::kTreeIV;
     spec.seed = seed += 13;
-    const auto r4 = mercury::station::run_trial(spec);
-    const double m4 = mercury::station::run_trials(spec, 100).mean();
+    push_block(spec);
+  }
+  const std::vector<mercury::station::TrialResult> results =
+      mercury::station::run_trial_batch(batch);
 
-    print_row({components[i], vs_paper(m3, paper_iii[i]), vs_paper(m4, paper_iv[i]),
+  const auto block_mean = [&results](std::size_t first) {
+    mercury::util::SampleStats stats;
+    for (int t = 0; t < kTrials; ++t) stats.add(results[first + 1 + t].recovery);
+    return stats.mean();
+  };
+  constexpr std::size_t kBlock = 1 + kTrials;
+  for (int i = 0; i < 2; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * 2 * kBlock;
+    const auto& r3 = results[base];
+    const auto& r4 = results[base + kBlock];
+    print_row({components[i], vs_paper(block_mean(base), paper_iii[i]),
+               vs_paper(block_mean(base + kBlock), paper_iv[i]),
                std::to_string(r3.restarts) + " -> " + std::to_string(r4.restarts)},
               widths);
   }
@@ -64,5 +88,5 @@ int main() {
       "\nTree III needs two recovery actions per incident (the cure wedges\n"
       "the peer: an induced failure, §4.3); tree IV encodes the correlation\n"
       "into one consolidated cell and restarts both in parallel.\n");
-  return 0;
+  return trace_session.finish();
 }

@@ -31,7 +31,7 @@ int main() {
   std::printf("\nTree V (= promote_component(tree IV, pbcom)):\n%s",
               tree_v.value().render().c_str());
 
-  auto measure = [](MercuryTree tree, OracleKind oracle, std::uint64_t seed) {
+  const auto cell = [](MercuryTree tree, OracleKind oracle, std::uint64_t seed) {
     TrialSpec spec;
     spec.tree = tree;
     spec.oracle = oracle;
@@ -39,28 +39,25 @@ int main() {
     spec.mode = FailureMode::kJointFedrPbcom;
     spec.fail_component = names::kPbcom;
     spec.seed = seed;
-    return mercury::station::run_trials(spec, 200).mean();
+    return spec;
   };
+  // All four cells run as one grid on the experiment runner (same cell order
+  // and seeds as the old serial measure() calls).
+  const std::vector<mercury::util::SampleStats> stats =
+      mercury::station::run_trials_grid(
+          {cell(MercuryTree::kTreeIV, OracleKind::kPerfect, 61),
+           cell(MercuryTree::kTreeIV, OracleKind::kFaultyPerfect, 62),
+           cell(MercuryTree::kTreeV, OracleKind::kPerfect, 63),
+           cell(MercuryTree::kTreeV, OracleKind::kFaultyPerfect, 64)},
+          200);
 
   const std::vector<int> widths = {8, 10, 20};
   print_row({"Tree", "Oracle", "recovery (paper)"}, widths);
   print_rule(widths);
-  print_row({"IV", "perfect",
-             vs_paper(measure(MercuryTree::kTreeIV, OracleKind::kPerfect, 61),
-                      21.24)},
-            widths);
-  print_row({"IV", "faulty",
-             vs_paper(measure(MercuryTree::kTreeIV, OracleKind::kFaultyPerfect, 62),
-                      29.19)},
-            widths);
-  print_row({"V", "perfect",
-             vs_paper(measure(MercuryTree::kTreeV, OracleKind::kPerfect, 63),
-                      21.24)},
-            widths);
-  print_row({"V", "faulty",
-             vs_paper(measure(MercuryTree::kTreeV, OracleKind::kFaultyPerfect, 64),
-                      21.63)},
-            widths);
+  print_row({"IV", "perfect", vs_paper(stats[0].mean(), 21.24)}, widths);
+  print_row({"IV", "faulty", vs_paper(stats[1].mean(), 29.19)}, widths);
+  print_row({"V", "perfect", vs_paper(stats[2].mean(), 21.24)}, widths);
+  print_row({"V", "faulty", vs_paper(stats[3].mean(), 21.63)}, widths);
 
   std::printf(
       "\nA guess-too-low on tree IV restarts pbcom alone (~21 s), fails, and\n"
@@ -69,5 +66,5 @@ int main() {
       "perfect one. Perfect-oracle rows are equal across IV and V, as §4.4\n"
       "argues (\"there is nothing that a perfect oracle could do in tree V\n"
       "but not in tree IV\").\n");
-  return 0;
+  return trace_session.finish();
 }

@@ -87,47 +87,54 @@ int main() {
             phase_widths);
   print_rule(phase_widths);
 
-  bool phases_ok = true;
-  for (const char* component : {"ses", "str", "rtu", "fedrcom", "mbus"}) {
+  const std::vector<std::string> crash_components = {"ses", "str", "rtu",
+                                                     "fedrcom", "mbus"};
+  std::vector<mercury::station::TrialSpec> specs;
+  for (const std::string& component : crash_components) {
     mercury::station::TrialSpec spec;
     spec.tree = mercury::core::MercuryTree::kTreeI;
     spec.oracle = mercury::station::OracleKind::kHeuristic;
     spec.fail_component = component;
     spec.seed = 7;
-
-    const std::uint64_t run_before =
-        trace.recorder() != nullptr ? trace.recorder()->run() : 0;
-    const auto result = mercury::station::run_trial(spec);
-    if (trace.recorder() == nullptr) continue;
-
-    // Sum the phases of every recovery action this trial's run produced
-    // (normally one; escalations would add rows that still tile the span).
-    double detect = 0.0, decide = 0.0, execute = 0.0;
-    const auto rows =
-        mercury::obs::recovery_phases(trace.recorder()->events());
-    for (const auto& row : rows) {
-      if (row.run != run_before + 1) continue;
-      detect += row.detection();
-      decide += row.decision();
-      execute += row.execution();
-    }
-    const double measured = result.recovery.to_seconds();
-    const double sum = detect + decide + execute;
-    const double err_pct =
-        measured > 0.0 ? 100.0 * std::abs(sum - measured) / measured : 0.0;
-    if (err_pct > 1.0) phases_ok = false;
-    print_row({component, mercury::util::format_fixed(measured, 3),
-               mercury::util::format_fixed(detect, 3),
-               mercury::util::format_fixed(decide, 3),
-               mercury::util::format_fixed(execute, 3),
-               mercury::util::format_fixed(sum, 3),
-               mercury::util::format_fixed(err_pct, 2)},
-              phase_widths);
+    specs.push_back(std::move(spec));
   }
+  // The batch parallelises across components; the merged trace assigns trial
+  // i the run index run_before + 1 + i, exactly as the serial loop did.
+  const std::uint64_t run_before =
+      trace.recorder() != nullptr ? trace.recorder()->run() : 0;
+  const std::vector<mercury::station::TrialResult> results =
+      mercury::station::run_trial_batch(specs);
+
+  bool phases_ok = true;
   if (trace.recorder() != nullptr) {
+    const auto rows = mercury::obs::recovery_phases(trace.recorder()->events());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      // Sum the phases of every recovery action this trial's run produced
+      // (normally one; escalations would add rows that still tile the span).
+      double detect = 0.0, decide = 0.0, execute = 0.0;
+      for (const auto& row : rows) {
+        if (row.run != run_before + 1 + i) continue;
+        detect += row.detection();
+        decide += row.decision();
+        execute += row.execution();
+      }
+      const double measured = results[i].recovery.to_seconds();
+      const double sum = detect + decide + execute;
+      const double err_pct =
+          measured > 0.0 ? 100.0 * std::abs(sum - measured) / measured : 0.0;
+      if (err_pct > 1.0) phases_ok = false;
+      print_row({crash_components[i],
+                 mercury::util::format_fixed(measured, 3),
+                 mercury::util::format_fixed(detect, 3),
+                 mercury::util::format_fixed(decide, 3),
+                 mercury::util::format_fixed(execute, 3),
+                 mercury::util::format_fixed(sum, 3),
+                 mercury::util::format_fixed(err_pct, 2)},
+                phase_widths);
+    }
     std::printf("\nphase decomposition %s: per-phase durations sum to the "
                 "measured\nend-to-end recovery time (tolerance 1%%)\n",
                 phases_ok ? "OK" : "MISMATCH");
   }
-  return phases_ok ? 0 : 1;
+  return trace.finish() | (phases_ok ? 0 : 1);
 }

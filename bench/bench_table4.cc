@@ -29,8 +29,9 @@ using mercury::station::TrialSpec;
 
 constexpr int kTrials = 100;
 
-double measure(MercuryTree tree, OracleKind oracle, const std::string& component,
-               FailureMode mode, std::uint64_t seed) {
+TrialSpec cell_spec(MercuryTree tree, OracleKind oracle,
+                    const std::string& component, FailureMode mode,
+                    std::uint64_t seed) {
   TrialSpec spec;
   spec.tree = tree;
   spec.oracle = oracle;
@@ -38,7 +39,7 @@ double measure(MercuryTree tree, OracleKind oracle, const std::string& component
   spec.fail_component = component;
   spec.mode = mode;
   spec.seed = seed;
-  return mercury::station::run_trials(spec, kTrials).mean();
+  return spec;
 }
 
 struct RowSpec {
@@ -86,24 +87,37 @@ int main() {
             widths);
   print_rule(widths);
 
+  const std::string components[7] = {names::kMbus, names::kSes, names::kStr,
+                                     names::kRtu,  names::kFedr, names::kPbcom,
+                                     names::kFedrcom};
+
+  // Flatten every applicable (tree, oracle, component) cell into one grid so
+  // the experiment runner parallelises the whole table, not one cell at a
+  // time. Seeds advance per column exactly as the serial loop did.
+  std::vector<TrialSpec> grid;
   std::uint64_t seed = 10'000;
   for (const RowSpec& row : rows) {
-    std::vector<std::string> cells = {row.label, row.oracle_label};
-    const std::string components[7] = {names::kMbus, names::kSes, names::kStr,
-                                       names::kRtu,  names::kFedr, names::kPbcom,
-                                       names::kFedrcom};
     for (int c = 0; c < 7; ++c) {
       seed += 100;
+      if (row.paper[c] < 0) continue;
+      const FailureMode mode = components[c] == names::kPbcom
+                                   ? FailureMode::kJointFedrPbcom
+                                   : FailureMode::kCrash;
+      grid.push_back(cell_spec(row.tree, row.oracle, components[c], mode, seed));
+    }
+  }
+  const std::vector<mercury::util::SampleStats> stats =
+      mercury::station::run_trials_grid(grid, kTrials);
+
+  std::size_t next_stat = 0;
+  for (const RowSpec& row : rows) {
+    std::vector<std::string> cells = {row.label, row.oracle_label};
+    for (int c = 0; c < 7; ++c) {
       if (row.paper[c] < 0) {
         cells.push_back("--");
         continue;
       }
-      const FailureMode mode = components[c] == names::kPbcom
-                                   ? FailureMode::kJointFedrPbcom
-                                   : FailureMode::kCrash;
-      cells.push_back(
-          vs_paper(measure(row.tree, row.oracle, components[c], mode, seed),
-                   row.paper[c]));
+      cells.push_back(vs_paper(stats[next_stat++].mean(), row.paper[c]));
     }
     print_row(cells, widths);
   }
@@ -112,5 +126,5 @@ int main() {
       "\nShape checks (paper §4): tree II < tree I everywhere; consolidation\n"
       "(IV) cuts ses/str from ~9.6 to ~6.2; faulty oracle inflates joint\n"
       "pbcom failures on tree IV; promotion (V) restores them to ~21.\n");
-  return 0;
+  return trace_session.finish();
 }

@@ -1,0 +1,23 @@
+#include "exp/seed_stream.h"
+
+namespace mercury::exp {
+
+namespace {
+/// 2^64 / phi, forced odd — the SplitMix64 "golden gamma". Odd means
+/// index -> master + (index+1)*gamma is injective mod 2^64.
+constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ull;
+}  // namespace
+
+std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t SeedStream::trial_seed(std::uint64_t index) const {
+  // (index+1) rather than index keeps trial 0's seed distinct from the raw
+  // master, which callers tend to also use directly.
+  return splitmix64_mix(master_ + (index + 1) * kGoldenGamma);
+}
+
+}  // namespace mercury::exp

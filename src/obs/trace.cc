@@ -11,7 +11,9 @@ namespace mercury::obs {
 
 namespace {
 
-TraceRecorder* g_recorder = nullptr;
+// Thread-local: parallel experiment trials each install a private recorder
+// on their worker thread (src/exp/runner.cc); emit sites never race.
+thread_local TraceRecorder* g_recorder = nullptr;
 
 /// JSON string escaping for the export/import round trip. Event names and
 /// args are ASCII in practice, but component labels flow through user code,
@@ -184,6 +186,28 @@ std::string TraceRecorder::metrics_summary() const {
   return out.str();
 }
 
+void TraceRecorder::merge_from(const TraceRecorder& other) {
+  const std::uint64_t span_offset = next_span_ - 1;
+  const std::uint64_t run_offset = run_;
+  for (const TraceEvent& event : other.events_) {
+    TraceEvent copy = event;
+    if (copy.span != 0) copy.span += span_offset;
+    copy.run += run_offset;
+    push(std::move(copy));
+  }
+  // Advance the counters as if this recorder had issued other's ids itself,
+  // so a later merge (or live emission) continues the same numbering the
+  // serial interleaving would have used.
+  next_span_ += other.next_span_ - 1;
+  run_ += other.run_;
+  dropped_ += other.dropped_;
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, stats] : other.samples_) {
+    util::SampleStats& mine = samples_[name];
+    for (const double value : stats.samples()) mine.add(value);
+  }
+}
+
 void TraceRecorder::clear() {
   events_.clear();
   open_spans_.clear();
@@ -194,8 +218,8 @@ void TraceRecorder::clear() {
   dropped_ = 0;
 }
 
-void TraceRecorder::write_jsonl(std::ostream& out) const {
-  for (const TraceEvent& event : events_) {
+void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
+  for (const TraceEvent& event : events) {
     out << "{\"t\":" << json_number(event.t) << ",\"ph\":\""
         << to_string(event.kind) << "\",\"cat\":\"" << json_escape(event.category)
         << "\",\"name\":\"" << json_escape(event.name) << "\",\"track\":\""
@@ -204,6 +228,10 @@ void TraceRecorder::write_jsonl(std::ostream& out) const {
     write_args_object(out, event.args);
     out << "}\n";
   }
+}
+
+void TraceRecorder::write_jsonl(std::ostream& out) const {
+  obs::write_jsonl(events_, out);
 }
 
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {

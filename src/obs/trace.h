@@ -12,9 +12,12 @@
 // Design constraints:
 //   * Emitters timestamp events themselves (virtual simulation time or wall
 //     time), so one recorder serves both the simulator and POSIX backends.
-//   * Instrumentation is a process-wide installable pointer (like
-//     util::Logger): with no recorder installed every emit site is a single
-//     pointer compare. Both backends are single-threaded, as is the recorder.
+//   * Instrumentation is a thread-locally installable pointer (like
+//     util::Logger, but per thread): with no recorder installed every emit
+//     site is a single pointer compare. Each simulation runs single-threaded
+//     on its own thread; the parallel experiment runner (src/exp) installs a
+//     private recorder per trial and merges the buffers afterwards, so no
+//     recorder instance is ever shared across threads.
 //   * Span begin/end pairing is by id, so overlapping recoveries (escalation
 //     chains, concurrent group members) nest correctly.
 #pragma once
@@ -103,6 +106,15 @@ class TraceRecorder {
   std::uint64_t dropped() const { return dropped_; }
   void clear();
 
+  /// Append another recorder's events, counters, samples and drop count,
+  /// rebasing its run indices and span ids past everything this recorder
+  /// has issued — exactly the numbering a serial interleaving (this
+  /// recorder recording `other`'s trials after its own) would have
+  /// produced. Merging per-trial recorders in trial order therefore yields
+  /// a byte-identical export regardless of how many threads recorded them
+  /// (the parallel runner's determinism contract, src/exp/runner.h).
+  void merge_from(const TraceRecorder& other);
+
   /// Per-event simulator tracing ("sim" category) is opt-in: a busy run
   /// fires millions of kernel events and would swamp the recovery signal.
   void set_sim_events(bool enabled) { sim_events_ = enabled; }
@@ -131,19 +143,27 @@ class TraceRecorder {
   std::map<std::string, util::SampleStats> samples_;
 };
 
+/// Serialize an event list in the JSONL schema (one object per line);
+/// TraceRecorder::write_jsonl delegates here. Useful for event lists that
+/// no longer live in a recorder (run_trial_traced captures, checker tests).
+void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& out);
+
 /// Parse events back from the JSONL export (the subset write_jsonl emits).
 /// Malformed lines are skipped. Round-trip property: write_jsonl then
 /// read_jsonl reproduces the event list exactly.
 std::vector<TraceEvent> read_jsonl(std::istream& in);
 
-// --- Process-wide recorder ------------------------------------------------
+// --- Thread-local recorder ------------------------------------------------
 // Instrumented code calls the free functions below; they no-op (fast) while
 // no recorder is installed. TimePoint overloads serve simulation code.
+// Installation is per thread: a recorder installed on the main thread is
+// invisible to worker threads (each experiment-runner trial installs its
+// own), so a recorder never sees concurrent emitters.
 
-/// Currently installed recorder, or nullptr.
+/// Recorder installed on the calling thread, or nullptr.
 TraceRecorder* recorder();
-/// Install (or, with nullptr, remove) the process-wide recorder. Returns the
-/// previously installed recorder.
+/// Install (or, with nullptr, remove) the calling thread's recorder.
+/// Returns the previously installed recorder.
 TraceRecorder* set_recorder(TraceRecorder* rec);
 
 inline bool enabled() { return recorder() != nullptr; }

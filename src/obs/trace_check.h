@@ -1,0 +1,78 @@
+// Recovery-trace invariant checker.
+//
+// A trace is not just a debugging artifact here — it is the evidence the
+// benches rest on. TraceChecker validates structural invariants of the
+// recovery path over any event stream (live recorder or a re-read
+// .trace.jsonl), so a bench can assert that the machinery it measured
+// behaved legally, not merely that the aggregate numbers look plausible:
+//
+//   overlapping-restart  At most one in-flight restart span per component
+//                        per run. The process manager's supersede semantics
+//                        guarantee an epoch bump ends the stale span before
+//                        the new one begins; two open spans mean two owners.
+//   epoch-regression     Restart attempts of one component carry strictly
+//                        increasing epochs within a run (supersede order is
+//                        monotone; a regression means a stale attempt ran
+//                        after its successor).
+//   phase-sum            For a recovered harness trial, the trace-derived
+//                        phase decomposition must account for the measured
+//                        end-to-end recovery: the recovery chain spans
+//                        [first fault.manifest, last action complete] and
+//                        that interval equals the harness's reported
+//                        recovery within tolerance; single-action trials
+//                        additionally check detection+decision+execution
+//                        against it directly (bench_table1's assertion,
+//                        generalized).
+//   lost-kill            Every harness trial (a run with trial.start) ends
+//                        recovered or explicitly parked: the run contains
+//                        trial.recovered, rec.parked, or rec.hard-failure —
+//                        a kill may never just evaporate. In recovered runs
+//                        every injected fault is also individually cured.
+//   open-restart         A run that claims trial.recovered has no restart
+//                        span still open at end of stream (a recovered
+//                        station cannot have a startup in flight).
+//
+// Runs without trial.start (background injector campaigns, POSIX
+// supervision) are exempt from the harness-trial invariants but still
+// checked for overlap and epoch order.
+//
+// Used as a library assert by every bench (bench::TraceSession::finish())
+// and as the backbone of tests/test_trace_checker.cc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace mercury::obs {
+
+struct CheckOptions {
+  /// Relative tolerance for phase-sum checks (|err| / measured).
+  double phase_tolerance = 0.01;
+  /// Absolute slack floor, for near-zero recoveries.
+  double phase_slack_seconds = 1e-6;
+  /// Require every harness trial to end recovered-or-parked. Benches that
+  /// deliberately drive trials into timeouts may turn this off.
+  bool require_resolution = true;
+};
+
+struct TraceIssue {
+  std::string invariant;  ///< "overlapping-restart" | "epoch-regression" |
+                          ///< "phase-sum" | "lost-kill" | "open-restart"
+  std::uint64_t run = 0;
+  std::string component;
+  double t = 0.0;  ///< event time anchoring the issue (seconds)
+  std::string detail;
+};
+
+/// Validate `events` (in emission order, as recorded or re-read from
+/// JSONL). Returns every violation found; empty means the trace is clean.
+std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
+                                    const CheckOptions& options = {});
+
+/// One line per issue, for bench/test output.
+std::string describe(const std::vector<TraceIssue>& issues);
+
+}  // namespace mercury::obs

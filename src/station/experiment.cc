@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/mercury_trees.h"
+#include "exp/runner.h"
 #include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -245,12 +246,55 @@ TrialResult run_trial(const TrialSpec& spec) {
   return result;
 }
 
+TracedTrial run_trial_traced(const TrialSpec& spec) {
+  TracedTrial traced;
+  obs::TraceRecorder recorder;
+  {
+    obs::ScopedRecorder scope(recorder);
+    traced.result = run_trial(spec);
+  }
+  traced.events = recorder.events();
+  return traced;
+}
+
+std::vector<TrialResult> run_trial_batch(const std::vector<TrialSpec>& specs) {
+  const bool order_dependent =
+      std::any_of(specs.begin(), specs.end(), [](const TrialSpec& spec) {
+        return spec.oracle_override != nullptr;
+      });
+  if (order_dependent) {
+    // A persistent oracle mutates across trials in trial order; the serial
+    // loop is the definition of its behaviour, not an optimisation fallback.
+    std::vector<TrialResult> results;
+    results.reserve(specs.size());
+    for (const TrialSpec& spec : specs) results.push_back(run_trial(spec));
+    return results;
+  }
+  exp::ExperimentRunner runner;
+  return runner.map(specs.size(), [&specs](exp::TrialContext& ctx) {
+    return run_trial(specs[ctx.index]);
+  });
+}
+
 util::SampleStats run_trials(TrialSpec spec, int trials) {
-  util::SampleStats stats;
-  const std::uint64_t base_seed = spec.seed;
-  for (int i = 0; i < trials; ++i) {
-    spec.seed = base_seed + static_cast<std::uint64_t>(i);
-    stats.add(run_trial(spec).recovery);
+  return run_trials_grid({std::move(spec)}, trials).front();
+}
+
+std::vector<util::SampleStats> run_trials_grid(
+    const std::vector<TrialSpec>& specs, int trials) {
+  std::vector<TrialSpec> flat;
+  flat.reserve(specs.size() * static_cast<std::size_t>(std::max(trials, 0)));
+  for (const TrialSpec& spec : specs) {
+    for (int i = 0; i < trials; ++i) {
+      TrialSpec cell = spec;
+      cell.seed = spec.seed + static_cast<std::uint64_t>(i);
+      flat.push_back(std::move(cell));
+    }
+  }
+  const std::vector<TrialResult> results = run_trial_batch(flat);
+  std::vector<util::SampleStats> stats(specs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    stats[i / static_cast<std::size_t>(trials)].add(results[i].recovery);
   }
   return stats;
 }

@@ -17,8 +17,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bus/dedicated_link.h"
+#include "obs/trace.h"
 #include "core/failure.h"
 #include "core/failure_detector.h"
 #include "core/mercury_trees.h"
@@ -163,10 +165,40 @@ class MercuryRig {
 /// One §4 measurement: inject, recover, report.
 TrialResult run_trial(const TrialSpec& spec);
 
+/// run_trial under a private TraceRecorder (the calling thread's ambient
+/// recorder, if any, is shelved for the duration): returns the result plus
+/// exactly this trial's events. For determinism comparisons and
+/// trace-invariant tests; the ambient trace is left untouched.
+struct TracedTrial {
+  TrialResult result;
+  std::vector<obs::TraceEvent> events;
+};
+TracedTrial run_trial_traced(const TrialSpec& spec);
+
+/// One trial per spec, executed on the parallel experiment runner
+/// (exp::ExperimentRunner, jobs from $MERCURY_JOBS). Results are returned
+/// in spec order and traces are merged into the calling thread's recorder
+/// in spec order, so the output is byte-identical to a serial loop of
+/// run_trial calls regardless of the job count. Specs carry their own
+/// seeds; the runner adds no seed derivation here. If any spec has an
+/// oracle_override the whole batch runs serially in order on the calling
+/// thread — a persistent oracle is order-dependent mutable state shared
+/// across trials.
+std::vector<TrialResult> run_trial_batch(const std::vector<TrialSpec>& specs);
+
 /// `trials` measurements with seeds spec.seed, spec.seed+1, ...; returns
 /// recovery times in seconds. Timed-out or hard-failed trials are counted
 /// at the timeout value (and are a red flag — tests assert they don't
-/// happen).
+/// happen). Runs on the parallel experiment runner via run_trial_batch
+/// (same numbers and traces as the historical serial loop, any job count).
 util::SampleStats run_trials(TrialSpec spec, int trials);
+
+/// run_trials over a whole grid of cells at once: for each spec, `trials`
+/// measurements with seeds spec.seed + i. The specs × trials matrix is
+/// flattened spec-major into one run_trial_batch call, so a multi-cell
+/// bench sweep keeps every core busy instead of parallelising only within
+/// one cell. Returns one SampleStats per spec, in spec order.
+std::vector<util::SampleStats> run_trials_grid(const std::vector<TrialSpec>& specs,
+                                               int trials);
 
 }  // namespace mercury::station

@@ -211,9 +211,12 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
   const double base = rng_.normal_at_least(mean, sd, 0.5 * mean);
   const Duration startup = Duration::seconds(base * contention);
 
+  // The epoch lets the trace checker prove supersede order: attempts of one
+  // component must carry strictly increasing epochs within a run.
   std::vector<obs::TraceArg> span_args = {
       {"component", name},
       {"attempt", std::to_string(attempt)},
+      {"epoch", std::to_string(epoch)},
       {"contention", util::format_fixed(contention, 3)}};
   if (policy.enabled) {
     // Warm/cold annotation only under the policy, so legacy traces stay

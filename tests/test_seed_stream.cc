@@ -1,0 +1,95 @@
+// SeedStream (src/exp/seed_stream.h): the parallel runner's per-trial seed
+// derivation. Distinctness is exact by construction (odd gamma => injective
+// pre-mix, SplitMix64 finalizer bijective); independence of the derived Rng
+// streams is checked empirically via cross-correlation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "exp/seed_stream.h"
+#include "util/rng.h"
+
+namespace mercury::exp {
+namespace {
+
+TEST(SeedStream, DependsOnlyOnMasterAndIndex) {
+  const SeedStream a(12345);
+  const SeedStream b(12345);
+  for (std::uint64_t i : {0ull, 1ull, 77ull, 1'000'000ull}) {
+    EXPECT_EQ(a.trial_seed(i), b.trial_seed(i));
+  }
+  EXPECT_NE(SeedStream(1).trial_seed(0), SeedStream(2).trial_seed(0));
+  // Master 0 is a legitimate master seed, not a degenerate stream.
+  EXPECT_NE(SeedStream(0).trial_seed(0), 0u);
+  EXPECT_NE(SeedStream(0).trial_seed(0), SeedStream(0).trial_seed(1));
+}
+
+TEST(SeedStream, TenThousandTrialSeedsPairwiseDistinct) {
+  for (const std::uint64_t master : {0ull, 42ull, 0xdeadbeefull}) {
+    const SeedStream stream(master);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+      seen.insert(stream.trial_seed(i));
+    }
+    EXPECT_EQ(seen.size(), 10'000u) << "master " << master;
+  }
+}
+
+TEST(SeedStream, MixerAvalanchesSingleBitFlips) {
+  // Neighbouring inputs must not produce neighbouring outputs: over a batch
+  // of single-increment input pairs, outputs differ in roughly half their
+  // bits on average.
+  double total_flips = 0.0;
+  constexpr int kPairs = 1000;
+  for (int i = 0; i < kPairs; ++i) {
+    const std::uint64_t a = splitmix64_mix(static_cast<std::uint64_t>(i));
+    const std::uint64_t b = splitmix64_mix(static_cast<std::uint64_t>(i) + 1);
+    total_flips += static_cast<double>(__builtin_popcountll(a ^ b));
+  }
+  const double mean_flips = total_flips / kPairs;
+  EXPECT_GT(mean_flips, 28.0);
+  EXPECT_LT(mean_flips, 36.0);
+}
+
+/// Pearson correlation of paired uniform draws from two seeded streams.
+double stream_correlation(std::uint64_t seed_a, std::uint64_t seed_b, int n) {
+  util::Rng a(seed_a);
+  util::Rng b(seed_b);
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_yy = 0.0, sum_xy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform(0.0, 1.0);
+    const double y = b.uniform(0.0, 1.0);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_yy += y * y;
+    sum_xy += x * y;
+  }
+  const double cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+  const double var_x = sum_xx / n - (sum_x / n) * (sum_x / n);
+  const double var_y = sum_yy / n - (sum_y / n) * (sum_y / n);
+  return cov / std::sqrt(var_x * var_y);
+}
+
+TEST(SeedStream, DerivedStreamsStatisticallyIndependent) {
+  // The trials most likely to share machine state run under adjacent and
+  // far-apart indices; none of those pairings may produce correlated draws.
+  // |r| over 10k iid pairs is ~N(0, 1/sqrt(10000)); 0.05 is a 5-sigma gate.
+  const SeedStream stream(2026);
+  const std::pair<std::uint64_t, std::uint64_t> pairs[] = {
+      {0, 1}, {1, 2}, {0, 9'999}, {4'999, 5'000}, {9'998, 9'999}};
+  for (const auto& [i, j] : pairs) {
+    const double r = stream_correlation(stream.trial_seed(i),
+                                        stream.trial_seed(j), 10'000);
+    EXPECT_LT(std::abs(r), 0.05) << "indices " << i << "," << j;
+  }
+  // Same index under neighbouring masters (two sweeps side by side).
+  const double r = stream_correlation(SeedStream(7).trial_seed(3),
+                                      SeedStream(8).trial_seed(3), 10'000);
+  EXPECT_LT(std::abs(r), 0.05);
+}
+
+}  // namespace
+}  // namespace mercury::exp

@@ -1,0 +1,219 @@
+// TraceChecker (src/obs/trace_check.h): hand-built illegal traces must be
+// flagged, and golden traces from real recovered trials must pass clean —
+// including after a JSONL round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mercury_trees.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+#include "station/experiment.h"
+
+namespace mercury::obs {
+namespace {
+
+TraceEvent event(double t, EventKind kind, std::string category,
+                 std::string name, std::string track, std::uint64_t run,
+                 std::uint64_t span = 0, std::vector<TraceArg> args = {}) {
+  TraceEvent e;
+  e.t = t;
+  e.kind = kind;
+  e.category = std::move(category);
+  e.name = std::move(name);
+  e.track = std::move(track);
+  e.run = run;
+  e.span = span;
+  e.args = std::move(args);
+  return e;
+}
+
+/// Count issues of one invariant kind.
+int count(const std::vector<TraceIssue>& issues, const std::string& invariant) {
+  int n = 0;
+  for (const TraceIssue& issue : issues) {
+    if (issue.invariant == invariant) ++n;
+  }
+  return n;
+}
+
+// --- Hand-built bad traces -------------------------------------------------
+
+TEST(TraceChecker, FlagsOverlappingRestartsOfOneComponent) {
+  const std::vector<TraceEvent> events = {
+      event(1.0, EventKind::kBegin, "restart", "restart:ses", "pm", 1, 1,
+            {{"component", "ses"}, {"epoch", "1"}}),
+      // Second owner starts while span 1 is still in flight: two concurrent
+      // restarts of the same component.
+      event(1.5, EventKind::kBegin, "restart", "restart:ses", "pm", 1, 2,
+            {{"component", "ses"}, {"epoch", "2"}}),
+      event(3.0, EventKind::kEnd, "restart", "restart:ses", "pm", 1, 2),
+  };
+  const auto issues = check_trace(events);
+  EXPECT_EQ(count(issues, "overlapping-restart"), 1) << describe(issues);
+  // The same schedule on different components is legal (group restarts).
+  const std::vector<TraceEvent> group = {
+      event(1.0, EventKind::kBegin, "restart", "restart:ses", "pm", 1, 1,
+            {{"component", "ses"}}),
+      event(1.1, EventKind::kBegin, "restart", "restart:str", "pm", 1, 2,
+            {{"component", "str"}}),
+      event(3.0, EventKind::kEnd, "restart", "restart:ses", "pm", 1, 1),
+      event(3.1, EventKind::kEnd, "restart", "restart:str", "pm", 1, 2),
+  };
+  EXPECT_TRUE(check_trace(group).empty()) << describe(check_trace(group));
+}
+
+TEST(TraceChecker, FlagsEpochRegression) {
+  const std::vector<TraceEvent> events = {
+      event(1.0, EventKind::kBegin, "restart", "restart:rtu", "pm", 1, 1,
+            {{"component", "rtu"}, {"epoch", "2"}}),
+      event(2.0, EventKind::kEnd, "restart", "restart:rtu", "pm", 1, 1),
+      // A stale attempt runs after its successor: epoch does not advance.
+      event(3.0, EventKind::kBegin, "restart", "restart:rtu", "pm", 1, 2,
+            {{"component", "rtu"}, {"epoch", "2"}}),
+      event(4.0, EventKind::kEnd, "restart", "restart:rtu", "pm", 1, 2),
+  };
+  const auto issues = check_trace(events);
+  EXPECT_EQ(count(issues, "epoch-regression"), 1) << describe(issues);
+}
+
+/// A minimal complete recovered harness trial; `reported` is the recovery
+/// the harness claims. With the chain spanning [10, 15] the truthful value
+/// is 5 seconds.
+std::vector<TraceEvent> recovered_trial(const std::string& reported) {
+  return {
+      event(0.0, EventKind::kInstant, "sim", "trial.start", "trial", 1),
+      event(10.0, EventKind::kInstant, "fault", "fault.manifest", "board", 1, 0,
+            {{"manifest", "ses"}, {"id", "1"}}),
+      event(11.0, EventKind::kInstant, "detect", "fd.report", "fd", 1, 0,
+            {{"component", "ses"}}),
+      event(11.5, EventKind::kBegin, "recover", "rec.restart", "rec", 1, 1,
+            {{"component", "ses"}, {"cell", "R_ses"}}),
+      event(12.0, EventKind::kBegin, "restart", "restart:ses", "pm", 1, 2,
+            {{"component", "ses"}, {"epoch", "1"}}),
+      event(14.5, EventKind::kEnd, "restart", "restart:ses", "pm", 1, 2),
+      event(14.5, EventKind::kInstant, "fault", "fault.cured", "board", 1, 0,
+            {{"manifest", "ses"}, {"id", "1"}}),
+      event(15.0, EventKind::kEnd, "recover", "rec.restart", "rec", 1, 1),
+      event(15.0, EventKind::kInstant, "sim", "trial.recovered", "trial", 1, 0,
+            {{"recovery", reported}}),
+  };
+}
+
+TEST(TraceChecker, FlagsPhaseSumMismatch) {
+  // Harness claims 3 s but the traced chain spans 5 s: the decomposition
+  // no longer accounts for the measured recovery.
+  const auto issues = check_trace(recovered_trial("3.000000"));
+  EXPECT_GE(count(issues, "phase-sum"), 1) << describe(issues);
+
+  const auto clean = check_trace(recovered_trial("5.000000"));
+  EXPECT_TRUE(clean.empty()) << describe(clean);
+}
+
+TEST(TraceChecker, FlagsLostKill) {
+  // A kill that simply evaporates: trial starts, fault manifests, nothing
+  // ever resolves it.
+  const std::vector<TraceEvent> lost = {
+      event(0.0, EventKind::kInstant, "sim", "trial.start", "trial", 1),
+      event(10.0, EventKind::kInstant, "fault", "fault.manifest", "board", 1, 0,
+            {{"manifest", "rtu"}, {"id", "7"}}),
+  };
+  auto issues = check_trace(lost);
+  EXPECT_EQ(count(issues, "lost-kill"), 1) << describe(issues);
+
+  // Benches that deliberately drive trials into timeouts may opt out.
+  CheckOptions tolerant;
+  tolerant.require_resolution = false;
+  EXPECT_TRUE(check_trace(lost, tolerant).empty());
+
+  // A recovered trial whose injected fault was never individually cured is
+  // also a lost kill: the harness saw readiness but the board still holds
+  // the fault.
+  std::vector<TraceEvent> uncured = recovered_trial("5.000000");
+  uncured.erase(uncured.begin() + 6);  // drop fault.cured
+  issues = check_trace(uncured);
+  EXPECT_EQ(count(issues, "lost-kill"), 1) << describe(issues);
+}
+
+TEST(TraceChecker, FlagsRestartSpanOpenAfterRecovery) {
+  std::vector<TraceEvent> events = recovered_trial("5.000000");
+  events.erase(events.begin() + 5);  // drop the restart span's end
+  const auto issues = check_trace(events);
+  EXPECT_EQ(count(issues, "open-restart"), 1) << describe(issues);
+}
+
+TEST(TraceChecker, RunsWithoutTrialStartAreExemptFromHarnessInvariants) {
+  // A background injector campaign (bench_table1's 2-year run): faults
+  // manifest with no recovery machinery attached. Legal.
+  const std::vector<TraceEvent> campaign = {
+      event(100.0, EventKind::kInstant, "fault", "fault.manifest", "board", 0,
+            0, {{"manifest", "fedrcom"}, {"id", "3"}}),
+      event(900.0, EventKind::kInstant, "fault", "fault.manifest", "board", 0,
+            0, {{"manifest", "rtu"}, {"id", "4"}}),
+  };
+  EXPECT_TRUE(check_trace(campaign).empty());
+}
+
+// --- Golden traces from real trials ----------------------------------------
+
+station::TrialSpec quick_spec(const std::string& component) {
+  station::TrialSpec spec;
+  spec.tree = core::MercuryTree::kTreeIV;
+  spec.oracle = station::OracleKind::kPerfect;
+  spec.fail_component = component;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(TraceChecker, GoldenTracesFromRecoveredTrialsPassClean) {
+  for (const std::string component : {"ses", "rtu", "fedr"}) {
+    const station::TracedTrial traced = station::run_trial_traced(
+        quick_spec(component));
+    ASSERT_FALSE(traced.result.timed_out);
+    ASSERT_FALSE(traced.events.empty());
+    const auto issues = check_trace(traced.events);
+    EXPECT_TRUE(issues.empty()) << component << ":\n" << describe(issues);
+  }
+}
+
+TEST(TraceChecker, GoldenEscalationAndSoftTracesPassClean) {
+  // Heuristic oracle: leaf-first with escalation chains (multi-action runs).
+  station::TrialSpec heuristic = quick_spec("fedr");
+  heuristic.oracle = station::OracleKind::kHeuristic;
+  const auto chain = station::run_trial_traced(heuristic);
+  auto issues = check_trace(chain.events);
+  EXPECT_TRUE(issues.empty()) << describe(issues);
+
+  // Soft recovery (§7): rec.soft actions instead of restarts.
+  station::TrialSpec soft = quick_spec("ses");
+  soft.enable_soft_recovery = true;
+  soft.mode = station::FailureMode::kStaleAttachment;
+  const auto cured = station::run_trial_traced(soft);
+  issues = check_trace(cured.events);
+  EXPECT_TRUE(issues.empty()) << describe(issues);
+}
+
+TEST(TraceChecker, GoldenTraceSurvivesJsonlRoundTrip) {
+  const station::TracedTrial traced =
+      station::run_trial_traced(quick_spec("str"));
+  std::stringstream buffer;
+  write_jsonl(traced.events, buffer);
+  const std::vector<TraceEvent> reread = read_jsonl(buffer);
+  ASSERT_EQ(reread.size(), traced.events.size());
+  const auto issues = check_trace(reread);
+  EXPECT_TRUE(issues.empty()) << describe(issues);
+}
+
+TEST(TraceChecker, DescribeNamesInvariantRunAndComponent) {
+  const auto issues = check_trace(recovered_trial("3.000000"));
+  ASSERT_FALSE(issues.empty());
+  const std::string text = describe(issues);
+  EXPECT_NE(text.find("phase-sum"), std::string::npos);
+  EXPECT_NE(text.find("run 1"), std::string::npos);
+  EXPECT_NE(text.find("ses"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mercury::obs
