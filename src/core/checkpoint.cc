@@ -1,5 +1,9 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
+
+#include "core/restart_tree.h"
+
 namespace mercury::core {
 
 namespace {
@@ -109,6 +113,217 @@ bool CheckpointStore::stale_date(const std::string& component,
   if (it == checkpoints_.end()) return false;
   it->second.saved_at = saved_at;
   return true;
+}
+
+std::string_view to_string(CheckpointTier tier) {
+  switch (tier) {
+    case CheckpointTier::kL0Local: return "l0-local";
+    case CheckpointTier::kL1Partner: return "l1-partner";
+    case CheckpointTier::kL2Stable: return "l2-stable";
+  }
+  return "?";
+}
+
+std::map<std::string, std::string> choose_partners(const RestartTree& tree) {
+  const std::vector<std::string> components = tree.all_components();
+  std::map<std::string, std::string> partner_of;
+  if (components.size() < 2) return partner_of;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const std::string& component = components[i];
+    const std::optional<NodeId> own_cell = tree.find_component(component);
+    // Prefer the first ring successor attached to a different cell: the
+    // minimal restart of this component's cell then cannot take the replica
+    // host down with it. Fall back to the plain ring neighbour.
+    std::string chosen = components[(i + 1) % components.size()];
+    for (std::size_t step = 1; step < components.size(); ++step) {
+      const std::string& candidate = components[(i + step) % components.size()];
+      if (tree.find_component(candidate) != own_cell) {
+        chosen = candidate;
+        break;
+      }
+    }
+    partner_of[component] = std::move(chosen);
+  }
+  return partner_of;
+}
+
+std::string TierLookup::miss_reason() const {
+  if (hit || probes.empty()) return std::string(to_string(CheckpointVerdict::kMissing));
+  return std::string(to_string(probes.front().verdict));
+}
+
+void TieredCheckpointStore::set_partners(
+    std::map<std::string, std::string> partner_of) {
+  partner_of_ = std::move(partner_of);
+  hosted_by_.clear();
+  for (const auto& [component, host] : partner_of_) {
+    hosted_by_[host].push_back(component);
+  }
+}
+
+const std::string& TieredCheckpointStore::partner_of(
+    const std::string& component) const {
+  static const std::string kNone;
+  const auto it = partner_of_.find(component);
+  return it == partner_of_.end() ? kNone : it->second;
+}
+
+bool TieredCheckpointStore::l1_available_for(
+    const std::string& component) const {
+  return policy_.tier_enabled(CheckpointTier::kL1Partner) &&
+         partner_of_.count(component) != 0;
+}
+
+void TieredCheckpointStore::save(
+    const std::string& component,
+    std::vector<std::pair<std::string, std::string>> payload,
+    util::TimePoint now) {
+  if (!policy_.enabled) return;
+  ++saves_;
+  if (l1_available_for(component)) {
+    tier(CheckpointTier::kL1Partner).save(component, payload, now);
+  }
+  if (policy_.tier_enabled(CheckpointTier::kL2Stable)) {
+    tier(CheckpointTier::kL2Stable).save(component, payload, now);
+  }
+  tier(CheckpointTier::kL0Local).save(component, std::move(payload), now);
+}
+
+TierLookup TieredCheckpointStore::lookup(const std::string& component,
+                                         util::TimePoint now) {
+  TierLookup result;
+  for (std::size_t i = 0; i < kCheckpointTierCount; ++i) {
+    const CheckpointTier t = static_cast<CheckpointTier>(i);
+    if (!policy_.tier_enabled(t)) continue;
+    TierProbe probe;
+    probe.tier = t;
+    probe.verdict = tier(t).validate(component, now, policy_.ttl);
+    if (probe.verdict == CheckpointVerdict::kValid) {
+      result.probes.push_back(probe);
+      result.hit = true;
+      result.tier = t;
+      result.checkpoint = tier(t).find(component);
+      ++tier_hits_[i];
+      return result;
+    }
+    // Detectably-bad copies are deleted as the walk passes them: a corrupt
+    // or version-skewed snapshot can never serve, and keeping it would just
+    // re-fail the next lookup. Stale copies are kept — a later rebuild from
+    // a fresher tier overwrites them, and TTL judgments depend on `now`.
+    if (probe.verdict == CheckpointVerdict::kCorrupt ||
+        probe.verdict == CheckpointVerdict::kVersionMismatch) {
+      probe.discarded = tier(t).discard(component);
+    }
+    result.probes.push_back(probe);
+  }
+  return result;
+}
+
+std::size_t TieredCheckpointStore::rebuild(const std::string& component,
+                                           util::TimePoint now) {
+  // Find the newest valid copy across tiers (ties go to the lower tier).
+  const Checkpoint* source = nullptr;
+  for (std::size_t i = 0; i < kCheckpointTierCount; ++i) {
+    const CheckpointTier t = static_cast<CheckpointTier>(i);
+    if (!policy_.tier_enabled(t)) continue;
+    if (tier(t).validate(component, now, policy_.ttl) !=
+        CheckpointVerdict::kValid) {
+      continue;
+    }
+    const Checkpoint* candidate = tier(t).find(component);
+    if (source == nullptr || candidate->saved_at > source->saved_at) {
+      source = candidate;
+    }
+  }
+  if (source == nullptr) return 0;
+
+  // Re-replicate it into every enabled tier lacking a valid copy. The copy
+  // keeps the source's saved_at: replication does not refresh state.
+  const Checkpoint snapshot = *source;  // source may be in a tier we touch
+  std::size_t repopulated = 0;
+  for (std::size_t i = 0; i < kCheckpointTierCount; ++i) {
+    const CheckpointTier t = static_cast<CheckpointTier>(i);
+    if (!policy_.tier_enabled(t)) continue;
+    if (t == CheckpointTier::kL1Partner && !l1_available_for(component)) {
+      continue;
+    }
+    if (tier(t).validate(component, now, policy_.ttl) ==
+        CheckpointVerdict::kValid) {
+      continue;
+    }
+    tier(t).put(snapshot);
+    ++repopulated;
+  }
+  rebuilds_ += repopulated;
+  return repopulated;
+}
+
+bool TieredCheckpointStore::suspect_discard(const std::string& component) {
+  const bool had = tier(CheckpointTier::kL0Local).discard(component);
+  if (had) ++suspect_discards_;
+  return had;
+}
+
+bool TieredCheckpointStore::discard(const std::string& component) {
+  bool any = false;
+  for (auto& store : tiers_) any = store.discard(component) || any;
+  return any;
+}
+
+bool TieredCheckpointStore::discard_tier(const std::string& component,
+                                         CheckpointTier t) {
+  return tier(t).discard(component);
+}
+
+std::size_t TieredCheckpointStore::kill_tier(CheckpointTier t) {
+  const std::size_t dropped = tier(t).size();
+  tier(t).clear();
+  return dropped;
+}
+
+std::size_t TieredCheckpointStore::on_host_down(const std::string& host) {
+  const auto it = hosted_by_.find(host);
+  if (it == hosted_by_.end()) return 0;
+  std::size_t dropped = 0;
+  for (const std::string& component : it->second) {
+    if (tier(CheckpointTier::kL1Partner).discard(component)) ++dropped;
+  }
+  host_loss_drops_ += dropped;
+  return dropped;
+}
+
+void TieredCheckpointStore::clear() {
+  for (auto& store : tiers_) store.clear();
+}
+
+bool TieredCheckpointStore::corrupt(const std::string& component,
+                                    CheckpointTier t) {
+  return tier(t).corrupt(component);
+}
+
+bool TieredCheckpointStore::poison(const std::string& component,
+                                   CheckpointTier t) {
+  return tier(t).poison(component);
+}
+
+bool TieredCheckpointStore::stale_date(const std::string& component,
+                                       CheckpointTier t,
+                                       util::TimePoint saved_at) {
+  return tier(t).stale_date(component, saved_at);
+}
+
+const Checkpoint* TieredCheckpointStore::find(const std::string& component,
+                                              CheckpointTier t) const {
+  return tier(t).find(component);
+}
+
+bool TieredCheckpointStore::has(const std::string& component,
+                                CheckpointTier t) const {
+  return tier(t).find(component) != nullptr;
+}
+
+std::size_t TieredCheckpointStore::tier_size(CheckpointTier t) const {
+  return tier(t).size();
 }
 
 }  // namespace mercury::core

@@ -47,12 +47,19 @@ class ProcessControl {
   // semantics, since each component is recovered using a custom procedure;
   // restart is just one example of a recovery procedure."
 
-  // --- Checkpointed warm restarts (ISSUE 3) -------------------------------
-  /// Discard any saved soft-state checkpoints for `names`. The recoverer
-  /// calls this when a restart action blows its deadline: state the failed
-  /// attempt may have warm-started from is fault-suspected, and bad state is
-  /// exactly what a restart is meant to shed — the superseding attempt must
-  /// run cold. Default: no checkpointing, nothing to discard.
+  // --- Checkpointed warm restarts (ISSUE 3; tiered, ISSUE 7) --------------
+  /// Shed the fault-suspected soft-state checkpoints for `names`. The
+  /// recoverer calls this when a restart action blows its deadline: state
+  /// the failed attempt may have warm-started from is fault-suspected, and
+  /// bad state is exactly what a restart is meant to shed.
+  ///
+  /// The shed is TIER-AWARE for implementations with replicated checkpoint
+  /// storage: only the component's *local* (L0) snapshot — the copy that
+  /// could have fed the failed attempt — is condemned. Replicas held
+  /// elsewhere (a partner's in-memory copy, stable storage) are kept, and
+  /// the superseding attempt still consults them before conceding a cold
+  /// start. Single-tier implementations degenerate to "discard everything".
+  /// Default: no checkpointing, nothing to discard.
   virtual void discard_checkpoints(const std::vector<std::string>& names) {
     (void)names;
   }

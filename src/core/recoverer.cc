@@ -396,8 +396,11 @@ void Recoverer::on_restart_timeout(std::uint64_t action_id) {
   }
 
   // Whatever checkpointed state the failed attempt may have warm-started
-  // from is now fault-suspected; the superseding attempt must rebuild cold
-  // (ISSUE 3 — bad state is exactly what a restart is meant to shed).
+  // from is now fault-suspected (ISSUE 3 — bad state is exactly what a
+  // restart is meant to shed). The shed is tier-aware (ISSUE 7): the
+  // implementation condemns only the local snapshots that could have fed
+  // the failed attempt; partner replicas and stable copies survive, so the
+  // superseding attempt may still warm-start from an unsuspected tier.
   process_control_.discard_checkpoints(failed.components);
 
   // The hung group's members stay masked; the superseding restart below

@@ -1,19 +1,24 @@
 // On-disk checkpoint files for the POSIX backend (ISSUE 3).
 //
-// The simulator's CheckpointStore holds snapshots in memory; on real
+// The simulator's checkpoint store holds snapshots in memory; on real
 // processes the state must survive the process, so it lives in a small
 // state file the worker writes after becoming READY and reloads at the next
 // spawn to skip its simulated slow start (a warm restart). The supervisor
 // validates the same file *before* spawning and deletes it when invalid, so
 // a worker never warm-starts from garbage.
 //
-// Format (single line, single space separators; payload is one token):
+// Format v2 (single line, single space separators; payload is one token):
 //
-//   MERCURY-CKPT <version> <name> <payload> <fnv1a-checksum-hex>
+//   MERCURY-CKPT <version> <name> <len> <payload> <fnv1a-checksum-hex>
 //
-// The checksum covers "<version> <name> <payload>". Anything else — missing
-// magic, wrong version, name mismatch, malformed or wrong checksum, extra
-// tokens — is invalid.
+// <len> is the payload's byte length, validated BEFORE the checksum: a
+// truncated file (power loss mid-write, full disk) is rejected by the cheap
+// length check without ever trusting the checksum arithmetic on a payload
+// that is not the payload that was written. The checksum covers
+// "<version> <name> <len> <payload>". Anything else — missing magic, wrong
+// version, name mismatch, length mismatch, malformed or wrong checksum,
+// extra tokens — is invalid. v1 files (no <len>) are invalid under v2 and
+// get deleted: one cold start per format migration, never a wrong warm one.
 //
 // Header-only and libc++-only on purpose: mercury_worker links no project
 // libraries, and supervisor and worker must agree on the format byte for
@@ -28,7 +33,7 @@
 
 namespace mercury::posix::ckpt {
 
-inline constexpr int kFileVersion = 1;
+inline constexpr int kFileVersion = 2;
 inline constexpr std::string_view kMagic = "MERCURY-CKPT";
 
 inline std::uint64_t fnv1a(std::string_view bytes) {
@@ -50,7 +55,8 @@ enum class FileState { kMissing, kInvalid, kValid };
 
 inline std::string checksum_body(int version, const std::string& name,
                                  const std::string& payload) {
-  return std::to_string(version) + " " + name + " " + payload;
+  return std::to_string(version) + " " + name + " " +
+         std::to_string(payload.size()) + " " + payload;
 }
 
 /// Read and validate `path` for worker `expect_name`. kValid fills `out`.
@@ -69,12 +75,13 @@ inline FileState read_checkpoint_file(const std::string& path,
     line.pop_back();
   }
 
-  // Tokenize on single spaces; exactly 5 tokens.
-  std::string tokens[5];
+  // Tokenize on single spaces; exactly 6 tokens.
+  constexpr int kTokens = 6;
+  std::string tokens[kTokens];
   std::size_t start = 0;
-  for (int i = 0; i < 5; ++i) {
+  for (int i = 0; i < kTokens; ++i) {
     const std::size_t space = line.find(' ', start);
-    if (i < 4) {
+    if (i < kTokens - 1) {
       if (space == std::string::npos) return FileState::kInvalid;
       tokens[i] = line.substr(start, space - start);
       start = space + 1;
@@ -92,20 +99,30 @@ inline FileState read_checkpoint_file(const std::string& path,
   if (end == tokens[1].c_str() || *end != '\0') return FileState::kInvalid;
   if (version != kFileVersion) return FileState::kInvalid;
   if (tokens[2] != expect_name || tokens[2].empty()) return FileState::kInvalid;
-  if (tokens[3].empty()) return FileState::kInvalid;
-  const std::uint64_t checksum =
-      std::strtoull(tokens[4].c_str(), &end, 16);
-  if (tokens[4].empty() || end == tokens[4].c_str() || *end != '\0') {
+
+  // Length before checksum: a payload whose recorded length disagrees with
+  // the bytes actually present is a truncated (or padded) file — reject it
+  // without doing checksum arithmetic over the wrong bytes.
+  const unsigned long long length = std::strtoull(tokens[3].c_str(), &end, 10);
+  if (tokens[3].empty() || end == tokens[3].c_str() || *end != '\0') {
+    return FileState::kInvalid;
+  }
+  if (tokens[4].empty() || length != tokens[4].size()) {
+    return FileState::kInvalid;
+  }
+
+  const std::uint64_t checksum = std::strtoull(tokens[5].c_str(), &end, 16);
+  if (tokens[5].empty() || end == tokens[5].c_str() || *end != '\0') {
     return FileState::kInvalid;
   }
   if (checksum != fnv1a(checksum_body(static_cast<int>(version), tokens[2],
-                                      tokens[3]))) {
+                                      tokens[4]))) {
     return FileState::kInvalid;
   }
   if (out != nullptr) {
     out->version = static_cast<int>(version);
     out->name = tokens[2];
-    out->payload = tokens[3];
+    out->payload = tokens[4];
   }
   return FileState::kValid;
 }
@@ -118,10 +135,10 @@ inline bool write_checkpoint_file(const std::string& path,
   if (file == nullptr) return false;
   const std::uint64_t checksum =
       fnv1a(checksum_body(kFileVersion, name, payload));
-  const int rc =
-      std::fprintf(file, "%s %d %s %s %llx\n", std::string(kMagic).c_str(),
-                   kFileVersion, name.c_str(), payload.c_str(),
-                   static_cast<unsigned long long>(checksum));
+  const int rc = std::fprintf(
+      file, "%s %d %s %zu %s %llx\n", std::string(kMagic).c_str(),
+      kFileVersion, name.c_str(), payload.size(), payload.c_str(),
+      static_cast<unsigned long long>(checksum));
   return std::fclose(file) == 0 && rc > 0;
 }
 

@@ -73,11 +73,29 @@ void PosixSupervisor::spawn_worker(Worker& worker) {
 
   // Checkpoint gate (ISSUE 3): validate the state file before the spawn so
   // the child never warm-starts from a corrupt or foreign snapshot. Invalid
-  // files are deleted — the worker finds nothing and rebuilds cold.
+  // files are deleted — then, with partner copies on (ISSUE 7's L1 mirror),
+  // the file is rewritten from the supervisor's replica of the last
+  // validated payload, so losing the on-disk tier does not force a cold
+  // start. Without a replica the worker finds nothing and rebuilds cold.
   if (!worker.spec.checkpoint_file.empty()) {
+    const auto restore_from_replica = [&]() {
+      if (!config_.keep_partner_copies || !worker.replica_payload.has_value()) {
+        return;
+      }
+      if (ckpt::write_checkpoint_file(worker.spec.checkpoint_file,
+                                      worker.spec.name,
+                                      *worker.replica_payload)) {
+        ++partner_restores_;
+        obs::incr("posix.partner_restores");
+        log_info(worker.spec.name,
+                 "checkpoint file restored from partner copy (warm start kept)");
+      }
+    };
+    ckpt::CheckpointFile file;
     switch (ckpt::read_checkpoint_file(worker.spec.checkpoint_file,
-                                       worker.spec.name, nullptr)) {
+                                       worker.spec.name, &file)) {
       case ckpt::FileState::kMissing:
+        restore_from_replica();
         break;
       case ckpt::FileState::kInvalid:
         ::unlink(worker.spec.checkpoint_file.c_str());
@@ -85,10 +103,14 @@ void PosixSupervisor::spawn_worker(Worker& worker) {
         obs::incr("posix.checkpoints_deleted");
         log_info(worker.spec.name,
                  "invalid checkpoint file deleted (cold start enforced)");
+        restore_from_replica();
         break;
       case ckpt::FileState::kValid:
         ++checkpoints_validated_;
         obs::incr("posix.checkpoints_validated");
+        if (config_.keep_partner_copies) {
+          worker.replica_payload = file.payload;
+        }
         break;
     }
   }

@@ -80,6 +80,15 @@ struct SupervisorConfig {
   /// before the chain's reported worker is parked as a hard failure. Zero
   /// disables (only max_root_restarts parks).
   int max_attempts_per_chain = 0;
+
+  // --- Partner checkpoint replicas (ISSUE 7) ------------------------------
+  /// Mirror of the simulator's L1 tier: the supervisor keeps an in-memory
+  /// copy of each worker's last *validated* checkpoint payload. When the
+  /// on-disk state file is missing or fails validation at spawn time, the
+  /// file is rewritten from the copy before the exec, so the worker still
+  /// warm-starts instead of falling off the redundancy cliff. Off by
+  /// default: legacy supervisors keep the single-file behaviour.
+  bool keep_partner_copies = false;
 };
 
 struct PosixRecoveryRecord {
@@ -136,6 +145,9 @@ class PosixSupervisor {
   std::uint64_t checkpoints_validated() const { return checkpoints_validated_; }
   /// Invalid checkpoint files deleted before a spawn (cold start enforced).
   std::uint64_t checkpoints_deleted() const { return checkpoints_deleted_; }
+  /// Checkpoint files rewritten from the supervisor's partner copy after
+  /// the on-disk tier was lost (keep_partner_copies configs only).
+  std::uint64_t partner_restores() const { return partner_restores_; }
 
  private:
   enum class WorkerState { kDown, kStarting, kUp };
@@ -151,6 +163,9 @@ class PosixSupervisor {
     std::optional<double> memory_mb;  // latest HEALTH beacon figure
     Clock::time_point last_rejuvenation{};
     std::uint64_t restart_span = 0;  // open obs span: spawn -> READY
+    /// Partner replica (ISSUE 7): the last checkpoint payload that passed
+    /// the spawn-time gate, held supervisor-side on the worker's behalf.
+    std::optional<std::string> replica_payload;
   };
 
   struct PendingRestart {
@@ -218,6 +233,7 @@ class PosixSupervisor {
   std::uint64_t restart_timeouts_ = 0;
   std::uint64_t checkpoints_validated_ = 0;
   std::uint64_t checkpoints_deleted_ = 0;
+  std::uint64_t partner_restores_ = 0;
 };
 
 }  // namespace mercury::posix

@@ -48,7 +48,15 @@ MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
   config.bus.loss_probability = spec.bus_loss_probability;
   config.checkpoints.enabled = spec.enable_checkpoints;
   config.checkpoints.ttl = spec.checkpoint_ttl;
+  config.checkpoints.l1_partner = spec.checkpoint_l1;
+  config.checkpoints.l2_stable = spec.checkpoint_l2;
   station_ = std::make_unique<Station>(sim_, config);
+  if (spec.enable_checkpoints && spec.checkpoint_l1) {
+    // Deterministic buddy assignment from the restart tree: the partner map
+    // is pure topology, so every trial of a grid agrees on who hosts whom.
+    station_->checkpoints().set_partners(
+        core::choose_partners(core::make_mercury_tree(spec.tree)));
+  }
 
   link_ = std::make_unique<bus::DedicatedLink>(sim_, "fd", "rec",
                                                spec.cal.link_latency);
@@ -169,26 +177,43 @@ TrialResult run_trial(const TrialSpec& spec) {
       break;
   }
 
-  // Checkpoint damage rides along with the failure (ISSUE 3): whatever
-  // killed the component may have trashed its snapshot too.
-  if (spec.checkpoint_damage != TrialSpec::CheckpointDamage::kNone) {
-    const std::string& victim = spec.mode == FailureMode::kJointFedrPbcom
-                                    ? names::kPbcom
-                                    : spec.fail_component;
-    switch (spec.checkpoint_damage) {
+  // Checkpoint damage rides along with the failure (ISSUE 3, per-tier by
+  // ISSUE 7): whatever killed the component may have trashed its snapshot
+  // too — in any combination of tiers.
+  const std::string& victim = spec.mode == FailureMode::kJointFedrPbcom
+                                  ? names::kPbcom
+                                  : spec.fail_component;
+  const auto apply_damage = [&](TrialSpec::CheckpointDamage damage,
+                                core::CheckpointTier tier) {
+    switch (damage) {
       case TrialSpec::CheckpointDamage::kNone:
         break;
       case TrialSpec::CheckpointDamage::kCorrupt:
-        rig.station().checkpoints().corrupt(victim);
+        rig.station().checkpoints().corrupt(victim, tier);
         break;
       case TrialSpec::CheckpointDamage::kPoison:
-        rig.station().checkpoints().poison(victim);
+        rig.station().checkpoints().poison(victim, tier);
         break;
       case TrialSpec::CheckpointDamage::kStale:
         rig.station().checkpoints().stale_date(
-            victim, injected_at - spec.checkpoint_ttl - Duration::seconds(1.0));
+            victim, tier,
+            injected_at - spec.checkpoint_ttl - Duration::seconds(1.0));
+        break;
+      case TrialSpec::CheckpointDamage::kKill:
+        rig.station().checkpoints().discard_tier(victim, tier);
         break;
     }
+  };
+  apply_damage(spec.checkpoint_damage, core::CheckpointTier::kL0Local);
+  apply_damage(spec.checkpoint_l1_damage, core::CheckpointTier::kL1Partner);
+  apply_damage(spec.checkpoint_l2_damage, core::CheckpointTier::kL2Stable);
+
+  // Correlated partner loss: the same fault event fells the victim's L1
+  // replica host; the station's host-down listener drops its replicas.
+  if (spec.fail_partner_too) {
+    const std::string& partner =
+        rig.station().checkpoints().partner_of(victim);
+    if (!partner.empty()) rig.station().inject_crash(partner);
   }
 
   TrialResult result;
@@ -230,6 +255,14 @@ TrialResult run_trial(const TrialSpec& spec) {
       static_cast<int>(rig.station().process_manager().cold_fallbacks());
   result.checkpoint_crashes =
       static_cast<int>(rig.station().process_manager().checkpoint_crashes());
+  const core::TieredCheckpointStore& tiers = rig.station().checkpoints();
+  result.warm_hits_l0 =
+      static_cast<int>(tiers.tier_hits(core::CheckpointTier::kL0Local));
+  result.warm_hits_l1 =
+      static_cast<int>(tiers.tier_hits(core::CheckpointTier::kL1Partner));
+  result.warm_hits_l2 =
+      static_cast<int>(tiers.tier_hits(core::CheckpointTier::kL2Stable));
+  result.tier_rebuilds = static_cast<int>(tiers.rebuilds());
   if (!result.timed_out && !result.hard_failure) {
     // The "functionally ready" moment the paper's methodology timestamps:
     // closes the last recovery action's execution phase in the trace,

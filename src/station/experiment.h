@@ -98,9 +98,26 @@ struct TrialSpec {
   util::Duration checkpoint_ttl = util::Duration::minutes(10.0);
   /// Damage applied to the failed component's checkpoint at injection time
   /// (kPoison needs harden_restart_path: the warm attempt crashes and only
-  /// the restart deadline notices).
-  enum class CheckpointDamage { kNone, kCorrupt, kPoison, kStale };
+  /// the restart deadline notices; kKill drops the tier's copy outright).
+  enum class CheckpointDamage { kNone, kCorrupt, kPoison, kStale, kKill };
+  /// Targets the victim's *local* (L0) snapshot (legacy knob).
   CheckpointDamage checkpoint_damage = CheckpointDamage::kNone;
+
+  // --- Tiered checkpoint storage (ISSUE 7) --------------------------------
+  /// Enable the partner-replica (L1) tier: each component's snapshot is
+  /// also held in a buddy chosen from the restart tree
+  /// (core::choose_partners), and survives the victim's own crash.
+  bool checkpoint_l1 = false;
+  /// Enable the stable file-backed (L2) tier.
+  bool checkpoint_l2 = false;
+  /// Damage applied to the victim's partner-replica / stable copies at
+  /// injection time (same semantics as checkpoint_damage).
+  CheckpointDamage checkpoint_l1_damage = CheckpointDamage::kNone;
+  CheckpointDamage checkpoint_l2_damage = CheckpointDamage::kNone;
+  /// Correlated failure: the injected fault also crashes the victim's L1
+  /// replica host (whole-group / coupled-component loss) — the replica dies
+  /// with its host, leaving only L2 between the victim and a cold start.
+  bool fail_partner_too = false;
 };
 
 /// Deadline for one restart action under hardening: the calibration's worst
@@ -134,6 +151,12 @@ struct TrialResult {
   int warm_restarts = 0;
   int cold_fallbacks = 0;
   int checkpoint_crashes = 0;
+  /// Warm starts served per tier (L0 local / L1 partner / L2 stable) and
+  /// tier copies repopulated after warm recovery (ISSUE 7).
+  int warm_hits_l0 = 0;
+  int warm_hits_l1 = 0;
+  int warm_hits_l2 = 0;
+  int tier_rebuilds = 0;
 };
 
 /// A fully wired Mercury system. Exposes the pieces for tests and examples.

@@ -12,10 +12,12 @@
 // ablation, and the rejuvenation ablation.
 #pragma once
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/failure.h"
 #include "station/station.h"
 #include "util/rng.h"
@@ -45,7 +47,8 @@ struct InjectorConfig {
 
   // --- Checkpoint damage (ISSUE 3) ----------------------------------------
   // Whatever crashed a component may have trashed its saved snapshot too.
-  // Rolled per injected failure, in this order (first hit wins):
+  // Rolled per injected failure, in this order (first hit wins). These
+  // legacy knobs target the victim's *local* (L0) snapshot:
   /// detectably corrupt the victim's checkpoint (checksum mismatch; the
   /// restart validates, deletes, and runs cold),
   double checkpoint_corrupt_prob = 0.0;
@@ -58,6 +61,35 @@ struct InjectorConfig {
   bool damages_checkpoints() const {
     return checkpoint_corrupt_prob > 0.0 || checkpoint_poison_prob > 0.0 ||
            checkpoint_stale_prob > 0.0;
+  }
+
+  // --- Per-tier checkpoint damage (ISSUE 7) -------------------------------
+  /// Damage probabilities for one checkpoint tier of the victim, rolled per
+  /// injected failure, first hit wins within the tier: kill (the tier's
+  /// copy vanishes outright), corrupt (detectable), poison (undetectable),
+  /// stale (backdated beyond TTL). Tiers roll independently, so one fault
+  /// can take several tiers at once — the correlated-loss case.
+  struct TierDamageProbs {
+    double kill = 0.0;
+    double corrupt = 0.0;
+    double poison = 0.0;
+    double stale = 0.0;
+    bool active() const {
+      return kill > 0.0 || corrupt > 0.0 || poison > 0.0 || stale > 0.0;
+    }
+  };
+  /// Indexed by core::CheckpointTier (L0, L1, L2).
+  std::array<TierDamageProbs, core::kCheckpointTierCount> tier_damage{};
+  /// Correlated partner failure: with this probability the background fault
+  /// also crashes the victim's L1 replica host (ses↔str-style coupling) —
+  /// the replica dies with it, leaving only stable storage above cold.
+  double partner_down_prob = 0.0;
+
+  bool damages_tiers() const {
+    for (const TierDamageProbs& probs : tier_damage) {
+      if (probs.active()) return true;
+    }
+    return false;
   }
 };
 

@@ -52,11 +52,15 @@ void ProcessManager::soft_recover(const std::string& component,
 }
 
 void ProcessManager::discard_checkpoints(const std::vector<std::string>& names) {
+  // Tier-aware shed (ISSUE 7): fault suspicion condemns the *local* snapshot
+  // — it may embody exactly the state that wedged the component — but not
+  // the partner replica or stable copy, which did not feed the failed
+  // attempt. The retry's tier walk still reaches them before going cold.
   for (const auto& name : names) {
-    if (station_.checkpoints().discard(name)) {
+    if (station_.checkpoints().suspect_discard(name)) {
       obs::incr("checkpoint.suspect_discards");
       LogLine(LogLevel::kWarn, station_.sim().now(), name)
-          << "checkpoint discarded (restart-path fault suspected)";
+          << "local checkpoint discarded (restart-path fault suspected)";
     }
   }
 }
@@ -112,6 +116,13 @@ void ProcessManager::restart_group(const std::vector<std::string>& names,
     proc.group = group_id;
     ++proc.epoch;
     station_.component(name)->kill();
+    // Partner replicas live in their host's memory: a group restart that
+    // kills the host loses every L1 copy it held (the correlated-failure
+    // case — a whole-group restart takes the buddy down too). The local
+    // and stable tiers survive process death by construction.
+    if (station_.config().checkpoints.enabled) {
+      station_.checkpoints().on_host_down(name);
+    }
   }
 
   // Contention (§4.1): concurrent restarts slow each other down. The factor
@@ -149,15 +160,20 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
     }
   }
 
-  // Checkpoint offer (ISSUE 3): with the policy on, a component that has a
-  // warm path and a valid, fresh snapshot starts warm — the calibrated warm
-  // duration models respawn + checkpoint reload, skipping the negotiation /
-  // resync that dominates the cold mean. Everything else is a cold fallback:
+  // Checkpoint offer (ISSUE 3, tiered by ISSUE 7): with the policy on, a
+  // component that has a warm path walks the checkpoint tiers newest-first
+  // (L0 local, L1 partner replica, L2 stable) and the first valid snapshot
+  // starts it warm — the calibrated warm duration models respawn + reload,
+  // scaled by the serving tier's reload factor, skipping the negotiation /
+  // resync that dominates the cold mean. Cold fallbacks happen when the
+  // whole walk misses:
   //   * attempt > 1 means a previous attempt of this chain already failed;
-  //     the snapshot is fault-suspected and discarded unread (bad state is
-  //     exactly what the restart is meant to shed);
-  //   * a corrupt or version-skewed snapshot is discarded, never retried;
-  //   * a stale or missing snapshot simply yields the cold path.
+  //     the *local* snapshot is fault-suspected and shed unread, but the
+  //     partner and stable tiers did not feed the failed attempt and are
+  //     still consulted before conceding a cold start;
+  //   * a corrupt or version-skewed tier copy is discarded as the walk
+  //     passes it, never retried; the walk continues to the next tier;
+  //   * a stale or missing copy simply yields the next tier (or cold).
   // An undetectably poisoned snapshot validates clean; the warm attempt
   // proceeds and crashes mid-startup, which the hardened recoverer's
   // deadline treats like any other restart-path fault.
@@ -165,35 +181,39 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
   const ComponentTiming& timing = component->timing();
   bool warm = false;
   bool poisoned = false;
+  core::CheckpointTier warm_tier = core::CheckpointTier::kL0Local;
   std::string cold_reason = "policy-off";
   if (policy.enabled && !timing.has_warm_path()) {
     cold_reason = "no-warm-path";
   } else if (policy.enabled) {
-    if (attempt > 1) {
-      if (station_.checkpoints().discard(name)) {
-        obs::incr("checkpoint.suspect_discards");
-        LogLine(LogLevel::kWarn, station_.sim().now(), name)
-            << "checkpoint discarded (attempt " << attempt
-            << " of this chain; state is fault-suspected)";
+    if (attempt > 1 && station_.checkpoints().suspect_discard(name)) {
+      obs::incr("checkpoint.suspect_discards");
+      LogLine(LogLevel::kWarn, station_.sim().now(), name)
+          << "local checkpoint discarded (attempt " << attempt
+          << " of this chain; state is fault-suspected)";
+    }
+    const core::TierLookup lookup =
+        station_.checkpoints().lookup(name, station_.sim().now());
+    for (const core::TierProbe& probe : lookup.probes) {
+      if (!probe.discarded) continue;
+      obs::incr("checkpoint.invalid_discards");
+      LogLine(LogLevel::kWarn, station_.sim().now(), name)
+          << core::to_string(probe.tier) << " checkpoint failed validation ("
+          << core::to_string(probe.verdict) << "); deleted";
+    }
+    if (lookup.hit) {
+      warm = true;
+      warm_tier = lookup.tier;
+      poisoned = lookup.checkpoint->poisoned;
+      if (warm_tier != core::CheckpointTier::kL0Local) {
+        obs::incr("checkpoint.replica_hits");
+        LogLine(LogLevel::kInfo, station_.sim().now(), name)
+            << "warm start served from " << core::to_string(warm_tier);
       }
-      cold_reason = "fault-suspect";
     } else {
-      const core::CheckpointVerdict verdict = station_.checkpoints().validate(
-          name, station_.sim().now(), policy.ttl);
-      if (verdict == core::CheckpointVerdict::kValid) {
-        warm = true;
-        poisoned = station_.checkpoints().find(name)->poisoned;
-      } else {
-        cold_reason = std::string(core::to_string(verdict));
-        if (verdict == core::CheckpointVerdict::kCorrupt ||
-            verdict == core::CheckpointVerdict::kVersionMismatch) {
-          station_.checkpoints().discard(name);
-          obs::incr("checkpoint.invalid_discards");
-          LogLine(LogLevel::kWarn, station_.sim().now(), name)
-              << "checkpoint failed validation (" << cold_reason
-              << "); deleted, starting cold";
-        }
-      }
+      // On a retry the legacy reason wins: the chain is fault-suspected no
+      // matter which verdict the (now L0-less) walk reports.
+      cold_reason = attempt > 1 ? "fault-suspect" : lookup.miss_reason();
     }
     if (warm) {
       ++warm_restarts_;
@@ -209,7 +229,11 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
   const double sd = (warm ? timing.warm_startup_stddev : timing.startup_stddev)
                         .to_seconds();
   const double base = rng_.normal_at_least(mean, sd, 0.5 * mean);
-  const Duration startup = Duration::seconds(base * contention);
+  // A replica or stable-storage reload costs a little more than the local
+  // copy (the factor is 1.0 for L0 and for cold starts, so single-tier runs
+  // reproduce ISSUE 3's timings bit-for-bit).
+  const double reload = warm ? policy.reload_factor(warm_tier) : 1.0;
+  const Duration startup = Duration::seconds(base * contention * reload);
 
   // The epoch lets the trace checker prove supersede order: attempts of one
   // component must carry strictly increasing epochs within a run.
@@ -222,7 +246,11 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
     // Warm/cold annotation only under the policy, so legacy traces stay
     // byte-identical to the seed's.
     span_args.push_back({"start", warm ? "warm" : "cold"});
-    if (!warm) span_args.push_back({"cold_reason", cold_reason});
+    if (warm) {
+      span_args.push_back({"warm_tier", std::string(core::to_string(warm_tier))});
+    } else {
+      span_args.push_back({"cold_reason", cold_reason});
+    }
   }
   proc.span = obs::begin_span(station_.sim().now(), "restart",
                               "restart:" + name, "pm", std::move(span_args));
@@ -264,10 +292,13 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
     // the poisoned snapshot so the retry runs cold.
     ++checkpoint_crashes_;
     station_.sim().schedule_after(
-        startup, "restart.ckpt-poisoned:" + name, [this, name, epoch] {
+        startup, "restart.ckpt-poisoned:" + name,
+        [this, name, epoch, warm_tier] {
           Proc& proc = procs_[name];
           if (proc.epoch != epoch) return;  // superseded meanwhile
-          station_.checkpoints().discard(name);
+          // Only the tier that served the garbage is condemned; a clean copy
+          // in another tier may still warm the retry.
+          station_.checkpoints().discard_tier(name, warm_tier);
           station_.board().note_restart_crash(name, station_.sim().now());
           obs::incr("checkpoint.poison_crashes");
           if (proc.span != 0) {
@@ -290,6 +321,20 @@ void ProcessManager::begin_attempt(const std::string& name, double contention) {
         proc.restarting = false;
         proc.attempts = 0;
         --restarting_count_;
+        if (warm) {
+          // Tier rebuild (ISSUE 7): before the component resumes (and
+          // eventually refreshes its snapshot itself), re-replicate the
+          // serving copy into the tiers the fault emptied, so a second
+          // failure of the same cell arriving before the next natural save
+          // still warm-hits instead of falling off the redundancy cliff.
+          const std::size_t rebuilt =
+              station_.checkpoints().rebuild(name, station_.sim().now());
+          if (rebuilt > 0) {
+            obs::incr("checkpoint.tier_rebuilds", rebuilt);
+            LogLine(LogLevel::kInfo, station_.sim().now(), name)
+                << "repopulated " << rebuilt << " checkpoint tier(s) after warm start";
+          }
+        }
         component->complete_start(warm);
         if (proc.span != 0) {
           obs::end_span(station_.sim().now(), proc.span, {{"outcome", "ready"}});

@@ -16,6 +16,7 @@ Station::Station(sim::Simulator& sim, StationConfig config)
       satellite_(config_.satellite) {
   bus_ = std::make_unique<bus::MessageBus>(sim_, config_.bus);
   sync_ = std::make_unique<SyncCoordinator>(*this, names::kSes, names::kStr);
+  checkpoints_.configure(config_.checkpoints);
   process_manager_ = std::make_unique<ProcessManager>(*this);
 
   const Calibration& cal = config_.cal;
@@ -57,6 +58,19 @@ Station::Station(sim::Simulator& sim, StationConfig config)
       bus_->crash();
     }
   });
+
+  // An L1 replica lives in its host component's memory: a crash of the host
+  // (anything that kills the process, i.e. not a soft-curable transient)
+  // takes every replica it held down with it. This is what makes the
+  // correlated-failure cases real — a fault that fells both a component and
+  // its partner leaves only stable storage between it and a cold start.
+  if (config_.checkpoints.enabled) {
+    board_.add_inject_listener([this](const core::ActiveFailure& failure) {
+      if (!failure.spec.soft_curable) {
+        checkpoints_.on_host_down(failure.spec.manifest);
+      }
+    });
+  }
 }
 
 FedrPbcomLink& Station::fedr_pbcom_link() {

@@ -42,8 +42,9 @@ struct StationConfig {
       orbit::KeplerianElements::circular_leo(800.0, 60.0);
   orbit::GroundStation site = orbit::GroundStation::stanford();
   bus::BusConfig bus;
-  /// Checkpointed warm restarts (ISSUE 3). Disabled by default: legacy
-  /// configurations reproduce the seed's cold-path numbers bit-for-bit.
+  /// Checkpointed warm restarts (ISSUE 3), tiered L0/L1/L2 (ISSUE 7).
+  /// Disabled by default: legacy configurations reproduce the seed's
+  /// cold-path numbers bit-for-bit.
   core::CheckpointPolicy checkpoints;
 };
 
@@ -58,8 +59,8 @@ class Station {
   sim::Simulator& sim() { return sim_; }
   bus::MessageBus& bus() { return *bus_; }
   core::FailureBoard& board() { return board_; }
-  core::CheckpointStore& checkpoints() { return checkpoints_; }
-  const core::CheckpointStore& checkpoints() const { return checkpoints_; }
+  core::TieredCheckpointStore& checkpoints() { return checkpoints_; }
+  const core::TieredCheckpointStore& checkpoints() const { return checkpoints_; }
   ProcessManager& process_manager() { return *process_manager_; }
   const StationConfig& config() const { return config_; }
   const Calibration& cal() const { return config_.cal; }
@@ -136,7 +137,7 @@ class Station {
   sim::Simulator& sim_;
   StationConfig config_;
   core::FailureBoard board_;
-  core::CheckpointStore checkpoints_;
+  core::TieredCheckpointStore checkpoints_;
   std::unique_ptr<bus::MessageBus> bus_;
   Radio radio_;
   SerialPort serial_port_;

@@ -339,6 +339,14 @@ TEST(PosixSupervisor, WarmRestartUsesCheckpointAndShortensDowntime) {
   // checkpoint once READY.
   ASSERT_TRUE(supervisor.start_all().ok());
   EXPECT_EQ(supervisor.checkpoints_validated(), 0u);
+  // The worker writes the file just *after* READY; wait for it so the kill
+  // cannot race the write (flaky under parallel test load otherwise).
+  ASSERT_TRUE(supervisor.run_until(
+      [&] {
+        return ckpt::read_checkpoint_file(file, "c", nullptr) ==
+               ckpt::FileState::kValid;
+      },
+      Millis{2000}));
 
   supervisor.kill_worker("c");
   ASSERT_TRUE(supervisor.run_until(
@@ -436,6 +444,153 @@ TEST(CheckpointFile, RoundTripAndSeededFuzz) {
     EXPECT_TRUE(state == ckpt::FileState::kValid ||
                 state == ckpt::FileState::kInvalid);
   }
+  std::remove(file.c_str());
+}
+
+TEST(CheckpointFile, TruncatedFilesAreRejectedBeforeChecksum) {
+  // Satellite regression (ISSUE 7): a snapshot file cut off mid-write
+  // (power loss, full disk) must never validate. The v2 format records the
+  // payload length and checks it BEFORE the checksum, so truncation is
+  // caught by the cheap structural check, not by checksum luck.
+  const std::string file = "/tmp/mercury_ckpt_trunc_" + std::to_string(getpid());
+  ASSERT_TRUE(ckpt::write_checkpoint_file(file, "ses", "session=3,peer=str"));
+  std::string valid_line;
+  {
+    std::FILE* f = std::fopen(file.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buffer[512];
+    ASSERT_NE(std::fgets(buffer, sizeof(buffer), f), nullptr);
+    std::fclose(f);
+    valid_line = buffer;
+  }
+  while (!valid_line.empty() && valid_line.back() == '\n') valid_line.pop_back();
+
+  // Every strict prefix is a truncation; none may validate.
+  for (std::size_t cut = 0; cut < valid_line.size(); ++cut) {
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(valid_line.data(), 1, cut, f);
+    std::fclose(f);
+    EXPECT_EQ(ckpt::read_checkpoint_file(file, "ses", nullptr),
+              ckpt::FileState::kInvalid)
+        << "truncated at byte " << cut;
+  }
+
+  // A recorded length that disagrees with the payload bytes actually
+  // present is rejected even when the checksum token is intact.
+  {
+    std::string lied = valid_line;
+    const std::size_t len_pos = lied.find(" 18 ");  // payload length token
+    ASSERT_NE(len_pos, std::string::npos);
+    lied.replace(len_pos, 4, " 99 ");
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs((lied + "\n").c_str(), f);
+    std::fclose(f);
+    EXPECT_EQ(ckpt::read_checkpoint_file(file, "ses", nullptr),
+              ckpt::FileState::kInvalid);
+  }
+
+  // Seeded fuzz over tail truncations combined with byte noise: never
+  // kValid unless the line survived byte-identical.
+  mercury::util::Rng rng(20260809);
+  for (int round = 0; round < 200; ++round) {
+    std::string line = valid_line;
+    const auto keep = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(line.size())));
+    line.resize(keep);
+    if (!line.empty() && rng.chance(0.5)) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+      line[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    }
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(line.c_str(), f);
+    std::fclose(f);
+    const ckpt::FileState state =
+        ckpt::read_checkpoint_file(file, "ses", nullptr);
+    if (line == valid_line) {
+      EXPECT_EQ(state, ckpt::FileState::kValid);
+    } else {
+      EXPECT_EQ(state, ckpt::FileState::kInvalid) << "round " << round;
+    }
+  }
+  std::remove(file.c_str());
+}
+
+TEST(CheckpointFile, V1FilesNeverValidateUnderV2) {
+  // Format migration safety: a v1 line (no length token) with a correct v1
+  // checksum is kInvalid under v2 — one cold start, never a wrong warm one.
+  const std::string file = "/tmp/mercury_ckpt_v1_" + std::to_string(getpid());
+  const std::string body = "1 ses session=3";  // v1 checksum body
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%llx",
+                static_cast<unsigned long long>(ckpt::fnv1a(body)));
+  {
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "MERCURY-CKPT %s %s\n", body.c_str(), checksum);
+    std::fclose(f);
+  }
+  EXPECT_EQ(ckpt::read_checkpoint_file(file, "ses", nullptr),
+            ckpt::FileState::kInvalid);
+  std::remove(file.c_str());
+}
+
+TEST(PosixSupervisor, PartnerCopyRestoresLostCheckpointFile) {
+  // ISSUE 7's L1 mirror on real processes: the supervisor keeps a replica
+  // of the last validated payload; when the on-disk file vanishes, the
+  // spawn gate rewrites it from the replica and the worker still
+  // warm-starts.
+  const std::string file =
+      "/tmp/mercury_ckpt_partner_" + std::to_string(getpid());
+  std::remove(file.c_str());
+
+  WorkerSpec slow;
+  slow.name = "c";
+  slow.argv = {kWorker,  "--name", "c", "--startup-ms", "600",
+               "--checkpoint-file", file, "--warm-startup-ms", "50"};
+  slow.startup_timeout = Millis{3000};
+  slow.checkpoint_file = file;
+  SupervisorConfig config = quick_config();
+  config.keep_partner_copies = true;
+
+  PosixSupervisor supervisor(two_leaf_tree(), {quick_worker("a", 30), slow},
+                             config);
+  ASSERT_TRUE(supervisor.start_all().ok());  // cold; worker writes the file
+  // The worker writes the file just after READY; wait for it so the kill
+  // cannot race the write.
+  const auto file_valid = [&] {
+    return ckpt::read_checkpoint_file(file, "c", nullptr) ==
+           ckpt::FileState::kValid;
+  };
+  ASSERT_TRUE(supervisor.run_until(file_valid, Millis{2000}));
+
+  // First kill: the gate validates the file and captures the replica.
+  supervisor.kill_worker("c");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.all_up() && supervisor.history().size() >= 1; },
+      Millis{5000}));
+  ASSERT_GE(supervisor.checkpoints_validated(), 1u);
+  EXPECT_EQ(supervisor.partner_restores(), 0u);
+
+  // Lose the on-disk tier entirely, then fail the worker again: the replica
+  // must restore the file and keep the restart warm. Wait for the warm
+  // incarnation's own rewrite first, so the remove cannot be undone by it.
+  ASSERT_TRUE(supervisor.run_until(file_valid, Millis{2000}));
+  std::remove(file.c_str());
+  supervisor.kill_worker("c");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.all_up() && supervisor.history().size() >= 2; },
+      Millis{5000}));
+  EXPECT_GE(supervisor.partner_restores(), 1u);
+  // Warm despite the lost file: well under the 600 ms cold startup.
+  EXPECT_LT(supervisor.history()[1].downtime.count(), 600);
+  // The restored file is valid on disk again (and refreshed by the worker).
+  ckpt::CheckpointFile checkpoint;
+  EXPECT_EQ(ckpt::read_checkpoint_file(file, "c", &checkpoint),
+            ckpt::FileState::kValid);
   std::remove(file.c_str());
 }
 
