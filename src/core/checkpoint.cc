@@ -292,6 +292,51 @@ std::size_t TieredCheckpointStore::on_host_down(const std::string& host) {
   return dropped;
 }
 
+std::size_t TieredCheckpointStore::on_host_parked(const std::string& host,
+                                                  util::TimePoint now) {
+  if (!parked_hosts_.insert(host).second) return 0;
+  // The parked host's in-memory replicas are as gone as a crashed host's
+  // (usually already dropped by on_host_down during the failed restarts).
+  on_host_down(host);
+  if (!policy_.tier_enabled(CheckpointTier::kL1Partner)) return 0;
+
+  // Reassign every component whose replica host is now parked. The sorted
+  // component ring is walked past parked hosts and the component itself to
+  // the next live host; cell affinity is not re-derived here (the tree is
+  // long gone) — a live host in the same cell still beats a dead one.
+  std::vector<std::string> ring;
+  ring.reserve(partner_of_.size());
+  for (const auto& [component, partner] : partner_of_) ring.push_back(component);
+  std::size_t reassigned = 0;
+  for (auto& [component, partner] : partner_of_) {
+    if (!parked_hosts_.contains(partner)) continue;
+    if (parked_hosts_.contains(component)) continue;  // orphan is parked too
+    const auto it = std::lower_bound(ring.begin(), ring.end(), component);
+    const std::size_t base = static_cast<std::size_t>(it - ring.begin());
+    std::string chosen;
+    for (std::size_t step = 1; step < ring.size(); ++step) {
+      const std::string& candidate = ring[(base + step) % ring.size()];
+      if (candidate == component || parked_hosts_.contains(candidate)) continue;
+      chosen = candidate;
+      break;
+    }
+    if (chosen.empty()) continue;  // no live host left; L1 stays lost
+    partner = std::move(chosen);
+    ++reassigned;
+    // Rebuild the orphaned replica at the new host from surviving tiers, so
+    // the component's next failure still warm-hits L1.
+    rebuild(component, now);
+  }
+  if (reassigned > 0) {
+    hosted_by_.clear();
+    for (const auto& [component, partner] : partner_of_) {
+      hosted_by_[partner].push_back(component);
+    }
+  }
+  parked_reassigns_ += reassigned;
+  return reassigned;
+}
+
 void TieredCheckpointStore::clear() {
   for (auto& store : tiers_) store.clear();
 }

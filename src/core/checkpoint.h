@@ -52,6 +52,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -262,6 +263,16 @@ class TieredCheckpointStore {
   /// crash), every replica it held dies with it. Returns the number of
   /// replicas dropped.
   std::size_t on_host_down(const std::string& host);
+  /// A *parked* (hard-failed) host never restarts: the replicas it held are
+  /// dropped (idempotent with on_host_down) and every component it hosted is
+  /// re-partnered — the sorted component ring is walked past parked hosts
+  /// (and the component itself) to the next live host, and the orphaned
+  /// replica is rebuilt there from the surviving tiers, so the component's
+  /// *next* failure still warm-hits L1. Returns the number of components
+  /// re-partnered.
+  std::size_t on_host_parked(const std::string& host, util::TimePoint now);
+  /// Hosts declared parked so far (never chosen as replica hosts again).
+  const std::set<std::string>& parked_hosts() const { return parked_hosts_; }
 
   void clear();
 
@@ -284,6 +295,7 @@ class TieredCheckpointStore {
   std::uint64_t rebuilds() const { return rebuilds_; }
   std::uint64_t suspect_discards() const { return suspect_discards_; }
   std::uint64_t host_loss_drops() const { return host_loss_drops_; }
+  std::uint64_t parked_reassigns() const { return parked_reassigns_; }
 
  private:
   CheckpointStore& tier(CheckpointTier t) {
@@ -300,11 +312,13 @@ class TieredCheckpointStore {
   std::map<std::string, std::string> partner_of_;
   /// host -> components whose L1 replica it holds (inverse of partner_of_).
   std::map<std::string, std::vector<std::string>> hosted_by_;
+  std::set<std::string> parked_hosts_;
   std::uint64_t saves_ = 0;
   std::array<std::uint64_t, kCheckpointTierCount> tier_hits_{};
   std::uint64_t rebuilds_ = 0;
   std::uint64_t suspect_discards_ = 0;
   std::uint64_t host_loss_drops_ = 0;
+  std::uint64_t parked_reassigns_ = 0;
 };
 
 }  // namespace mercury::core

@@ -64,6 +64,15 @@ class ProcessControl {
     (void)names;
   }
 
+  /// The recoverer parked `names` as hard failures: they stay down (and
+  /// permanently masked) until an operator intervenes. Implementations with
+  /// replicated checkpoint storage reassign the replicas those components
+  /// hosted — a parked host is as gone as a killed one, but without this
+  /// hook its hosted copies would silently rot. Default: nothing to do.
+  virtual void note_parked(const std::vector<std::string>& names) {
+    (void)names;
+  }
+
   /// Whether components offer a soft recovery procedure (cheaper than a
   /// restart; cures only soft-curable failures). Default: restart-only.
   virtual bool supports_soft_recovery() const { return false; }

@@ -14,6 +14,15 @@ using util::Duration;
 using util::LogLevel;
 using util::LogLine;
 
+const char* to_string(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kSerial: return "serial";
+    case DispatchMode::kDag: return "dag";
+    case DispatchMode::kOnDemand: return "on-demand";
+  }
+  return "?";
+}
+
 Recoverer::Recoverer(sim::Simulator& sim, bus::DedicatedLink& link,
                      RestartTree tree, Oracle& oracle,
                      ProcessControl& process_control, RecConfig config)
@@ -43,12 +52,12 @@ void Recoverer::restart_complete() {
   alive_ = true;
   // The generalized procedural knowledge survives in the restart tree file;
   // in-memory chain state (queue, escalation context, backoff streaks,
-  // attempt budgets) is process state and is lost. Parked hard failures
+  // failure epochs) is process state and is lost. Parked hard failures
   // survive: they are the operator-facing record.
   queue_.clear();
-  last_.reset();
+  recent_.clear();
   backoff_.clear();
-  chain_attempts_ = 0;
+  completion_epoch_.clear();
   obs::instant(sim_.now(), "proc", "rec.restarted", "rec");
   LogLine(LogLevel::kInfo, sim_.now(), "rec") << "restarted";
 }
@@ -82,6 +91,27 @@ bool Recoverer::is_parked(const std::string& component) const {
              hard_failures_.end();
 }
 
+bool Recoverer::component_in_flight(const std::string& component) const {
+  for (const auto& [id, action] : actions_) {
+    if (std::binary_search(action.components.begin(), action.components.end(),
+                           component)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Recoverer::conflicts_with_in_flight(NodeId cell) const {
+  for (const auto& [id, action] : actions_) {
+    if (tree_.conflicts(cell, action.node)) return true;
+  }
+  return false;
+}
+
+void Recoverer::note_in_flight_peak() {
+  max_concurrent_ = std::max(max_concurrent_, actions_.size());
+}
+
 void Recoverer::handle_report(const std::string& component) {
   obs::instant(sim_.now(), "recover", "rec.report-received", "rec",
                {{"component", component}});
@@ -89,35 +119,43 @@ void Recoverer::handle_report(const std::string& component) {
   // exactly what the paper's policy must prevent.
   if (is_parked(component)) return;
 
-  if (current_.has_value()) {
-    const auto& in_flight = current_->components;
-    if (std::find(in_flight.begin(), in_flight.end(), component) !=
-        in_flight.end()) {
-      return;  // already being restarted
+  // Already covered by an in-flight action (dispatched or backoff-pending):
+  // that restart kills and revives it anyway; if the failure persists, FD
+  // re-detects it after completion and the escalation logic takes over.
+  if (component_in_flight(component)) return;
+
+  if (!actions_.empty()) {
+    bool conflict = config_.dispatch == DispatchMode::kSerial;
+    if (!conflict) {
+      // DAG modes: only a report whose cell overlaps an in-flight action's
+      // cell must wait. Membership was ruled out above, so the only possible
+      // overlap is this cell strictly containing an in-flight cell — and
+      // restarting an ancestor while its descendant restarts is the one
+      // unsafe overlap. Disjoint (sibling-subtree) cells dispatch now.
+      const auto cell = tree_.lowest_cell_covering(component);
+      conflict = !cell || conflicts_with_in_flight(*cell);
     }
-    if (std::find(queue_.begin(), queue_.end(), component) == queue_.end()) {
-      queue_.push_back(component);
+    if (conflict) {
+      enqueue_report(component);
+      return;
     }
-    return;
   }
 
-  CurrentRestart restart;
+  Action restart;
   restart.reported_component = component;
   restart.report_time = sim_.now();
 
   // Escalation (§3.3): the failure survived a restart that covered this
   // component and has resurfaced promptly.
-  const bool escalating =
-      last_.has_value() &&
-      std::find(last_->components.begin(), last_->components.end(), component) !=
-          last_->components.end() &&
-      (sim_.now() - last_->complete_time) < config_.escalation_window;
+  CompletionRecord* recent = covering_recent(component);
 
-  if (escalating && last_->soft) {
+  if (recent != nullptr && recent->soft) {
     // The soft procedure (§7's cheapest rung) did not cure it: climb to the
     // restart ladder. The oracle has not guessed yet, so this is a fresh
     // choose, not a tree escalation.
     restart.escalation_level = 1;
+    restart.chain_component = recent->chain_component;
+    restart.chain_attempts = recent->chain_attempts;
     ++escalations_;
     obs::instant(sim_.now(), "recover", "rec.escalate", "rec",
                  {{"component", component}, {"level", "1"}, {"from", "soft"}});
@@ -131,35 +169,38 @@ void Recoverer::handle_report(const std::string& component) {
     return;
   }
 
-  if (escalating) {
-    restart.escalation_level = last_->escalation_level + 1;
+  if (recent != nullptr) {
+    restart.escalation_level = recent->escalation_level + 1;
+    restart.chain_component = recent->chain_component;
+    restart.chain_attempts = recent->chain_attempts;
     ++escalations_;
     obs::instant(sim_.now(), "recover", "rec.escalate", "rec",
                  {{"component", component},
                   {"level", std::to_string(restart.escalation_level)}});
     obs::incr("rec.escalations");
-    if (!last_->feedback_sent) {
+    if (!recent->feedback_sent) {
       obs::instant(sim_.now(), "oracle", "oracle.feedback", "rec",
-                   {{"component", last_->chain_component},
-                    {"cell", tree_.cell(last_->node).label},
+                   {{"component", recent->chain_component},
+                    {"cell", tree_.cell(recent->node).label},
                     {"cured", "0"}});
-      oracle_.feedback(last_->chain_component, last_->node, /*cured=*/false);
-      last_->feedback_sent = true;
+      oracle_.feedback(recent->chain_component, recent->node, /*cured=*/false);
+      recent->feedback_sent = true;
     }
-    if (last_->node == tree_.root() &&
-        note_root_restart_then_maybe_park(component)) {
+    if (recent->node == tree_.root() &&
+        note_root_restart_then_maybe_park(component, nullptr)) {
       return;
     }
     OracleQuery query;
     query.tree = &tree_;
     query.failed_component = component;
     query.escalation_level = restart.escalation_level;
-    query.previous_node = last_->node;
+    query.previous_node = recent->node;
     query.trace_now = sim_.now().to_seconds();
     restart.node = oracle_.choose(query);
   } else {
     // Fresh failure: a new chain begins; the attempt budget starts over.
-    chain_attempts_ = 0;
+    restart.chain_component = component;
+    restart.chain_attempts = 0;
     // With recursive recovery enabled, the first rung is the component's own
     // soft procedure; the restart tree is the ladder above.
     if (config_.enable_soft_recovery &&
@@ -177,7 +218,33 @@ void Recoverer::handle_report(const std::string& component) {
   execute(std::move(restart));
 }
 
-bool Recoverer::note_root_restart_then_maybe_park(const std::string& component) {
+Recoverer::CompletionRecord* Recoverer::covering_recent(
+    const std::string& component) {
+  CompletionRecord* best = nullptr;
+  for (auto& record : recent_) {
+    if ((sim_.now() - record.complete_time) >= config_.escalation_window) continue;
+    if (!std::binary_search(record.components.begin(), record.components.end(),
+                            component)) {
+      continue;
+    }
+    if (best == nullptr || record.complete_time > best->complete_time) {
+      best = &record;
+    }
+  }
+  return best;
+}
+
+void Recoverer::prune_recent() {
+  // A record past the escalation window can no longer match a "failure still
+  // manifests" probe, and once feedback is settled nothing else reads it.
+  std::erase_if(recent_, [this](const CompletionRecord& record) {
+    return record.feedback_sent &&
+           (sim_.now() - record.complete_time) >= config_.escalation_window;
+  });
+}
+
+bool Recoverer::note_root_restart_then_maybe_park(
+    const std::string& component, const std::set<std::string>* chain_touched) {
   // The whole system was already restarted and this component promptly
   // failed again. Count uncured root restarts *per component*: a fresh,
   // unrelated crash landing just after a reboot must not get an innocent
@@ -197,24 +264,32 @@ bool Recoverer::note_root_restart_then_maybe_park(const std::string& component) 
                {{"component", component},
                 {"root_restarts", std::to_string(history.count)}});
   obs::incr("rec.hard_failures");
-  park(component, "root-restarts-exhausted");
+  park(component, "root-restarts-exhausted", chain_touched);
   return true;
 }
 
-void Recoverer::park(const std::string& component, const std::string& reason) {
+void Recoverer::park(const std::string& component, const std::string& reason,
+                     const std::set<std::string>* chain_touched) {
   hard_failures_.push_back(component);
   std::vector<std::string> to_mask = {component};
-  // Stragglers: anything still restarting belongs to this chain's abandoned
-  // actions (REC serializes restarts) and is in unknown startup state —
-  // parked along with the reported component. Healthy components abandoned
-  // actions left masked go back into service.
+  // Stragglers: processes still restarting from this chain's abandoned
+  // attempts are in unknown startup state — parked along with the reported
+  // component. Under DAG dispatch other chains' restarts may be live too, so
+  // only members this chain actually touched are swept; healthy components
+  // abandoned actions left masked go back into service.
   for (const auto& name : process_control_.restarting_now()) {
-    if (name != component) to_mask.push_back(name);
+    if (name == component) continue;
+    if (chain_touched == nullptr || !chain_touched->contains(name)) continue;
+    to_mask.push_back(name);
   }
   for (const auto& name : to_mask) parked_.insert(name);
+  std::set<std::string> live;
+  for (const auto& [id, action] : actions_) {
+    live.insert(action.components.begin(), action.components.end());
+  }
   std::vector<std::string> to_unmask;
   for (const auto& name : masked_) {
-    if (!parked_.contains(name)) to_unmask.push_back(name);
+    if (!parked_.contains(name) && !live.contains(name)) to_unmask.push_back(name);
   }
   obs::instant(sim_.now(), "recover", "rec.parked", "rec",
                {{"component", component},
@@ -229,25 +304,29 @@ void Recoverer::park(const std::string& component, const std::string& reason) {
   // components again.
   send_mask(to_mask, true);
   if (!to_unmask.empty()) send_mask(to_unmask, false);
+  // Parked hosts never come back: checkpoint replicas they host must be
+  // reassigned (a parked partner is as gone as a killed one).
+  process_control_.note_parked(to_mask);
   drain_queue();
 }
 
-bool Recoverer::budget_exhausted_then_park(const CurrentRestart& restart) {
+bool Recoverer::budget_exhausted_then_park(const Action& restart) {
   if (restart.planned || config_.max_attempts_per_chain <= 0) return false;
-  if (chain_attempts_ < config_.max_attempts_per_chain) return false;
+  if (restart.chain_attempts < config_.max_attempts_per_chain) return false;
   LogLine(LogLevel::kError, sim_.now(), "rec")
       << "hard failure: chain for " << restart.reported_component
       << " exhausted its budget of " << config_.max_attempts_per_chain
       << " restart attempts; giving up";
   obs::instant(sim_.now(), "recover", "rec.hard-failure", "rec",
                {{"component", restart.reported_component},
-                {"attempts", std::to_string(chain_attempts_)}});
+                {"attempts", std::to_string(restart.chain_attempts)}});
   obs::incr("rec.hard_failures");
-  park(restart.reported_component, "attempt-budget-exhausted");
+  park(restart.reported_component, "attempt-budget-exhausted",
+       &restart.chain_touched);
   return true;
 }
 
-void Recoverer::execute_soft(CurrentRestart restart) {
+void Recoverer::execute_soft(Action restart) {
   restart.soft = true;
   restart.components = {restart.reported_component};
   const auto cell = tree_.lowest_cell_covering(restart.reported_component);
@@ -263,30 +342,39 @@ void Recoverer::execute_soft(CurrentRestart restart) {
       << "soft recovery of " << restart.reported_component
       << " (recursive-recovery rung 0)";
   send_mask(restart.components, true);
+  restart.dispatched = true;
   const std::string component = restart.reported_component;
   const std::uint64_t action_id = restart.action_id;
-  current_ = restart;
+  actions_.emplace(action_id, std::move(restart));
+  note_in_flight_peak();
   process_control_.soft_recover(
       component, [this, action_id] { on_restart_complete(action_id); });
 }
 
 bool Recoverer::planned_restart(const std::string& component) {
   if (!alive_) return false;
-  if (current_.has_value()) return false;  // reactive work has priority
   if (is_parked(component)) return false;
   const auto cell = tree_.lowest_cell_covering(component);
   if (!cell) return false;
-  CurrentRestart restart;
+  // Reactive work has priority: declined while any action that could
+  // interfere is in flight.
+  if (config_.dispatch == DispatchMode::kSerial) {
+    if (!actions_.empty()) return false;
+  } else if (component_in_flight(component) || conflicts_with_in_flight(*cell)) {
+    return false;
+  }
+  Action restart;
   restart.reported_component = component;
   restart.node = *cell;
   restart.planned = true;
   restart.report_time = sim_.now();
+  restart.chain_component = component;
   ++planned_restarts_;
   execute(std::move(restart));
   return true;
 }
 
-void Recoverer::execute(CurrentRestart restart) {
+void Recoverer::execute(Action restart) {
   restart.components = tree_.group_components(restart.node);
   assert(!restart.components.empty());
   restart.action_id = next_action_id_++;
@@ -295,25 +383,42 @@ void Recoverer::execute(CurrentRestart restart) {
   // failure persists or the restarts themselves keep timing out — is parked
   // rather than retried forever.
   if (budget_exhausted_then_park(restart)) return;
-  if (!restart.planned) ++chain_attempts_;
+  if (!restart.planned) ++restart.chain_attempts;
+
+  // Escalation ordering (DAG modes): a chosen cell that contains an
+  // in-flight descendant absorbs that action before anything else happens —
+  // the wider restart re-kills its members, so the narrower action is
+  // redundant and must never overlap it.
+  absorb_conflicting(restart);
 
   // Backoff (crash-loop pacing): successive attempts on the same cell are
-  // spaced out exponentially. Serialization starts immediately (current_ is
-  // set, so new reports queue), but the kill/start itself waits.
+  // spaced out exponentially. The action claims its cell immediately (it
+  // enters actions_, so conflicting reports queue), but the kill/start
+  // itself waits.
   Duration delay = Duration::zero();
   if (config_.backoff_base > Duration::zero()) {
     CellBackoff& backoff = backoff_[restart.node];
-    if (sim_.now() - backoff.last > config_.backoff_decay) backoff.streak = 0;
+    // Gradual decay: each full quiet backoff_decay forgets one streak step,
+    // so a long-idle cell climbs back down instead of snapping to zero.
+    if (backoff.streak > 0 && config_.backoff_decay > Duration::zero()) {
+      const int steps = static_cast<int>((sim_.now() - backoff.last).to_seconds() /
+                                         config_.backoff_decay.to_seconds());
+      backoff.streak = std::max(0, backoff.streak - steps);
+    }
     if (backoff.streak > 0) {
+      // Clamped to [base, cap] on every path: neither decay nor a sub-unity
+      // factor may pace attempts tighter than base.
       const double wait_s =
-          std::min(config_.backoff_cap.to_seconds(),
-                   config_.backoff_base.to_seconds() *
-                       std::pow(config_.backoff_factor, backoff.streak - 1));
+          std::clamp(config_.backoff_base.to_seconds() *
+                         std::pow(config_.backoff_factor, backoff.streak - 1),
+                     config_.backoff_base.to_seconds(),
+                     config_.backoff_cap.to_seconds());
       const util::TimePoint allowed = backoff.last + Duration::seconds(wait_s);
       if (allowed > sim_.now()) delay = allowed - sim_.now();
     }
   }
 
+  const std::uint64_t action_id = restart.action_id;
   if (delay > Duration::zero()) {
     ++backoffs_applied_;
     obs::instant(sim_.now(), "recover", "rec.backoff", "rec",
@@ -324,21 +429,59 @@ void Recoverer::execute(CurrentRestart restart) {
     LogLine(LogLevel::kInfo, sim_.now(), "rec")
         << "backing off " << util::format_fixed(delay.to_seconds(), 3)
         << " s before restarting cell " << tree_.cell(restart.node).label;
-    const std::uint64_t action_id = restart.action_id;
-    current_ = restart;
+    actions_.emplace(action_id, std::move(restart));
+    note_in_flight_peak();
     sim_.schedule_after(delay, "rec.backoff", [this, action_id] {
-      if (!current_.has_value() || current_->action_id != action_id) return;
-      dispatch(*current_);
+      // A vanished id means an escalation absorbed this action meanwhile.
+      dispatch(action_id);
     });
     return;
   }
 
-  current_ = restart;
-  dispatch(restart);
+  actions_.emplace(action_id, std::move(restart));
+  note_in_flight_peak();
+  dispatch(action_id);
 }
 
-void Recoverer::dispatch(CurrentRestart restart) {
-  assert(current_.has_value() && current_->action_id == restart.action_id);
+void Recoverer::absorb_conflicting(const Action& absorber) {
+  if (config_.dispatch == DispatchMode::kSerial) return;  // nothing concurrent
+  // The nested-or-disjoint group property plus the up-front membership drop
+  // leave exactly one overlap shape here: the absorber's cell strictly
+  // contains the victim's.
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, action] : actions_) {
+    if (action.node != absorber.node &&
+        tree_.is_ancestor(absorber.node, action.node)) {
+      victims.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : victims) {
+    const auto it = actions_.find(id);
+    Action& victim = it->second;
+    ++absorbed_actions_;
+    obs::instant(sim_.now(), "recover", "rec.absorb", "rec",
+                 {{"component", victim.reported_component},
+                  {"cell", tree_.cell(victim.node).label},
+                  {"into", tree_.cell(absorber.node).label}});
+    obs::incr("rec.absorbed");
+    LogLine(LogLevel::kInfo, sim_.now(), "rec")
+        << "restart of cell " << tree_.cell(victim.node).label
+        << " absorbed by escalation to " << tree_.cell(absorber.node).label;
+    if (victim.deadline_event.valid()) sim_.cancel(victim.deadline_event);
+    if (victim.dispatched) {
+      // Members stay masked: the absorber covers a superset and re-masks at
+      // dispatch; its restart_group supersedes the in-flight kill.
+      obs::end_span(sim_.now(), victim.trace_span, {{"outcome", "absorbed"}});
+    }
+    actions_.erase(it);
+  }
+}
+
+void Recoverer::dispatch(std::uint64_t action_id) {
+  const auto it = actions_.find(action_id);
+  if (it == actions_.end()) return;
+  Action& restart = it->second;
+  restart.dispatched = true;
   LogLine(LogLevel::kInfo, sim_.now(), "rec")
       << "restarting cell " << tree_.cell(restart.node).label << " ("
       << util::join(restart.components, ",") << ") for failure of "
@@ -347,7 +490,7 @@ void Recoverer::dispatch(CurrentRestart restart) {
               ? " [escalation level " + std::to_string(restart.escalation_level) + "]"
               : "");
 
-  current_->trace_span = obs::begin_span(
+  restart.trace_span = obs::begin_span(
       sim_.now(), "recover", "rec.restart", "rec",
       {{"component", restart.reported_component},
        {"cell", tree_.cell(restart.node).label},
@@ -362,21 +505,22 @@ void Recoverer::dispatch(CurrentRestart restart) {
     backoff.last = sim_.now();
   }
 
-  const std::uint64_t action_id = restart.action_id;
   // Deadline before dispatch: ProcessControl may complete synchronously.
   if (config_.restart_deadline > Duration::zero()) {
-    current_->deadline_event =
+    restart.deadline_event =
         sim_.schedule_after(config_.restart_deadline, "rec.restart-deadline",
                             [this, action_id] { on_restart_timeout(action_id); });
   }
+  const std::vector<std::string> components = restart.components;
   process_control_.restart_group(
-      restart.components, [this, action_id] { on_restart_complete(action_id); });
+      components, [this, action_id] { on_restart_complete(action_id); });
 }
 
 void Recoverer::on_restart_timeout(std::uint64_t action_id) {
-  if (!current_.has_value() || current_->action_id != action_id) return;
-  const CurrentRestart failed = *current_;
-  current_.reset();
+  const auto it = actions_.find(action_id);
+  if (it == actions_.end()) return;
+  const Action failed = it->second;
+  actions_.erase(it);
 
   ++restart_timeouts_;
   obs::end_span(sim_.now(), failed.trace_span, {{"outcome", "timeout"}});
@@ -389,12 +533,6 @@ void Recoverer::on_restart_timeout(std::uint64_t action_id) {
       << "restart of cell " << tree_.cell(failed.node).label << " for "
       << failed.reported_component << " exceeded its deadline; escalating";
 
-  if (failed.planned) {
-    // A timed-out rejuvenation turns reactive: the cell is now genuinely
-    // broken. Treat it as a fresh chain on the reported component.
-    chain_attempts_ = 0;
-  }
-
   // Whatever checkpointed state the failed attempt may have warm-started
   // from is now fault-suspected (ISSUE 3 — bad state is exactly what a
   // restart is meant to shed). The shed is tier-aware (ISSUE 7): the
@@ -406,10 +544,16 @@ void Recoverer::on_restart_timeout(std::uint64_t action_id) {
   // The hung group's members stay masked; the superseding restart below
   // covers a superset and re-kills the stragglers. No oracle feedback: a
   // restart that never finished says nothing about cure sets.
-  CurrentRestart retry;
+  Action retry;
   retry.reported_component = failed.reported_component;
   retry.report_time = failed.report_time;
   retry.escalation_level = failed.escalation_level + 1;
+  retry.chain_component = failed.chain_component;
+  // A timed-out rejuvenation turns reactive: the cell is now genuinely
+  // broken. Treat it as a fresh chain on the reported component.
+  retry.chain_attempts = failed.planned ? 0 : failed.chain_attempts;
+  retry.chain_touched = failed.chain_touched;
+  retry.chain_touched.insert(failed.components.begin(), failed.components.end());
   ++escalations_;
   obs::instant(sim_.now(), "recover", "rec.escalate", "rec",
                {{"component", failed.reported_component},
@@ -421,7 +565,10 @@ void Recoverer::on_restart_timeout(std::uint64_t action_id) {
     // Even the full-system restart hangs: after the tolerated number of
     // root-level rounds this chain is unrecoverable by restart. park()
     // sweeps up the hung stragglers and frees the healthy members.
-    if (note_root_restart_then_maybe_park(failed.reported_component)) return;
+    if (note_root_restart_then_maybe_park(failed.reported_component,
+                                          &retry.chain_touched)) {
+      return;
+    }
   }
 
   OracleQuery query;
@@ -436,11 +583,13 @@ void Recoverer::on_restart_timeout(std::uint64_t action_id) {
 
 void Recoverer::on_restart_complete(std::uint64_t action_id) {
   // Stale completions are real under restart-time faults: a hung restart
-  // that finishes after its deadline fired, or a superseded group draining.
-  if (!current_.has_value() || current_->action_id != action_id) return;
-  const CurrentRestart finished = *current_;
+  // that finishes after its deadline fired, a superseded group draining, or
+  // an action an escalation absorbed.
+  const auto it = actions_.find(action_id);
+  if (it == actions_.end()) return;
+  const Action finished = it->second;
   if (finished.deadline_event.valid()) sim_.cancel(finished.deadline_event);
-  current_.reset();
+  actions_.erase(it);
 
   obs::end_span(sim_.now(), finished.trace_span);
   obs::incr(finished.soft ? "rec.soft_completed" : "rec.restarts");
@@ -461,54 +610,110 @@ void Recoverer::on_restart_complete(std::uint64_t action_id) {
   record.complete_time = sim_.now();
   history_.push_back(record);
 
-  LastRestart last;
-  last.node = finished.node;
-  last.components = finished.components;
-  last.escalation_level = finished.escalation_level;
-  last.soft = finished.soft;
-  last.complete_time = sim_.now();
-  last.chain_component = finished.escalation_level > 0 && last_.has_value()
-                             ? last_->chain_component
-                             : finished.reported_component;
+  // kSerial keeps exactly one completion record (the legacy "last restart"
+  // escalation context); the DAG modes keep one per live chain.
+  if (config_.dispatch == DispatchMode::kSerial) recent_.clear();
+  prune_recent();
+  CompletionRecord completion;
+  completion.id = finished.action_id;
+  completion.node = finished.node;
+  completion.components = finished.components;
+  completion.escalation_level = finished.escalation_level;
+  completion.soft = finished.soft;
+  completion.complete_time = sim_.now();
+  completion.chain_component = finished.chain_component;
+  completion.chain_attempts = finished.chain_attempts;
   // Soft actions carry no oracle recommendation; never feed the oracle
   // about a node it did not choose.
-  last.feedback_sent = finished.soft;
-  last_ = last;
+  completion.feedback_sent = finished.soft;
+  recent_.push_back(completion);
 
-  // Positive feedback once the escalation window passes without recurrence.
-  const util::TimePoint completed_at = sim_.now();
+  for (const auto& name : finished.components) ++completion_epoch_[name];
+
+  // Positive feedback once the escalation window passes without recurrence
+  // (an escalation meanwhile removes or settles the record).
+  const std::uint64_t record_id = completion.id;
   sim_.schedule_after(config_.escalation_window, "rec.feedback",
-                      [this, completed_at] {
-                        if (last_.has_value() &&
-                            last_->complete_time == completed_at &&
-                            !last_->feedback_sent) {
-                          obs::instant(sim_.now(), "oracle", "oracle.feedback",
-                                       "rec",
-                                       {{"component", last_->chain_component},
-                                        {"cell", tree_.cell(last_->node).label},
-                                        {"cured", "1"}});
-                          oracle_.feedback(last_->chain_component, last_->node,
-                                           /*cured=*/true);
-                          last_->feedback_sent = true;
+                      [this, record_id] {
+                        for (auto& rec : recent_) {
+                          if (rec.id != record_id) continue;
+                          if (!rec.feedback_sent) {
+                            obs::instant(sim_.now(), "oracle", "oracle.feedback",
+                                         "rec",
+                                         {{"component", rec.chain_component},
+                                          {"cell", tree_.cell(rec.node).label},
+                                          {"cured", "1"}});
+                            oracle_.feedback(rec.chain_component, rec.node,
+                                             /*cured=*/true);
+                            rec.feedback_sent = true;
+                          }
+                          break;
                         }
                       });
 
   drain_queue();
 }
 
+void Recoverer::enqueue_report(const std::string& component) {
+  const auto it = completion_epoch_.find(component);
+  const std::uint64_t epoch = it == completion_epoch_.end() ? 0 : it->second;
+  // Dedup on (component, epoch): a queued report from an older failure epoch
+  // is already doomed to drop at drain, and a fresh-epoch report is new
+  // evidence that must survive it — deduplicating on the name alone would
+  // let the stale entry swallow the new failure.
+  for (const auto& entry : queue_) {
+    if (entry.component == component && entry.epoch == epoch) return;
+  }
+  queue_.push_back({component, epoch});
+}
+
+bool Recoverer::should_drop(const QueuedReport& entry) const {
+  if (is_parked(entry.component)) return true;
+  const auto it = completion_epoch_.find(entry.component);
+  const std::uint64_t epoch = it == completion_epoch_.end() ? 0 : it->second;
+  // A restart covering this component completed after the report queued: it
+  // either cured the failure, or FD re-detects it and escalation takes over.
+  // An entry from the *current* epoch saw no covering restart — it must
+  // dispatch no matter what completed before it was queued.
+  return entry.epoch < epoch;
+}
+
+bool Recoverer::blocked_in_queue(const QueuedReport& entry) const {
+  if (config_.dispatch == DispatchMode::kSerial) return !actions_.empty();
+  // In-flight membership is not a block: handle_report drops the entry.
+  if (component_in_flight(entry.component)) return false;
+  const auto cell = tree_.lowest_cell_covering(entry.component);
+  return cell.has_value() && conflicts_with_in_flight(*cell);
+}
+
 void Recoverer::drain_queue() {
-  while (!queue_.empty() && !current_.has_value()) {
-    const std::string component = queue_.front();
-    queue_.pop_front();
-    if (is_parked(component)) continue;
-    // Reports about components the finishing restart covered are stale: the
-    // restart either cured them, or FD will re-detect and escalate.
-    if (last_.has_value() &&
-        std::find(last_->components.begin(), last_->components.end(), component) !=
-            last_->components.end()) {
+  if (config_.dispatch == DispatchMode::kOnDemand) {
+    // Scan the whole queue: any entry whose conflict has cleared dispatches,
+    // regardless of position; still-blocked entries keep their order.
+    std::deque<QueuedReport> pending = std::move(queue_);
+    queue_.clear();
+    while (!pending.empty()) {
+      const QueuedReport entry = pending.front();
+      pending.pop_front();
+      if (should_drop(entry)) continue;
+      if (blocked_in_queue(entry)) {
+        queue_.push_back(entry);
+        continue;
+      }
+      handle_report(entry.component);
+    }
+    return;
+  }
+  // kSerial and kDag: FIFO with head-of-line blocking.
+  while (!queue_.empty()) {
+    const QueuedReport entry = queue_.front();
+    if (should_drop(entry)) {
+      queue_.pop_front();
       continue;
     }
-    handle_report(component);
+    if (blocked_in_queue(entry)) break;
+    queue_.pop_front();
+    handle_report(entry.component);
   }
 }
 

@@ -11,10 +11,16 @@
 //      escalates to the parent cell (§3.3);
 //   2. masks the cell's restart group in FD, restarts the group through
 //      ProcessControl, and unmasks on completion;
-//   3. serializes recovery actions: reports arriving mid-restart are queued
-//      (deduplicated), and reports about components the finishing restart
-//      already covered are dropped — if their failure persists, FD will
-//      re-detect it and the escalation logic takes over;
+//   3. schedules recovery actions under the configured DispatchMode:
+//      *serial* (legacy) runs one action at a time and queues everything
+//      else; *dag* dispatches a report immediately when its cell is
+//      disjoint from every in-flight action's cell (the restart tree's
+//      nested-or-disjoint group property makes sibling subtrees safe to
+//      overlap) and queues FIFO behind a conflict; *on-demand* additionally
+//      scans the queue out of order so any entry whose conflict has cleared
+//      dispatches. In every mode ancestor/descendant cells never restart
+//      concurrently: an escalation whose chosen cell contains an in-flight
+//      action's cell absorbs that action (the wider restart supersedes it);
 //   4. gives up on a chain that keeps failing after `max_root_restarts`
 //      full-system restarts, parking it as a hard failure for the operator.
 //
@@ -25,16 +31,23 @@
 //     worst-case contended startup plus margin) aborts a hung restart —
 //     ProcessControl implementations supersede the stale attempt on the next
 //     restart_group — and escalates it like a persisting failure;
-//   * exponential backoff (base/factor/cap, with decay) paces successive
-//     restart attempts of the same cell, so a crash-looping startup cannot
-//     become a restart storm;
+//   * exponential backoff (base/factor/cap, with gradual decay) paces
+//     successive restart attempts of the same cell, so a crash-looping
+//     startup cannot become a restart storm; the interval is clamped to
+//     [base, cap] on every path, decay included;
 //   * an attempt budget per failure chain feeds the existing hard-failure
 //     parking, and parked components are masked in FD *permanently*, so the
 //     station keeps operating degraded instead of detect/restart-looping.
 //
-// All hardening knobs default off (legacy behavior); completions are guarded
-// by an action id so a hung restart that finishes late, or a superseded
-// group draining, can never be mistaken for the current action.
+// All hardening knobs apply *per in-flight action*: each action carries its
+// own deadline event, chain attempt count, and chain attribution, keyed by
+// action id, so concurrent chains park, back off, and escalate
+// independently. Queued reports are keyed by (component, failure epoch) —
+// the epoch counts completed restarts covering the component — so a report
+// queued after a covering restart completed is never dropped against that
+// stale completion. Completions are guarded by the action id so a hung
+// restart that finishes late, or a superseded group draining, can never be
+// mistaken for a live action.
 //
 // REC also answers FD's pings and monitors FD in return (§2.2's two special
 // cases); the FD restart action is injected by the harness.
@@ -58,6 +71,20 @@
 #include "util/time.h"
 
 namespace mercury::core {
+
+/// How REC schedules non-interfering recovery actions.
+enum class DispatchMode {
+  /// One action at a time; every other report queues (legacy behavior).
+  kSerial,
+  /// Disjoint cells dispatch immediately; a conflicting report queues FIFO
+  /// and blocks the queue head (DAG partial order over the restart tree).
+  kDag,
+  /// Like kDag, but the queue is scanned out of order at every drain: any
+  /// entry whose conflict has cleared dispatches, regardless of position.
+  kOnDemand,
+};
+
+const char* to_string(DispatchMode mode);
 
 struct RecConfig {
   /// A report for a component covered by the previous restart, arriving
@@ -83,6 +110,12 @@ struct RecConfig {
   std::string fd_name = "fd";
   std::string rec_name = "rec";
 
+  /// Restart-DAG scheduling of non-interfering cells. kSerial reproduces
+  /// the paper's one-chain-at-a-time recoverer exactly; the DAG modes
+  /// overlap sibling subtrees while keeping ancestor/descendant pairs
+  /// strictly ordered (absorb-on-escalation).
+  DispatchMode dispatch = DispatchMode::kSerial;
+
   // --- Restart-path hardening (ISSUE 2) -----------------------------------
   /// Deadline for one restart action (kill -> every group member ready). A
   /// restart still in flight when it expires is abandoned and escalated like
@@ -93,12 +126,14 @@ struct RecConfig {
   util::Duration restart_deadline = util::Duration::zero();
   /// Exponential backoff between successive restart attempts of the same
   /// cell: attempt n of a streak starts no earlier than backoff_base *
-  /// backoff_factor^(n-1) after attempt n-1 began, capped at backoff_cap.
-  /// Zero base disables.
+  /// backoff_factor^(n-1) after attempt n-1 began, clamped to
+  /// [backoff_base, backoff_cap]. Zero base disables.
   util::Duration backoff_base = util::Duration::zero();
   double backoff_factor = 2.0;
   util::Duration backoff_cap = util::Duration::seconds(30.0);
-  /// A cell with no restart attempts for this long forgets its streak.
+  /// Streak decay: each full quiet backoff_decay forgets one streak step, so
+  /// a long-idle cell climbs back down gradually instead of keeping its worst
+  /// interval forever.
   util::Duration backoff_decay = util::Duration::seconds(60.0);
   /// Restart attempts tolerated per failure chain (reactive actions only,
   /// timed-out attempts included) before the chain is parked as a hard
@@ -134,9 +169,10 @@ class Recoverer {
 
   /// Proactive (planned) restart of the component's own cell — the §7
   /// rejuvenation path, driven by the health monitor. Declined (returns
-  /// false) while reactive recovery is in flight; accepted restarts flow
-  /// through the same mask/restart/unmask machinery and count toward the
-  /// escalation context like any other restart.
+  /// false) while reactive recovery that could interfere is in flight (any
+  /// action at all under kSerial; a conflicting one under the DAG modes);
+  /// accepted restarts flow through the same mask/restart/unmask machinery
+  /// and count toward the escalation context like any other restart.
   bool planned_restart(const std::string& component);
 
   const RestartTree& tree() const { return tree_; }
@@ -158,7 +194,13 @@ class Recoverer {
   std::uint64_t escalations() const { return escalations_; }
   std::uint64_t planned_restarts() const { return planned_restarts_; }
   std::uint64_t soft_recoveries() const { return soft_recoveries_; }
-  bool restart_in_progress() const { return current_.has_value(); }
+  bool restart_in_progress() const { return !actions_.empty(); }
+  /// Recovery actions currently in flight (dispatched or backoff-pending).
+  std::size_t restarts_in_flight() const { return actions_.size(); }
+  /// High-water mark of concurrent in-flight actions (1 under kSerial).
+  std::size_t max_concurrent_restarts() const { return max_concurrent_; }
+  /// In-flight actions superseded by an escalation to a containing cell.
+  std::uint64_t absorbed_restarts() const { return absorbed_actions_; }
   /// Chains declared unrecoverable-by-restart.
   const std::vector<std::string>& hard_failures() const { return hard_failures_; }
   /// Components permanently masked in FD by hard-failure parking: the
@@ -170,26 +212,52 @@ class Recoverer {
   std::uint64_t backoffs_applied() const { return backoffs_applied_; }
 
  private:
-  struct CurrentRestart {
+  /// One in-flight recovery action. Deadline, backoff streak, attempt
+  /// budget, and chain attribution all live here (keyed by action_id), so
+  /// concurrent actions harden independently.
+  struct Action {
     std::string reported_component;
     NodeId node = kInvalidNode;
-    std::vector<std::string> components;
+    std::vector<std::string> components;  // sorted restart group
     int escalation_level = 0;
     bool planned = false;
     bool soft = false;
     util::TimePoint report_time;
-    std::uint64_t trace_span = 0;  // open obs span for this action
+    std::uint64_t trace_span = 0;  // open obs span once dispatched
     std::uint64_t action_id = 0;   // stale-completion guard
     sim::EventId deadline_event;   // pending restart_deadline, if any
+    bool dispatched = false;       // false while waiting out a backoff delay
+    /// Component that opened this failure chain (oracle feedback subject).
+    std::string chain_component;
+    /// Reactive attempts the chain has consumed, this action included.
+    int chain_attempts = 0;
+    /// Every component a timed-out attempt of this chain left restarting;
+    /// parking the chain sweeps exactly these stragglers, never another
+    /// chain's live restart.
+    std::set<std::string> chain_touched;
   };
-  struct LastRestart {
+  /// A recently completed action, kept for the escalation window: the §3.3
+  /// "failure still manifests" check, negative/positive oracle feedback, and
+  /// chain inheritance all key off these. kSerial keeps exactly one (the
+  /// legacy `last restart`); the DAG modes keep one per concurrent chain and
+  /// prune records once the window passes and feedback is settled.
+  struct CompletionRecord {
+    std::uint64_t id = 0;  // completing action's id (unique)
     NodeId node = kInvalidNode;
     std::vector<std::string> components;
     int escalation_level = 0;
     bool soft = false;
     util::TimePoint complete_time;
-    std::string chain_component;  // component that opened the chain
+    std::string chain_component;
+    int chain_attempts = 0;
     bool feedback_sent = false;
+  };
+  /// A deferred failure report. The epoch pins which completed-restart
+  /// generation the report belongs to, so drain drops it only against a
+  /// restart that completed *after* it was queued.
+  struct QueuedReport {
+    std::string component;
+    std::uint64_t epoch = 0;
   };
   /// Per-component record of recent root-level restarts triggered by that
   /// component's failures, for the hard-failure give-up. Keyed by the
@@ -207,26 +275,48 @@ class Recoverer {
 
   void on_link_message(const msg::Message& message);
   void handle_report(const std::string& component);
-  void execute(CurrentRestart restart);
-  void execute_soft(CurrentRestart restart);
+  void execute(Action restart);
+  void execute_soft(Action restart);
   /// Open the trace span, mask the group, start the deadline and hand the
-  /// group to ProcessControl (execute() after any backoff delay).
-  void dispatch(CurrentRestart restart);
+  /// group to ProcessControl (execute() after any backoff delay). The action
+  /// must already be in actions_; a missing id means it was absorbed.
+  void dispatch(std::uint64_t action_id);
   void on_restart_complete(std::uint64_t action_id);
   void on_restart_timeout(std::uint64_t action_id);
   /// True when the chain's attempt budget is exhausted; parks and returns
   /// true, or returns false to keep going.
-  bool budget_exhausted_then_park(const CurrentRestart& restart);
+  bool budget_exhausted_then_park(const Action& restart);
   /// Root-level give-up accounting shared by the persisting-failure and
   /// restart-timeout escalation paths; returns true when it parked.
-  bool note_root_restart_then_maybe_park(const std::string& component);
+  bool note_root_restart_then_maybe_park(const std::string& component,
+                                         const std::set<std::string>* chain_touched);
   /// Declare `component`'s chain a hard failure. Permanently masks it in FD,
-  /// along with any straggler still in flight from the chain's abandoned
-  /// restarts (REC serializes restarts, so every in-flight component belongs
-  /// to this chain and is in unknown startup state). Healthy components left
-  /// masked by abandoned actions are unmasked — they return to service.
-  void park(const std::string& component, const std::string& reason);
+  /// along with any straggler the chain's abandoned restarts left in flight
+  /// (chain_touched ∩ restarting_now — never another chain's live restart).
+  /// Healthy components left masked by abandoned actions are unmasked — they
+  /// return to service.
+  void park(const std::string& component, const std::string& reason,
+            const std::set<std::string>* chain_touched);
   bool is_parked(const std::string& component) const;
+  /// True when any in-flight action's group already covers the component.
+  bool component_in_flight(const std::string& component) const;
+  /// True when restarting `cell` would overlap an in-flight action's cell
+  /// (ancestor/descendant — the unsafe overlap the DAG must serialize).
+  bool conflicts_with_in_flight(NodeId cell) const;
+  /// Supersede-and-absorb every in-flight action whose cell the absorber's
+  /// chosen cell contains (escalation ordering: the wider restart re-kills
+  /// the members, so the narrower action is redundant).
+  void absorb_conflicting(const Action& absorber);
+  /// Latest completion record covering `component` inside the escalation
+  /// window, or nullptr (the §3.3 "failure still manifests" probe).
+  CompletionRecord* covering_recent(const std::string& component);
+  void prune_recent();
+  void enqueue_report(const std::string& component);
+  /// Stale or parked queue entry — drop without dispatching.
+  bool should_drop(const QueuedReport& entry) const;
+  /// Entry cannot dispatch yet (mode-dependent conflict with in-flight work).
+  bool blocked_in_queue(const QueuedReport& entry) const;
+  void note_in_flight_peak();
   void send_mask(const std::vector<std::string>& components, bool mask);
   void drain_queue();
   void ping_fd();
@@ -241,11 +331,17 @@ class Recoverer {
   bool alive_ = true;
   std::uint64_t seq_ = 1;
 
-  std::optional<CurrentRestart> current_;
-  std::optional<LastRestart> last_;
+  /// Every in-flight action (dispatched or backoff-pending), by action id.
+  std::map<std::uint64_t, Action> actions_;
+  std::vector<CompletionRecord> recent_;
+  /// Completed-restart generation per component: bumped once for every
+  /// component of every completed action. Queue entries carry the epoch they
+  /// were born in; drain drops an entry only when its component's epoch has
+  /// advanced past it (a covering restart completed after it queued).
+  std::map<std::string, std::uint64_t> completion_epoch_;
   std::map<std::string, RootRestartHistory> root_history_;
   std::map<NodeId, CellBackoff> backoff_;
-  std::deque<std::string> queue_;
+  std::deque<QueuedReport> queue_;
   std::vector<RecoveryRecord> history_;
   std::vector<std::string> hard_failures_;
   std::set<std::string> parked_;
@@ -253,15 +349,14 @@ class Recoverer {
   /// Lets park() tell stragglers (masked + still restarting) from healthy
   /// components abandoned actions left masked.
   std::set<std::string> masked_;
-  /// Reactive restart attempts in the chain currently being worked
-  /// (chain = the run of escalations that began at one fresh report).
-  int chain_attempts_ = 0;
   std::uint64_t next_action_id_ = 1;
+  std::size_t max_concurrent_ = 0;
   std::uint64_t escalations_ = 0;
   std::uint64_t planned_restarts_ = 0;
   std::uint64_t soft_recoveries_ = 0;
   std::uint64_t restart_timeouts_ = 0;
   std::uint64_t backoffs_applied_ = 0;
+  std::uint64_t absorbed_actions_ = 0;
 
   // FD monitoring.
   std::function<void()> fd_restarter_;

@@ -146,6 +146,10 @@ bool RestartTree::is_ancestor(NodeId ancestor, NodeId descendant) const {
   return false;
 }
 
+bool RestartTree::conflicts(NodeId a, NodeId b) const {
+  return is_ancestor(a, b) || is_ancestor(b, a);
+}
+
 std::size_t RestartTree::depth(NodeId id) const {
   std::size_t d = 0;
   while (cells_[id].parent != kInvalidNode) {

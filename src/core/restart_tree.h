@@ -88,6 +88,12 @@ class RestartTree {
   NodeId parent(NodeId id) const;
   bool is_leaf(NodeId id) const;
   bool is_ancestor(NodeId ancestor, NodeId descendant) const;
+  /// True when the restart groups of `a` and `b` overlap, i.e. restarting
+  /// both cells concurrently would be unsafe. Because any two groups are
+  /// either disjoint or nested (§3.2), this is exactly the
+  /// ancestor-or-descendant (or equal) relation: sibling subtrees never
+  /// conflict.
+  bool conflicts(NodeId a, NodeId b) const;
   /// Depth of `id` (root = 0).
   std::size_t depth(NodeId id) const;
   /// Path from `id` up to and including the root.

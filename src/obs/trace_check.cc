@@ -1,5 +1,6 @@
 #include "obs/trace_check.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <map>
@@ -43,6 +44,35 @@ bool is_restart_span_begin(const TraceEvent& event) {
          event.name.rfind("restart:", 0) == 0;
 }
 
+/// A recoverer action span ("rec.restart", sim and POSIX alike): one restart
+/// of one cell's whole group, carrying the group membership as an arg.
+bool is_action_span_begin(const TraceEvent& event) {
+  return event.kind == EventKind::kBegin && event.category == "recover" &&
+         event.name == "rec.restart";
+}
+
+/// One open rec.restart action span, for the conflicting-restart check.
+struct OpenAction {
+  std::uint64_t run = 0;
+  std::string cell;
+  std::vector<std::string> group;  // sorted member components
+};
+
+bool groups_intersect(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return false;
+}
+
 /// Accumulated facts about one run (trial), filled in stream order.
 struct RunFacts {
   bool has_trial_start = false;
@@ -72,6 +102,9 @@ std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
   std::map<std::uint64_t, Key> span_owner;
   std::map<Key, std::uint64_t> open_restart;  // key -> open span id
   std::map<Key, std::uint64_t> last_epoch;
+  /// Open rec.restart action spans (span id -> cell + group), for the
+  /// conflicting-restart overlap check.
+  std::map<std::uint64_t, OpenAction> open_actions;
   std::map<std::uint64_t, RunFacts> runs;
 
   for (const TraceEvent& event : events) {
@@ -102,6 +135,30 @@ std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
       facts.has_hard_failure = true;
     }
 
+    if (is_action_span_begin(event)) {
+      // Conflicting-restart: two rec.restart actions may overlap in time
+      // only when their restart groups are disjoint — i.e. their cells are
+      // tree-siblings. An overlap with a shared member means an
+      // ancestor/descendant pair restarted concurrently, which the DAG
+      // scheduler (absorb-on-escalation, conflict queueing) must prevent.
+      OpenAction action;
+      action.run = event.run;
+      action.cell = event.arg_or("cell");
+      action.group = util::split(event.arg_or("group"), ',');
+      std::sort(action.group.begin(), action.group.end());
+      for (const auto& [span, other] : open_actions) {
+        if (other.run != event.run) continue;
+        if (groups_intersect(action.group, other.group)) {
+          flag("conflicting-restart", event.run, event.arg_or("component"),
+               event.t,
+               "restart of cell " + action.cell + " begins while span " +
+                   std::to_string(span) + " (cell " + other.cell +
+                   ") holds an overlapping group");
+        }
+      }
+      open_actions[event.span] = std::move(action);
+    }
+
     if (is_restart_span_begin(event)) {
       const Key key{event.run, restart_component(event)};
 
@@ -125,6 +182,7 @@ std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
         last_epoch[key] = epoch;
       }
     } else if (event.kind == EventKind::kEnd) {
+      open_actions.erase(event.span);
       const auto owner = span_owner.find(event.span);
       if (owner != span_owner.end()) {
         const auto open = open_restart.find(owner->second);

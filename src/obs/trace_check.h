@@ -31,6 +31,13 @@
 //   open-restart         A run that claims trial.recovered has no restart
 //                        span still open at end of stream (a recovered
 //                        station cannot have a startup in flight).
+//   conflicting-restart  Two rec.restart action spans overlapping in time
+//                        within a run must have disjoint restart groups.
+//                        Cells in a restart tree are nested-or-disjoint, so
+//                        a shared member means an ancestor/descendant pair
+//                        restarted concurrently — exactly what the DAG
+//                        scheduler (conflict queueing, absorb-on-escalation)
+//                        must never allow. Sibling overlaps are legal.
 //
 // Runs without trial.start (background injector campaigns, POSIX
 // supervision) are exempt from the harness-trial invariants but still
@@ -60,7 +67,8 @@ struct CheckOptions {
 
 struct TraceIssue {
   std::string invariant;  ///< "overlapping-restart" | "epoch-regression" |
-                          ///< "phase-sum" | "lost-kill" | "open-restart"
+                          ///< "phase-sum" | "lost-kill" | "open-restart" |
+                          ///< "conflicting-restart"
   std::uint64_t run = 0;
   std::string component;
   double t = 0.0;  ///< event time anchoring the issue (seconds)

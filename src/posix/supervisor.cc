@@ -177,8 +177,18 @@ void PosixSupervisor::pump(Millis max_wait) {
   send_pings();
   check_deadlines();
   check_health_policy();
-  maybe_spawn_current();
-  maybe_finish_restart();
+  maybe_spawn_pending();
+  maybe_finish_restarts();
+}
+
+bool PosixSupervisor::masked(const std::string& name) const {
+  for (const auto& [id, action] : actions_) {
+    if (std::find(action.group.begin(), action.group.end(), name) !=
+        action.group.end()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void PosixSupervisor::drain_worker(Worker& worker) {
@@ -220,7 +230,7 @@ std::optional<double> PosixSupervisor::latest_memory_mb(
 
 void PosixSupervisor::check_health_policy() {
   if (config_.memory_limit_mb <= 0.0) return;
-  if (current_.has_value()) return;  // reactive work first
+  if (!actions_.empty()) return;  // reactive work first
   const auto now = Clock::now();
   for (auto& [name, worker] : workers_) {
     if (worker.state != WorkerState::kUp) continue;
@@ -247,11 +257,6 @@ void PosixSupervisor::check_health_policy() {
 
 void PosixSupervisor::send_pings() {
   const auto now = Clock::now();
-  const auto masked = [this](const std::string& name) {
-    return current_.has_value() &&
-           std::find(current_->group.begin(), current_->group.end(), name) !=
-               current_->group.end();
-  };
   for (auto& [name, worker] : workers_) {
     if (worker.state != WorkerState::kUp) continue;
     if (masked(name)) continue;
@@ -270,11 +275,6 @@ void PosixSupervisor::send_pings() {
 
 void PosixSupervisor::check_deadlines() {
   const auto now = Clock::now();
-  const auto masked = [this](const std::string& name) {
-    return current_.has_value() &&
-           std::find(current_->group.begin(), current_->group.end(), name) !=
-               current_->group.end();
-  };
   for (auto& [name, worker] : workers_) {
     // The startup deadline applies even to masked (in-flight group) workers:
     // the restart path is itself a fault domain, and a hung member startup
@@ -319,7 +319,11 @@ void PosixSupervisor::on_failure(const std::string& name) {
       hard_failures_.end()) {
     return;
   }
-  if (current_.has_value()) return;  // busy; FD will re-detect afterwards
+  // A member of an in-flight group is already being restarted; the action's
+  // own deadline/escalation machinery handles it going wrong.
+  if (masked(name)) return;
+  // Legacy single-action mode: busy means busy; FD re-detects afterwards.
+  if (!config_.parallel_recovery && !actions_.empty()) return;
 
   PendingRestart restart;
   restart.reported_worker = name;
@@ -397,21 +401,34 @@ void PosixSupervisor::begin_restart(PendingRestart restart) {
        {"group", util::join(restart.group, ",")},
        {"escalation", std::to_string(restart.escalation_level)}});
 
+  // Covering supersede (ISSUE 8): an escalated action whose cell strictly
+  // covers in-flight actions absorbs them — their members get re-killed by
+  // this spawn anyway, and two conflicting actions must never coexist.
+  if (config_.parallel_recovery) absorb_conflicting(restart.node);
+
   // Same-cell backoff (ISSUE 2): a crash-looping cell is paced, not hammered.
   // The group stays masked while waiting; the spawn happens in
-  // maybe_spawn_current once spawn_at arrives.
+  // maybe_spawn_pending once spawn_at arrives.
   restart.spawn_at = Clock::now();
   if (config_.backoff_base.count() > 0) {
     CellBackoff& backoff = backoff_[restart.node];
     const auto now = Clock::now();
-    if (backoff.streak > 0 && now - backoff.last > config_.backoff_decay) {
-      backoff.streak = 0;
+    // Gradual decay (ISSUE 8): each full idle decay interval forgets one
+    // step of the streak, not the whole thing — a cell that keeps failing
+    // slightly slower than the decay window no longer resets to zero.
+    if (backoff.streak > 0 && config_.backoff_decay.count() > 0) {
+      const auto steps =
+          static_cast<int>((now - backoff.last) / config_.backoff_decay);
+      backoff.streak = std::max(0, backoff.streak - steps);
     }
     if (backoff.streak > 0) {
-      const double wait_ms = std::min(
-          static_cast<double>(config_.backoff_cap.count()),
-          static_cast<double>(config_.backoff_base.count()) *
-              std::pow(config_.backoff_factor, backoff.streak - 1));
+      const double base = static_cast<double>(config_.backoff_base.count());
+      // Clamped below at base (ISSUE 8): a sub-unity factor or decay step
+      // must never pace a restart *faster* than the configured floor.
+      const double wait_ms = std::max(
+          base, std::min(static_cast<double>(config_.backoff_cap.count()),
+                         base * std::pow(config_.backoff_factor,
+                                         backoff.streak - 1)));
       const auto allowed = backoff.last + Millis{static_cast<long>(wait_ms)};
       if (allowed > now) {
         restart.spawn_at = allowed;
@@ -429,68 +446,103 @@ void PosixSupervisor::begin_restart(PendingRestart restart) {
     backoff.last = restart.spawn_at;
   }
 
-  current_ = std::move(restart);
-  maybe_spawn_current();
+  actions_.emplace(next_action_++, std::move(restart));
+  maybe_spawn_pending();
 }
 
-void PosixSupervisor::maybe_spawn_current() {
-  if (!current_.has_value() || current_->spawned) return;
-  if (Clock::now() < current_->spawn_at) return;
-  for (const auto& member : current_->group) {
-    auto& worker = workers_.at(member);
-    spawn_worker(worker);  // kills the old incarnation, starts fresh
+void PosixSupervisor::absorb_conflicting(core::NodeId node) {
+  for (auto it = actions_.begin(); it != actions_.end();) {
+    PendingRestart& action = it->second;
+    if (action.node != node && tree_.is_ancestor(node, action.node)) {
+      log_info("supervisor", "absorbing in-flight restart of cell " +
+                                 tree_.cell(action.node).label + " into " +
+                                 tree_.cell(node).label);
+      obs::instant(trace_now(), "recover", "rec.absorb", "posix",
+                   {{"component", action.reported_worker},
+                    {"cell", tree_.cell(action.node).label},
+                    {"into", tree_.cell(node).label}});
+      obs::incr("rec.absorbed");
+      obs::end_span(trace_now(), action.trace_span, {{"outcome", "absorbed"}});
+      ++absorbed_restarts_;
+      it = actions_.erase(it);
+    } else {
+      ++it;
+    }
   }
-  current_->spawned = true;
 }
 
-void PosixSupervisor::maybe_finish_restart() {
-  if (!current_.has_value() || !current_->spawned) return;
-  const bool all_ready = std::all_of(
-      current_->group.begin(), current_->group.end(), [this](const auto& name) {
-        return workers_.at(name).state == WorkerState::kUp;
-      });
-  const bool any_dead = std::any_of(
-      current_->group.begin(), current_->group.end(), [this](const auto& name) {
-        return workers_.at(name).state == WorkerState::kDown;
-      });
-  if (any_dead) {
-    // A member's startup timed out mid-restart: treat the whole action as
-    // failed and let the escalation path rerun it one level up.
-    const PendingRestart failed = *current_;
-    obs::end_span(trace_now(), failed.trace_span,
-                  {{"outcome", "member-startup-failed"}});
-    LastRestart last;
-    last.node = failed.node;
-    last.group = failed.group;
-    last.escalation_level = failed.escalation_level;
-    last.complete_at = Clock::now();
-    last_ = last;
-    current_.reset();
-    on_failure(failed.reported_worker);
-    return;
+void PosixSupervisor::maybe_spawn_pending() {
+  const auto now = Clock::now();
+  for (auto& [id, action] : actions_) {
+    if (action.spawned || now < action.spawn_at) continue;
+    for (const auto& member : action.group) {
+      auto& worker = workers_.at(member);
+      spawn_worker(worker);  // kills the old incarnation, starts fresh
+    }
+    action.spawned = true;
   }
-  if (!all_ready) return;
+}
 
-  PosixRecoveryRecord record;
-  record.reported_worker = current_->reported_worker;
-  record.node = current_->node;
-  record.restarted = current_->group;
-  record.escalation_level = current_->escalation_level;
-  record.downtime = std::chrono::duration_cast<Millis>(Clock::now() -
-                                                       current_->reported_at);
-  history_.push_back(record);
-  obs::end_span(trace_now(), current_->trace_span, {{"outcome", "cured"}});
-  obs::incr("rec.restarts");
-  obs::observe("recovery.action_seconds",
-               std::chrono::duration<double>(record.downtime).count());
+void PosixSupervisor::maybe_finish_restarts() {
+  // One action resolves per scan; resolving can mutate actions_ (an
+  // escalated retry may absorb siblings), so rescan from the top after each.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = actions_.begin(); it != actions_.end(); ++it) {
+      PendingRestart& action = it->second;
+      if (!action.spawned) continue;
+      const bool all_ready = std::all_of(
+          action.group.begin(), action.group.end(), [this](const auto& name) {
+            return workers_.at(name).state == WorkerState::kUp;
+          });
+      const bool any_dead = std::any_of(
+          action.group.begin(), action.group.end(), [this](const auto& name) {
+            return workers_.at(name).state == WorkerState::kDown;
+          });
+      if (any_dead) {
+        // A member's startup timed out mid-restart: treat the whole action
+        // as failed and let the escalation path rerun it one level up.
+        const PendingRestart failed = action;
+        obs::end_span(trace_now(), failed.trace_span,
+                      {{"outcome", "member-startup-failed"}});
+        LastRestart last;
+        last.node = failed.node;
+        last.group = failed.group;
+        last.escalation_level = failed.escalation_level;
+        last.complete_at = Clock::now();
+        last_ = last;
+        actions_.erase(it);
+        on_failure(failed.reported_worker);
+        progressed = true;
+        break;
+      }
+      if (!all_ready) continue;
 
-  LastRestart last;
-  last.node = current_->node;
-  last.group = current_->group;
-  last.escalation_level = current_->escalation_level;
-  last.complete_at = Clock::now();
-  last_ = last;
-  current_.reset();
+      PosixRecoveryRecord record;
+      record.reported_worker = action.reported_worker;
+      record.node = action.node;
+      record.restarted = action.group;
+      record.escalation_level = action.escalation_level;
+      record.downtime = std::chrono::duration_cast<Millis>(Clock::now() -
+                                                           action.reported_at);
+      history_.push_back(record);
+      obs::end_span(trace_now(), action.trace_span, {{"outcome", "cured"}});
+      obs::incr("rec.restarts");
+      obs::observe("recovery.action_seconds",
+                   std::chrono::duration<double>(record.downtime).count());
+
+      LastRestart last;
+      last.node = action.node;
+      last.group = action.group;
+      last.escalation_level = action.escalation_level;
+      last.complete_at = Clock::now();
+      last_ = last;
+      actions_.erase(it);
+      progressed = true;
+      break;
+    }
+  }
 }
 
 bool PosixSupervisor::worker_up(const std::string& name) const {

@@ -89,6 +89,15 @@ struct SupervisorConfig {
   /// warm-starts instead of falling off the redundancy cliff. Off by
   /// default: legacy supervisors keep the single-file behaviour.
   bool keep_partner_copies = false;
+
+  // --- Parallel recovery (ISSUE 8) ----------------------------------------
+  /// Allow multiple restart actions in flight at once, as long as their
+  /// restart groups are disjoint (sibling cells). A report whose chosen cell
+  /// strictly covers an in-flight action ABSORBS it: the stale action's span
+  /// ends (outcome=absorbed) and the covering restart re-kills its members.
+  /// Off by default: the legacy supervisor runs at most one action and lets
+  /// the failure detector re-detect anything it dropped while busy.
+  bool parallel_recovery = false;
 };
 
 struct PosixRecoveryRecord {
@@ -138,6 +147,10 @@ class PosixSupervisor {
   std::uint64_t backoffs_applied() const { return backoffs_applied_; }
   /// Worker startups abandoned by the startup deadline (hung/slow spawns).
   std::uint64_t restart_timeouts() const { return restart_timeouts_; }
+  /// Restart actions currently in flight (>1 only under parallel_recovery).
+  std::size_t restarts_in_flight() const { return actions_.size(); }
+  /// In-flight actions superseded by a covering (ancestor-cell) restart.
+  std::uint64_t absorbed_restarts() const { return absorbed_restarts_; }
   /// Latest memory figure a worker's HEALTH beacon reported, if any.
   std::optional<double> latest_memory_mb(const std::string& name) const;
   std::uint64_t rejuvenations() const { return rejuvenations_; }
@@ -207,9 +220,14 @@ class PosixSupervisor {
   void check_health_policy();
   void on_failure(const std::string& name);
   void begin_restart(PendingRestart restart);
-  /// Spawn the current action's group once its backoff delay has elapsed.
-  void maybe_spawn_current();
-  void maybe_finish_restart();
+  /// Whether `name` belongs to any in-flight action's group.
+  bool masked(const std::string& name) const;
+  /// End (outcome=absorbed) every in-flight action whose cell is a strict
+  /// descendant of `node` — the covering restart takes over its members.
+  void absorb_conflicting(core::NodeId node);
+  /// Spawn any in-flight action's group once its backoff delay has elapsed.
+  void maybe_spawn_pending();
+  void maybe_finish_restarts();
   void spawn_worker(Worker& worker);
   void park(const std::string& name, const std::string& reason);
 
@@ -217,7 +235,10 @@ class PosixSupervisor {
   core::HeuristicOracle oracle_;
   SupervisorConfig config_;
   std::map<std::string, Worker> workers_;
-  std::optional<PendingRestart> current_;
+  /// In-flight restart actions by id. At most one entry unless
+  /// parallel_recovery; groups of coexisting actions are always disjoint.
+  std::map<std::uint64_t, PendingRestart> actions_;
+  std::uint64_t next_action_ = 1;
   std::optional<LastRestart> last_;
   std::map<std::string, RootHistory> root_history_;
   std::map<core::NodeId, CellBackoff> backoff_;
@@ -231,6 +252,7 @@ class PosixSupervisor {
   std::uint64_t rejuvenations_ = 0;
   std::uint64_t backoffs_applied_ = 0;
   std::uint64_t restart_timeouts_ = 0;
+  std::uint64_t absorbed_restarts_ = 0;
   std::uint64_t checkpoints_validated_ = 0;
   std::uint64_t checkpoints_deleted_ = 0;
   std::uint64_t partner_restores_ = 0;

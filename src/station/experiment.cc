@@ -104,6 +104,7 @@ MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
 
   core::RecConfig rec_config;
   rec_config.enable_soft_recovery = spec.enable_soft_recovery;
+  rec_config.dispatch = spec.dispatch;
   if (spec.harden_restart_path) {
     rec_config.restart_deadline =
         hardened_restart_deadline(spec.cal, station_->component_names());
@@ -216,6 +217,15 @@ TrialResult run_trial(const TrialSpec& spec) {
     if (!partner.empty()) rig.station().inject_crash(partner);
   }
 
+  // Multi-fault scenarios (ISSUE 8): extra crashes land at fixed offsets
+  // after the primary, giving the parallel scheduler disjoint cells to work
+  // concurrently.
+  for (const auto& extra : spec.extra_faults) {
+    const std::string name = extra.component;
+    sim.schedule_after(extra.delay, "extra-fault." + name,
+                       [&rig, name] { rig.station().inject_crash(name); });
+  }
+
   TrialResult result;
   const util::TimePoint deadline = injected_at + spec.timeout;
   while (sim.now() < deadline) {
@@ -263,6 +273,9 @@ TrialResult run_trial(const TrialSpec& spec) {
   result.warm_hits_l2 =
       static_cast<int>(tiers.tier_hits(core::CheckpointTier::kL2Stable));
   result.tier_rebuilds = static_cast<int>(tiers.rebuilds());
+  result.max_concurrent_restarts =
+      static_cast<int>(rig.rec().max_concurrent_restarts());
+  result.absorbed_restarts = static_cast<int>(rig.rec().absorbed_restarts());
   if (!result.timed_out && !result.hard_failure) {
     // The "functionally ready" moment the paper's methodology timestamps:
     // closes the last recovery action's execution phase in the trace,

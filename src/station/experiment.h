@@ -118,6 +118,21 @@ struct TrialSpec {
   /// replica host (whole-group / coupled-component loss) — the replica dies
   /// with its host, leaving only L2 between the victim and a cold start.
   bool fail_partner_too = false;
+
+  // --- Parallel recovery (ISSUE 8) ----------------------------------------
+  /// REC dispatch policy: serial (legacy, one action at a time), DAG
+  /// (disjoint cells restart concurrently, FIFO queue), or on-demand
+  /// (out-of-order queue scan). Always plumbed through; the default
+  /// reproduces legacy behaviour bit-for-bit.
+  core::DispatchMode dispatch = core::DispatchMode::kSerial;
+  /// Additional crashes after the primary injection: `component` is felled
+  /// `delay` after the primary instant. Multi-fault scenarios are what give
+  /// the parallel scheduler disjoint cells to work concurrently.
+  struct ExtraFault {
+    std::string component;
+    util::Duration delay = util::Duration::zero();
+  };
+  std::vector<ExtraFault> extra_faults;
 };
 
 /// Deadline for one restart action under hardening: the calibration's worst
@@ -157,6 +172,11 @@ struct TrialResult {
   int warm_hits_l1 = 0;
   int warm_hits_l2 = 0;
   int tier_rebuilds = 0;
+  /// Peak simultaneously in-flight restart actions (always <= 1 under
+  /// serial dispatch) and actions absorbed by a covering escalation
+  /// (ISSUE 8).
+  int max_concurrent_restarts = 0;
+  int absorbed_restarts = 0;
 };
 
 /// A fully wired Mercury system. Exposes the pieces for tests and examples.

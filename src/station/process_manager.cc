@@ -65,6 +65,22 @@ void ProcessManager::discard_checkpoints(const std::vector<std::string>& names) 
   }
 }
 
+void ProcessManager::note_parked(const std::vector<std::string>& names) {
+  // A parked host never restarts: replicas it hosted are unreachable, and
+  // components it was replica host for must be re-partnered so their next
+  // failure still warm-hits L1.
+  for (const auto& name : names) {
+    const std::size_t reassigned =
+        station_.checkpoints().on_host_parked(name, station_.sim().now());
+    if (reassigned > 0) {
+      obs::incr("checkpoint.parked_reassigns", reassigned);
+      LogLine(LogLevel::kWarn, station_.sim().now(), name)
+          << "parked replica host: " << reassigned
+          << " hosted checkpoint replica(s) reassigned";
+    }
+  }
+}
+
 void ProcessManager::detach_from_group(Proc& proc) {
   if (proc.group == 0) return;
   const std::uint64_t group_id = proc.group;

@@ -47,6 +47,7 @@ class ProcessManager : public core::ProcessControl {
   void soft_recover(const std::string& component,
                     std::function<void()> on_complete) override;
   void discard_checkpoints(const std::vector<std::string>& names) override;
+  void note_parked(const std::vector<std::string>& names) override;
 
   /// Startup attempts begun (successful or not; includes hung/crashed ones).
   std::uint64_t restarts_performed() const { return restarts_performed_; }

@@ -293,6 +293,64 @@ TEST(TieredCheckpointStore, HostDownDropsExactlyTheReplicasItHeld) {
   EXPECT_EQ(store.on_host_down("mbus"), 0u);
 }
 
+// ISSUE 8 satellite regression: a parked (hard-failed) component never comes
+// back, so the L1 replicas it hosted stayed orphaned forever — on_host_down
+// drops them but the ring was never rewired, and every later failure of the
+// orphaned components fell through to L2/cold. on_host_parked must walk the
+// partner ring past parked hosts, re-partner the orphans, and rebuild their
+// replicas at the new hosts from surviving tiers.
+TEST(TieredCheckpointStore, ParkedHostReassignsAndRebuildsOrphanedReplicas) {
+  TieredCheckpointStore store;
+  store.configure(tiered_policy());
+  store.set_partners({{"ses", "str"}, {"str", "ses"}, {"rtu", "ses"}});
+  const TimePoint t0 = TimePoint::from_seconds(1.0);
+  store.save("ses", {{"a", "1"}}, t0);
+  store.save("str", {{"b", "2"}}, t0);
+  store.save("rtu", {{"c", "3"}}, t0);
+
+  // ses parks: str and rtu (both hosted by ses) are re-partnered along the
+  // sorted ring {rtu, ses, str}, skipping the parked host and themselves —
+  // str -> rtu, rtu -> str — and their replicas are rebuilt there.
+  const TimePoint now = TimePoint::from_seconds(2.0);
+  EXPECT_EQ(store.on_host_parked("ses", now), 2u);
+  EXPECT_TRUE(store.parked_hosts().contains("ses"));
+  EXPECT_EQ(store.partner_of("str"), "rtu");
+  EXPECT_EQ(store.partner_of("rtu"), "str");
+  EXPECT_TRUE(store.has("str", CheckpointTier::kL1Partner));
+  EXPECT_TRUE(store.has("rtu", CheckpointTier::kL1Partner));
+  // The rebuilt copy keeps the source's age: replication, not a new save.
+  EXPECT_EQ(store.find("str", CheckpointTier::kL1Partner)->saved_at, t0);
+  EXPECT_EQ(store.parked_reassigns(), 2u);
+  // Idempotent: parking an already-parked host reassigns nothing more.
+  EXPECT_EQ(store.on_host_parked("ses", now), 0u);
+  EXPECT_EQ(store.parked_reassigns(), 2u);
+
+  // Park str too: rtu's new partner is gone again. The only live candidate
+  // left on the ring is rtu itself, which the walk must skip — no reassign,
+  // and rtu's L1 stays lost rather than self-hosted.
+  EXPECT_EQ(store.on_host_parked("str", now), 0u);
+  EXPECT_EQ(store.partner_of("rtu"), "str");
+  EXPECT_FALSE(store.has("rtu", CheckpointTier::kL1Partner));
+}
+
+TEST(TieredCheckpointStore, PlainHostDownNeverReassignsPartners) {
+  // The transient-crash path is unchanged: the host is expected back, so its
+  // replicas are dropped but the ring keeps pointing at it for the rebuild
+  // that follows recovery.
+  TieredCheckpointStore store;
+  store.configure(tiered_policy());
+  store.set_partners({{"ses", "str"}, {"str", "ses"}, {"rtu", "ses"}});
+  const TimePoint t0 = TimePoint::from_seconds(1.0);
+  store.save("str", {{"b", "2"}}, t0);
+  store.save("rtu", {{"c", "3"}}, t0);
+
+  EXPECT_EQ(store.on_host_down("ses"), 2u);
+  EXPECT_EQ(store.partner_of("str"), "ses");
+  EXPECT_EQ(store.partner_of("rtu"), "ses");
+  EXPECT_TRUE(store.parked_hosts().empty());
+  EXPECT_EQ(store.parked_reassigns(), 0u);
+}
+
 TEST(TieredCheckpointStore, PerTierDamageHooksTargetOneTierOnly) {
   TieredCheckpointStore store;
   store.configure(tiered_policy());

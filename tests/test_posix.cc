@@ -7,8 +7,10 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/restart_tree.h"
 #include "posix/checkpoint_file.h"
@@ -618,6 +620,124 @@ TEST(PosixSupervisor, GarbledProtocolLinesNeverKillTheSupervisor) {
   supervisor.run_for(Millis{200});
   EXPECT_TRUE(supervisor.worker_up("a"));
   EXPECT_GT(supervisor.pongs_received(), 0u);
+}
+
+// --- Concurrent restart dispatch (ISSUE 8) -----------------------------------
+
+TEST(PosixSupervisor, ParallelRecoveryRunsDisjointCellsConcurrently) {
+  SupervisorConfig config = quick_config();
+  config.parallel_recovery = true;
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 400), quick_worker("b", 400), quick_worker("c", 400)},
+      config);
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  supervisor.kill_worker("a");
+  supervisor.kill_worker("c");
+  std::size_t peak = 0;
+  ASSERT_TRUE(supervisor.run_until(
+      [&] {
+        peak = std::max(peak, supervisor.restarts_in_flight());
+        return supervisor.all_up() && supervisor.history().size() >= 2;
+      },
+      Millis{6000}));
+  // R_[a,b] and R_c are disjoint siblings: both restart actions were in
+  // flight at once instead of queueing behind each other.
+  EXPECT_EQ(peak, 2u);
+  EXPECT_EQ(supervisor.absorbed_restarts(), 0u);
+  std::vector<std::string> reported;
+  for (const auto& record : supervisor.history()) {
+    reported.push_back(record.reported_worker);
+  }
+  EXPECT_NE(std::find(reported.begin(), reported.end(), "a"), reported.end());
+  EXPECT_NE(std::find(reported.begin(), reported.end(), "c"), reported.end());
+  EXPECT_TRUE(supervisor.hard_failures().empty());
+}
+
+TEST(PosixSupervisor, SerialDefaultNeverOverlapsRestartActions) {
+  // parallel_recovery stays off: the same double failure recovers one action
+  // at a time — the legacy busy-gate drops c's report while {a,b} runs and
+  // the next ping round re-detects it afterwards.
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 400), quick_worker("b", 400), quick_worker("c", 400)},
+      quick_config());
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  supervisor.kill_worker("a");
+  supervisor.kill_worker("c");
+  std::size_t peak = 0;
+  ASSERT_TRUE(supervisor.run_until(
+      [&] {
+        peak = std::max(peak, supervisor.restarts_in_flight());
+        return supervisor.all_up() && supervisor.history().size() >= 2;
+      },
+      Millis{6000}));
+  EXPECT_EQ(peak, 1u);
+  EXPECT_EQ(supervisor.absorbed_restarts(), 0u);
+}
+
+TEST(PosixSupervisor, EscalationSupersedesOverlappingConcurrentRestart) {
+  // The ISSUE 8 supersede scenario on real processes: two disjoint actions
+  // go in flight — {a,b} with slow 600 ms startups and {c} whose respawn
+  // hangs and is aborted by its 300 ms startup deadline. c's chain escalates
+  // to the root, whose group strictly covers the still-running {a,b} action:
+  // the escalated restart must absorb it and re-kill its members, not queue
+  // behind it or deadlock.
+  const std::string sentinel =
+      "/tmp/mercury_hang_restart_" + std::to_string(getpid());
+  {
+    // Pre-create the sentinel so start_all is clean; removing it later arms
+    // the one-shot hang for c's *next* startup.
+    std::FILE* f = std::fopen(sentinel.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+
+  WorkerSpec slow_a = quick_worker("a", 600);
+  slow_a.startup_timeout = Millis{3000};
+  WorkerSpec slow_b = quick_worker("b", 600);
+  slow_b.startup_timeout = Millis{3000};
+  WorkerSpec hang = quick_worker("c", 30);
+  hang.argv.push_back("--hang-start-once");
+  hang.argv.push_back(sentinel);
+  hang.startup_timeout = Millis{300};
+
+  SupervisorConfig config = quick_config();
+  config.parallel_recovery = true;
+  PosixSupervisor supervisor(pair_and_leaf_tree(), {slow_a, slow_b, hang},
+                             config);
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  std::remove(sentinel.c_str());
+  supervisor.kill_worker("a");
+  supervisor.kill_worker("c");
+
+  std::size_t peak = 0;
+  ASSERT_TRUE(supervisor.run_until(
+      [&] {
+        peak = std::max(peak, supervisor.restarts_in_flight());
+        return supervisor.absorbed_restarts() >= 1;
+      },
+      Millis{4000}));
+  // Both actions really overlapped before the absorb.
+  EXPECT_EQ(peak, 2u);
+  ASSERT_TRUE(
+      supervisor.run_until([&] { return supervisor.all_up(); }, Millis{6000}));
+  EXPECT_GE(supervisor.restart_timeouts(), 1u);
+  // The cure is the escalated root restart covering all three workers; the
+  // absorbed sibling action never produced its own history record.
+  bool saw_root_cure = false;
+  for (const auto& record : supervisor.history()) {
+    if (record.escalation_level >= 1) {
+      saw_root_cure = true;
+      EXPECT_EQ(record.restarted, (std::vector<std::string>{"a", "b", "c"}));
+    }
+  }
+  EXPECT_TRUE(saw_root_cure);
+  EXPECT_TRUE(supervisor.hard_failures().empty());
+  std::remove(sentinel.c_str());
 }
 
 TEST(PosixSupervisor, BackToBackFailures) {

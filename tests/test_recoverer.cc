@@ -430,6 +430,127 @@ TEST_F(RecWindowEdgeTest, ReportJustInsideWindowEscalates) {
   EXPECT_EQ(rec_->escalations(), 1u);
 }
 
+// --- Parallel recovery: DAG dispatch (ISSUE 8) ------------------------------
+
+TEST_F(RecTest, DagDispatchesDisjointCellsConcurrently) {
+  RecConfig config;
+  config.dispatch = DispatchMode::kDag;
+  build(config);
+  report(names::kRtu);    // leaf cell {rtu}
+  report(names::kPbcom);  // leaf cell {pbcom}: disjoint, dispatches now
+  EXPECT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(rec_->restarts_in_flight(), 2u);
+  sim_.run_for(Duration::seconds(2.0));
+  EXPECT_FALSE(rec_->restart_in_progress());
+  EXPECT_EQ(rec_->history().size(), 2u);
+  EXPECT_EQ(rec_->max_concurrent_restarts(), 2u);
+  EXPECT_EQ(rec_->absorbed_restarts(), 0u);
+}
+
+TEST_F(RecTest, SerialDispatchStillQueuesDisjointCells) {
+  build();  // default kSerial
+  report(names::kRtu);
+  report(names::kPbcom);
+  EXPECT_EQ(process_.groups.size(), 1u);
+  EXPECT_EQ(rec_->max_concurrent_restarts(), 1u);
+  sim_.run_for(Duration::seconds(3.0));
+  EXPECT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(rec_->max_concurrent_restarts(), 1u);
+}
+
+TEST_F(RecTest, DagEscalationAbsorbsConflictingDescendantAction) {
+  RecConfig config;
+  config.dispatch = DispatchMode::kDag;
+  build(config);
+  process_.durations[names::kRtu] = 20.0;  // rtu's restart stays in flight
+
+  report(names::kRtu);    // in flight until ~20 s
+  report(names::kPbcom);  // concurrent leaf restart, done at ~1 s
+  sim_.run_for(Duration::seconds(2.0));
+  report(names::kPbcom);  // escalates to {fedr,pbcom}: still disjoint from rtu
+  ASSERT_EQ(process_.groups.size(), 3u);
+  EXPECT_EQ(process_.groups[2],
+            (std::vector<std::string>{names::kFedr, names::kPbcom}));
+  sim_.run_for(Duration::seconds(2.0));
+  report(names::kPbcom);  // escalates to root: absorbs the in-flight rtu action
+  EXPECT_EQ(rec_->absorbed_restarts(), 1u);
+  ASSERT_EQ(process_.groups.size(), 4u);
+  EXPECT_EQ(process_.groups[3].size(), 6u);
+  // Exactly one action remains (the root restart); the absorbed rtu action's
+  // eventual completion callback must be discarded as stale.
+  EXPECT_EQ(rec_->restarts_in_flight(), 1u);
+  sim_.run_for(Duration::seconds(25.0));
+  EXPECT_FALSE(rec_->restart_in_progress());
+}
+
+TEST_F(RecTest, DagQueuedConflictDispatchesAfterBlockerCompletes) {
+  // Tree V: pbcom's lowest cell R_pbcom+ covers {fedr,pbcom} and contains
+  // R_fedr — a pbcom report while fedr restarts is the ancestor/descendant
+  // overlap the DAG must serialize.
+  RecConfig config;
+  config.dispatch = DispatchMode::kDag;
+  rec_ = std::make_unique<Recoverer>(sim_, link_, make_tree_v(), oracle_,
+                                     process_, config);
+  rec_->start();
+  process_.durations[names::kFedr] = 3.0;
+
+  report(names::kFedr);   // R_fedr in flight until ~3 s
+  report(names::kPbcom);  // cell R_pbcom+ conflicts: queued, not dispatched
+  EXPECT_EQ(process_.groups.size(), 1u);
+  EXPECT_EQ(rec_->restarts_in_flight(), 1u);
+  sim_.run_for(Duration::seconds(4.0));  // fedr completes; queue drains
+  ASSERT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(process_.groups[1],
+            (std::vector<std::string>{names::kFedr, names::kPbcom}));
+  EXPECT_EQ(rec_->max_concurrent_restarts(), 1u);
+}
+
+TEST_F(RecTest, OnDemandQueueAlsoSerializesConflicts) {
+  RecConfig config;
+  config.dispatch = DispatchMode::kOnDemand;
+  rec_ = std::make_unique<Recoverer>(sim_, link_, make_tree_v(), oracle_,
+                                     process_, config);
+  rec_->start();
+  process_.durations[names::kFedr] = 3.0;
+
+  report(names::kFedr);
+  report(names::kPbcom);  // conflicts with the in-flight R_fedr: queued
+  report(names::kRtu);    // disjoint: dispatches immediately past the queue
+  EXPECT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(rec_->restarts_in_flight(), 2u);
+  sim_.run_for(Duration::seconds(5.0));
+  ASSERT_EQ(process_.groups.size(), 3u);
+  EXPECT_EQ(process_.groups[2],
+            (std::vector<std::string>{names::kFedr, names::kPbcom}));
+}
+
+// Satellite regression (ISSUE 8): queued-report dedup/drop must key on the
+// failure epoch, not the component name alone — a report queued *after* a
+// covering restart completed is new evidence and must dispatch even though
+// a stale completion for the same component exists.
+TEST_F(RecTest, QueuedReportSurvivesStaleCompletionOfSameComponent) {
+  RecConfig config;
+  config.escalation_window = Duration::millis(500.0);
+  config.restart_deadline = Duration::seconds(2.0);
+  config.max_attempts_per_chain = 1;
+  build(config);
+  process_.durations[names::kRtu] = 100.0;  // rtu's restart hangs
+
+  report(names::kSes);                   // restarts {ses,str}, done at ~1 s
+  sim_.run_for(Duration::seconds(1.5));  // completion recorded for ses
+  report(names::kRtu);                   // hangs; serializes everything after
+  report(names::kSes);                   // queued: fresh failure, current epoch
+  EXPECT_EQ(process_.groups.size(), 2u);
+  // rtu's deadline fires, its chain's budget is exhausted, rtu parks. The
+  // park's queue drain must dispatch the queued ses report — dropping it
+  // against the pre-queue {ses,str} completion loses a live failure.
+  sim_.run_for(Duration::seconds(3.0));
+  EXPECT_EQ(rec_->parked(), std::set<std::string>{names::kRtu});
+  ASSERT_EQ(process_.groups.size(), 3u);
+  EXPECT_EQ(process_.groups[2],
+            (std::vector<std::string>{names::kSes, names::kStr}));
+}
+
 TEST_F(RecTest, HistoryRecordsAreComplete) {
   build();
   report(names::kSes);

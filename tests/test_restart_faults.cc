@@ -7,9 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
+#include "bus/dedicated_link.h"
 #include "core/failure.h"
 #include "core/mercury_trees.h"
+#include "core/process_control.h"
+#include "core/recoverer.h"
+#include "sim/simulator.h"
 #include "station/experiment.h"
 
 namespace mercury::station {
@@ -140,6 +145,132 @@ TEST(RestartFaults, HardenedDeadlineClearsWorstCaseStartup) {
   }
   EXPECT_GT(deadline.to_seconds(), worst);
   EXPECT_LT(deadline.to_seconds(), 120.0);
+}
+
+// --- Backoff interval clamp (ISSUE 8 satellite) ------------------------------
+// Unit-level: the recoverer against a one-second fake ProcessControl, pinning
+// the [base, cap] clamp on every backoff path. A sub-unity factor or a streak
+// decay step must never pace restarts tighter than base, and growth must
+// saturate at cap.
+
+class OneSecondProcessControl : public core::ProcessControl {
+ public:
+  explicit OneSecondProcessControl(sim::Simulator& sim) : sim_(sim) {}
+
+  std::vector<std::string> component_names() const override {
+    return {"mbus", "ses", "str", "rtu", "fedr", "pbcom"};
+  }
+  void restart_group(const std::vector<std::string>& names,
+                     std::function<void()> on_complete) override {
+    groups.push_back(names);
+    sim_.schedule_after(Duration::seconds(1.0), "fake-restart",
+                        [on_complete = std::move(on_complete)] {
+                          if (on_complete) on_complete();
+                        });
+  }
+  bool restart_in_progress() const override { return false; }
+  std::vector<std::string> restarting_now() const override { return {}; }
+
+  std::vector<std::vector<std::string>> groups;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+class BackoffClampTest : public ::testing::Test {
+ protected:
+  BackoffClampTest() : sim_(3), link_(sim_, "fd", "rec"), process_(sim_) {}
+
+  void build(core::RecConfig config) {
+    // A short window keeps every re-report a fresh chain at the same cell —
+    // backoff pacing, not escalation, is under test.
+    config.escalation_window = Duration::millis(500.0);
+    rec_ = std::make_unique<core::Recoverer>(sim_, link_, core::make_tree_iv(),
+                                             oracle_, process_, config);
+    rec_->start();
+  }
+
+  void report(const std::string& component) {
+    msg::Message m = msg::make_command("fd", "rec", ++seq_, "report-failure");
+    m.body.set_attr("component", component);
+    link_.send(m);
+    sim_.run_for(Duration::millis(5.0));
+  }
+
+  sim::Simulator sim_;
+  bus::DedicatedLink link_;
+  OneSecondProcessControl process_;
+  core::HeuristicOracle oracle_;
+  std::unique_ptr<core::Recoverer> rec_;
+  std::uint64_t seq_ = 0;
+};
+
+TEST_F(BackoffClampTest, SubUnityFactorClampsToBase) {
+  core::RecConfig config;
+  config.backoff_base = Duration::seconds(4.0);
+  config.backoff_factor = 0.25;
+  build(config);
+
+  report(names::kRtu);  // dispatches at ~0, completes at ~1
+  sim_.run_for(Duration::seconds(2.0));
+  report(names::kRtu);  // streak 1: waits until t = 4
+  EXPECT_EQ(process_.groups.size(), 1u);
+  EXPECT_EQ(rec_->backoffs_applied(), 1u);
+  sim_.run_for(Duration::seconds(2.5));  // dispatched at ~4, completes at ~5
+  EXPECT_EQ(process_.groups.size(), 2u);
+  sim_.run_for(Duration::seconds(1.6));  // t ~= 6.1
+  report(names::kRtu);
+  // Streak 2 with factor 0.25 computes base/4 raw; the clamp must hold the
+  // spacing at base, so nothing dispatches before t = 8.
+  EXPECT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(rec_->backoffs_applied(), 2u);
+  sim_.run_for(Duration::seconds(1.0));  // t ~= 7.1: still waiting
+  EXPECT_EQ(process_.groups.size(), 2u);
+  sim_.run_for(Duration::seconds(1.5));  // t ~= 8.6: base spacing elapsed
+  EXPECT_EQ(process_.groups.size(), 3u);
+}
+
+TEST_F(BackoffClampTest, GrowthSaturatesAtCap) {
+  core::RecConfig config;
+  config.backoff_base = Duration::seconds(2.0);
+  config.backoff_factor = 10.0;
+  config.backoff_cap = Duration::seconds(5.0);
+  build(config);
+
+  report(names::kRtu);  // dispatches at ~0, completes at ~1
+  sim_.run_for(Duration::seconds(2.5));
+  report(names::kRtu);  // streak 1: base interval already elapsed
+  EXPECT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(rec_->backoffs_applied(), 0u);
+  sim_.run_for(Duration::seconds(1.7));  // completes ~3.5; t ~= 4.2
+  report(names::kRtu);
+  // Streak 2 with factor 10 computes 20 s raw — capped at 5, so the third
+  // attempt dispatches at ~7.5, not ~22.5.
+  EXPECT_EQ(rec_->backoffs_applied(), 1u);
+  EXPECT_EQ(process_.groups.size(), 2u);
+  sim_.run_for(Duration::seconds(4.0));  // t ~= 8.2: past last + cap
+  EXPECT_EQ(process_.groups.size(), 3u);
+}
+
+TEST_F(BackoffClampTest, DecayedStreakPacesAtBase) {
+  core::RecConfig config;
+  config.backoff_base = Duration::seconds(4.0);
+  config.backoff_factor = 2.0;
+  config.backoff_decay = Duration::seconds(3.0);
+  build(config);
+
+  report(names::kRtu);  // streak 1
+  sim_.run_for(Duration::seconds(2.0));
+  report(names::kRtu);  // waits until t = 4; streak 2
+  EXPECT_EQ(rec_->backoffs_applied(), 1u);
+  sim_.run_for(Duration::seconds(6.5));  // dispatched ~4, done ~5; t ~= 8.5
+  report(names::kRtu);
+  // One full decay interval has passed since the last attempt began (t=4):
+  // the streak steps 2 -> 1 and the wait is exactly base — already elapsed,
+  // so the restart dispatches immediately instead of waiting out the
+  // streak-2 interval (8 s), and never anything below base.
+  EXPECT_EQ(process_.groups.size(), 3u);
+  EXPECT_EQ(rec_->backoffs_applied(), 1u);
 }
 
 }  // namespace

@@ -79,6 +79,64 @@ TEST(TraceChecker, FlagsEpochRegression) {
   EXPECT_EQ(count(issues, "epoch-regression"), 1) << describe(issues);
 }
 
+// --- Conflicting concurrent actions (ISSUE 8) --------------------------------
+
+TEST(TraceChecker, FlagsConcurrentAncestorDescendantActions) {
+  const std::vector<TraceEvent> events = {
+      event(1.0, EventKind::kBegin, "recover", "rec.restart", "rec", 1, 1,
+            {{"component", "fedr"}, {"cell", "R_fedr"}, {"group", "fedr"}}),
+      // The root action begins while the leaf action is still in flight and
+      // its group contains fedr: an ancestor/descendant pair restarting
+      // concurrently, which the DAG scheduler must never allow.
+      event(1.5, EventKind::kBegin, "recover", "rec.restart", "rec", 1, 2,
+            {{"component", "pbcom"},
+             {"cell", "R_mercury"},
+             {"group", "fedr,mbus,pbcom,rtu,ses,str"}}),
+      event(3.0, EventKind::kEnd, "recover", "rec.restart", "rec", 1, 1),
+      event(4.0, EventKind::kEnd, "recover", "rec.restart", "rec", 1, 2),
+  };
+  const auto issues = check_trace(events);
+  EXPECT_EQ(count(issues, "conflicting-restart"), 1) << describe(issues);
+}
+
+TEST(TraceChecker, DisjointSiblingActionOverlapIsLegal) {
+  // Two sibling cells in flight at once — exactly what DAG dispatch
+  // produces — must pass clean regardless of interleaving.
+  const std::vector<TraceEvent> events = {
+      event(1.0, EventKind::kBegin, "recover", "rec.restart", "rec", 1, 1,
+            {{"component", "rtu"}, {"cell", "R_rtu"}, {"group", "rtu"}}),
+      event(1.2, EventKind::kBegin, "recover", "rec.restart", "rec", 1, 2,
+            {{"component", "pbcom"},
+             {"cell", "R_[fedr,pbcom]"},
+             {"group", "fedr,pbcom"}}),
+      event(3.0, EventKind::kEnd, "recover", "rec.restart", "rec", 1, 2),
+      event(3.5, EventKind::kEnd, "recover", "rec.restart", "rec", 1, 1),
+  };
+  EXPECT_TRUE(check_trace(events).empty()) << describe(check_trace(events));
+}
+
+TEST(TraceChecker, ClosedActionSpanRetiresItsGroup) {
+  // Sequential ancestor/descendant actions are the normal escalation shape:
+  // the first span's end retires its group before the second begins. And
+  // spans in different runs never conflict — trials are independent.
+  const std::vector<TraceEvent> events = {
+      event(1.0, EventKind::kBegin, "recover", "rec.restart", "rec", 1, 1,
+            {{"component", "fedr"}, {"cell", "R_fedr"}, {"group", "fedr"}}),
+      event(2.0, EventKind::kEnd, "recover", "rec.restart", "rec", 1, 1),
+      event(2.5, EventKind::kBegin, "recover", "rec.restart", "rec", 1, 2,
+            {{"component", "fedr"},
+             {"cell", "R_[fedr,pbcom]"},
+             {"group", "fedr,pbcom"}}),
+      // Run 2 opens an overlapping group while run 1's span 2 is in flight:
+      // legal, conflicts are per-run.
+      event(3.0, EventKind::kBegin, "recover", "rec.restart", "rec", 2, 3,
+            {{"component", "fedr"}, {"cell", "R_fedr"}, {"group", "fedr"}}),
+      event(4.0, EventKind::kEnd, "recover", "rec.restart", "rec", 1, 2),
+      event(4.5, EventKind::kEnd, "recover", "rec.restart", "rec", 2, 3),
+  };
+  EXPECT_TRUE(check_trace(events).empty()) << describe(check_trace(events));
+}
+
 /// A minimal complete recovered harness trial; `reported` is the recovery
 /// the harness claims. With the chain spanning [10, 15] the truthful value
 /// is 5 seconds.
@@ -192,6 +250,20 @@ TEST(TraceChecker, GoldenEscalationAndSoftTracesPassClean) {
   soft.mode = station::FailureMode::kStaleAttachment;
   const auto cured = station::run_trial_traced(soft);
   issues = check_trace(cured.events);
+  EXPECT_TRUE(issues.empty()) << describe(issues);
+}
+
+TEST(TraceChecker, GoldenDagParallelTracePassesClean) {
+  // A real multi-fault DAG-parallel trial: disjoint cells restart
+  // concurrently, and the trace — including its overlapping rec.restart
+  // spans — satisfies every invariant.
+  station::TrialSpec spec = quick_spec("pbcom");
+  spec.dispatch = core::DispatchMode::kDag;
+  spec.extra_faults.push_back({"rtu", util::Duration::millis(50.0)});
+  const station::TracedTrial traced = station::run_trial_traced(spec);
+  ASSERT_FALSE(traced.result.timed_out);
+  EXPECT_GE(traced.result.max_concurrent_restarts, 2);
+  const auto issues = check_trace(traced.events);
   EXPECT_TRUE(issues.empty()) << describe(issues);
 }
 
