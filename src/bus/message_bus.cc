@@ -12,6 +12,19 @@ MessageBus::MessageBus(sim::Simulator& sim, BusConfig config)
 
 void MessageBus::attach(const std::string& name, Receiver receiver) {
   endpoints_[name] = std::move(receiver);
+  restarting_.erase(name);  // back on the bus: no longer mid-restart
+}
+
+void MessageBus::note_restarting(const std::string& name, std::uint64_t epoch) {
+  restarting_[name] = epoch;
+}
+
+bool MessageBus::restarting(const std::string& name) const {
+  return restarting_.contains(name);
+}
+
+void MessageBus::set_touch_listener(TouchListener listener) {
+  touch_listener_ = std::move(listener);
 }
 
 void MessageBus::detach(const std::string& name) { endpoints_.erase(name); }
@@ -73,6 +86,32 @@ void MessageBus::deliver(std::uint64_t epoch, const std::string& to,
   }
   const auto it = endpoints_.find(to);
   if (it == endpoints_.end()) {
+    // Mid-restart endpoint (ISSUE 9): the process backend marked it at kill
+    // time. With typed errors on, the sender gets a kNack carrying the
+    // component and its failure epoch — a fast, actionable retry signal —
+    // instead of the legacy silent drop. The touch listener fires either
+    // way, so traffic-driven recovery sees the request even on legacy
+    // configs.
+    const auto mid_restart = restarting_.find(to);
+    if (mid_restart != restarting_.end() &&
+        (config_.typed_restart_errors || touch_listener_)) {
+      auto original = msg::decode(wire);
+      if (original.ok()) {
+        const msg::Message& request = original.value();
+        if (touch_listener_) touch_listener_(to, request.from);
+        // Never answer a nack with a nack (no error-on-error loops), and
+        // never answer our own error messages.
+        if (config_.typed_restart_errors && request.kind != msg::Kind::kNack &&
+            !request.from.empty() && request.from != "mbus") {
+          ++stats_.rejected_restarting;
+          msg::Message error = msg::make_nack(request, "mbus", "restarting");
+          error.body.set_attr("component", to);
+          error.body.set_attr("epoch", std::to_string(mid_restart->second));
+          send(error);
+          return;
+        }
+      }
+    }
     ++stats_.dropped_no_endpoint;
     return;
   }

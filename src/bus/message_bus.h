@@ -41,6 +41,13 @@ struct BusConfig {
   /// robustness ablation uses this to show why single-miss failure
   /// detection (the paper's choice) needs a reliable transport.
   double loss_probability = 0.0;
+  /// Typed mid-restart errors (ISSUE 9): a message addressed to an endpoint
+  /// that is detached *because its process is restarting* is answered with a
+  /// kNack (reason "restarting", carrying the component name and its failure
+  /// epoch) instead of being silently dropped. Lets clients retry fast —
+  /// they can tell "mid-restart" from "never existed". Off by default so
+  /// legacy traffic and drop counters stay byte-identical.
+  bool typed_restart_errors = false;
 };
 
 struct BusStats {
@@ -50,6 +57,9 @@ struct BusStats {
   std::uint64_t dropped_no_endpoint = 0;
   std::uint64_t dropped_oversize = 0;
   std::uint64_t dropped_lossy = 0;
+  /// Messages answered with a typed "restarting" nack instead of a silent
+  /// drop (typed_restart_errors configs only).
+  std::uint64_t rejected_restarting = 0;
 };
 
 class MessageBus {
@@ -82,6 +92,22 @@ class MessageBus {
   void restart();
   bool online() const { return online_; }
 
+  /// Mark `name` as detached-because-restarting (called by the process
+  /// backend at kill time, with the restart attempt's failure epoch). The
+  /// mark clears automatically when the endpoint re-attaches. While marked,
+  /// deliveries to the missing endpoint fire the touch listener, and — with
+  /// typed_restart_errors on — are answered with a "restarting" nack.
+  void note_restarting(const std::string& name, std::uint64_t epoch);
+  bool restarting(const std::string& name) const;
+
+  /// Observer for traffic-driven recovery (ISSUE 9): fired when a message
+  /// from `from` targets a mid-restart endpoint `to`. The harness uses it to
+  /// promote lazily queued restarts when a client request first touches a
+  /// down component.
+  using TouchListener =
+      std::function<void(const std::string& to, const std::string& from)>;
+  void set_touch_listener(TouchListener listener);
+
   const BusStats& stats() const { return stats_; }
 
  private:
@@ -94,6 +120,10 @@ class MessageBus {
   /// Incremented on crash; in-flight deliveries from an older epoch are void.
   std::uint64_t epoch_ = 0;
   std::map<std::string, Receiver> endpoints_;
+  /// Endpoints currently detached because their process is restarting, with
+  /// the failure epoch of the restart attempt (note_restarting / attach).
+  std::map<std::string, std::uint64_t> restarting_;
+  TouchListener touch_listener_;
   BusStats stats_;
 };
 

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/mercury_trees.h"
+#include "util/stats.h"
 
 namespace mercury::core {
 
@@ -211,6 +212,100 @@ SystemModel mercury_system_model(bool split_fedrcom, double oracle_p_low,
         {names::kFedrcom, {names::kFedrcom}, per_hour * 60.0 / 10.0});
   }
   return model;
+}
+
+// --- Client-traffic availability accounting (ISSUE 9) ----------------------
+
+void TrafficAccount::record(RequestRecord record) {
+  records_.push_back(std::move(record));
+}
+
+TrafficSummary TrafficAccount::summarize(double inject_t, double end_t,
+                                         double bin_s) const {
+  TrafficSummary summary;
+  summary.issued = records_.size();
+
+  util::SampleStats latency_ms;
+  for (const RequestRecord& record : records_) {
+    if (record.served) {
+      ++summary.served;
+      latency_ms.add((record.done_t - record.sent_t) * 1000.0);
+    } else {
+      ++summary.lost;
+    }
+    if (record.attempts > 1) ++summary.retried;
+    summary.restarting_rejections +=
+        static_cast<std::uint64_t>(std::max(0, record.restarting_nacks));
+    if (record.detail == "rejected-parked") ++summary.parked_rejections;
+  }
+  if (!latency_ms.empty()) {
+    summary.p50_ms = latency_ms.percentile(50.0);
+    summary.p99_ms = latency_ms.percentile(99.0);
+    summary.p999_ms = latency_ms.percentile(99.9);
+  }
+
+  if (inject_t <= 0.0 || bin_s <= 0.0 || end_t <= inject_t) return summary;
+
+  // Baseline: served rate over the whole pre-injection window.
+  std::uint64_t served_before = 0;
+  std::map<std::int64_t, std::uint64_t> served_by_bin;
+  for (const RequestRecord& record : records_) {
+    if (!record.served) continue;
+    if (record.done_t < inject_t) ++served_before;
+    served_by_bin[static_cast<std::int64_t>(record.done_t / bin_s)] += 1;
+  }
+  summary.baseline_rps = static_cast<double>(served_before) / inject_t;
+  if (summary.baseline_rps <= 0.0) return summary;
+
+  // Goodput dip over bins fully contained in (inject_t, end_t): the first
+  // (injection-straddling) and last (quiesce-straddling) partial bins would
+  // read as artificial dips.
+  const auto first_bin = static_cast<std::int64_t>(inject_t / bin_s) + 1;
+  const auto end_bin = static_cast<std::int64_t>(end_t / bin_s);  // exclusive
+  const double threshold = 0.95 * summary.baseline_rps;
+  double min_rate = summary.baseline_rps;
+  std::int64_t last_below = -1;
+  for (std::int64_t bin = first_bin; bin < end_bin; ++bin) {
+    const auto it = served_by_bin.find(bin);
+    const double rate =
+        (it == served_by_bin.end() ? 0.0 : static_cast<double>(it->second)) /
+        bin_s;
+    min_rate = std::min(min_rate, rate);
+    if (rate < threshold) {
+      summary.dip_width_s += bin_s;
+      last_below = bin;
+    }
+  }
+  summary.dip_depth =
+      std::clamp(1.0 - min_rate / summary.baseline_rps, 0.0, 1.0);
+  if (last_below >= 0) {
+    summary.dip_end_s = static_cast<double>(last_below + 1) * bin_s - inject_t;
+  }
+
+  // Service-reopen latency per impacted route: max over routes that lost a
+  // post-injection request of (first post-injection serve - inject).
+  std::map<std::string, double> first_served_after;
+  std::map<std::string, bool> impacted;
+  for (const RequestRecord& record : records_) {
+    if (record.served && record.done_t >= inject_t) {
+      const auto it = first_served_after.find(record.target);
+      if (it == first_served_after.end() || record.done_t < it->second) {
+        first_served_after[record.target] = record.done_t;
+      }
+    }
+    if (!record.served && record.sent_t >= inject_t) {
+      impacted[record.target] = true;
+    }
+  }
+  for (const auto& [route, was_impacted] : impacted) {
+    if (!was_impacted) continue;
+    const auto it = first_served_after.find(route);
+    const double reopen = (it == first_served_after.end() ? end_t : it->second) -
+                          inject_t;
+    summary.worst_route_reopen_s =
+        std::max(summary.worst_route_reopen_s, reopen);
+  }
+  return summary;
 }
 
 }  // namespace mercury::core

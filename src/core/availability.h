@@ -17,6 +17,7 @@
 // enough to rank trees; the tree optimizer (optimizer.h) searches with it.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -107,5 +108,78 @@ double predicted_availability(const RestartTree& tree, const SystemModel& model)
 /// failures that need a joint {fedr,pbcom} cure (§4.4).
 SystemModel mercury_system_model(bool split_fedrcom, double oracle_p_low = 0.0,
                                  double joint_fraction = 0.25);
+
+// --- Client-traffic availability accounting (ISSUE 9) ----------------------
+//
+// The paper's availability is station MTTR; what a user sees is goodput:
+// requests served, lost, and retried *through* failures and recoveries.
+// TrafficAccount collects one RequestRecord per resolved client request and
+// summarizes them against the trial's injection instant — latency
+// percentiles over served requests, a binned goodput timeline, and the
+// goodput dip (depth / width / end) relative to the pre-injection baseline.
+
+/// One client request, resolved. Every issued request resolves exactly once
+/// (served, or lost after its retry budget) — the workload driver enforces
+/// this, and benches assert issued == served + lost.
+struct RequestRecord {
+  double sent_t = 0.0;  ///< first-attempt issue time, seconds
+  double done_t = 0.0;  ///< resolution time, seconds
+  int attempts = 1;     ///< send attempts consumed (> 1 means retried)
+  bool served = false;
+  std::string target;  ///< route: the component the session addresses
+  /// Typed "restarting" rejections this request saw (fast-retry signal).
+  int restarting_nacks = 0;
+  /// Final loss reason: "" (served) | "timeout" | "rejected-restarting" |
+  /// "rejected-parked".
+  std::string detail;
+};
+
+/// Aggregate availability figures for one trial's traffic.
+struct TrafficSummary {
+  std::uint64_t issued = 0;
+  std::uint64_t served = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t retried = 0;  ///< requests that needed more than one attempt
+  std::uint64_t restarting_rejections = 0;  ///< typed mid-restart nacks seen
+  std::uint64_t parked_rejections = 0;      ///< clean rejections at parked routes
+  /// Served-request latency percentiles, milliseconds.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  /// Served requests per second before the injection instant.
+  double baseline_rps = 0.0;
+  /// Goodput dip vs baseline over full bins in (inject, end): depth is
+  /// 1 - min_bin_rate/baseline (clamped to [0,1]); width is total time below
+  /// the 95%-of-baseline threshold; end is the time from injection until the
+  /// last below-threshold bin closes (0 = goodput never dipped).
+  double dip_depth = 0.0;
+  double dip_width_s = 0.0;
+  double dip_end_s = 0.0;
+  /// Slowest impacted route's service-reopen latency: over routes that lost
+  /// at least one post-injection request, the max time from injection to the
+  /// route's first served request (window end if it never served again).
+  double worst_route_reopen_s = 0.0;
+
+  bool operator==(const TrafficSummary&) const = default;
+};
+
+class TrafficAccount {
+ public:
+  void record(RequestRecord record);
+
+  const std::vector<RequestRecord>& records() const { return records_; }
+  std::uint64_t issued() const { return records_.size(); }
+
+  /// Summarize against the trial's injection instant. Goodput bins of
+  /// `bin_s` seconds are evaluated only where complete inside
+  /// [inject_t, end_t) — `end_t` should be the workload quiesce time, so a
+  /// draining tail is never mistaken for a dip. inject_t <= 0 disables the
+  /// dip/baseline figures (counts and percentiles still fill in).
+  TrafficSummary summarize(double inject_t, double end_t,
+                           double bin_s = 0.5) const;
+
+ private:
+  std::vector<RequestRecord> records_;
+};
 
 }  // namespace mercury::core

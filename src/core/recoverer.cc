@@ -112,6 +112,72 @@ void Recoverer::note_in_flight_peak() {
   max_concurrent_ = std::max(max_concurrent_, actions_.size());
 }
 
+bool Recoverer::traffic_active() const {
+  return config_.traffic_driven && config_.dispatch == DispatchMode::kOnDemand;
+}
+
+TouchResult Recoverer::touch(const std::string& component) {
+  if (!alive_ || !traffic_active()) return TouchResult::kIdle;
+  if (is_parked(component)) return TouchResult::kParked;
+  if (component_in_flight(component)) return TouchResult::kRestarting;
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(), [&](const QueuedReport& entry) {
+        return entry.component == component;
+      });
+  if (it == queue_.end()) return TouchResult::kIdle;
+  QueuedReport entry = *it;
+  queue_.erase(it);
+  if (should_drop(entry)) return TouchResult::kIdle;
+  entry.touched = true;
+  ++touch_promotions_;
+  obs::instant(sim_.now(), "recover", "rec.touch", "rec",
+               {{"component", component}});
+  obs::incr("rec.touch_promotions");
+  LogLine(LogLevel::kInfo, sim_.now(), "rec")
+      << "client request touched " << component << "; promoting its restart";
+  if (blocked_in_queue(entry)) {
+    // An in-flight ancestor/descendant still conflicts: promoted to the DAG
+    // front, dispatches at the first drain once the conflict clears.
+    queue_.push_front(entry);
+    return TouchResult::kPromoted;
+  }
+  dispatch_report(entry.component);
+  return TouchResult::kPromoted;
+}
+
+void Recoverer::schedule_lazy_drain() {
+  if (lazy_drain_event_.valid()) return;
+  lazy_drain_event_ = sim_.schedule_after(
+      config_.lazy_drain_interval, "rec.lazy-drain", [this] {
+        lazy_drain_event_ = sim::EventId{};
+        lazy_drain_tick();
+      });
+}
+
+void Recoverer::lazy_drain_tick() {
+  if (!alive_ || !traffic_active()) return;
+  // Background drain of untouched cells: dispatch the oldest unblocked
+  // entry, one per interval, so lazy restarts trickle along behind the
+  // traffic-promoted ones without re-contending the whole tree at once.
+  std::deque<QueuedReport> pending = std::move(queue_);
+  queue_.clear();
+  bool dispatched = false;
+  while (!pending.empty()) {
+    QueuedReport entry = pending.front();
+    pending.pop_front();
+    if (should_drop(entry)) continue;
+    if (dispatched || blocked_in_queue(entry)) {
+      queue_.push_back(entry);
+      continue;
+    }
+    ++lazy_drains_;
+    obs::incr("rec.lazy_drains");
+    dispatch_report(entry.component);
+    dispatched = true;
+  }
+  if (!queue_.empty()) schedule_lazy_drain();
+}
+
 void Recoverer::handle_report(const std::string& component) {
   obs::instant(sim_.now(), "recover", "rec.report-received", "rec",
                {{"component", component}});
@@ -126,6 +192,14 @@ void Recoverer::handle_report(const std::string& component) {
 
   if (!actions_.empty()) {
     bool conflict = config_.dispatch == DispatchMode::kSerial;
+    if (!conflict && traffic_active()) {
+      // Traffic-driven on-demand: while any action is in flight — the
+      // minimal phase restoring the serving core — every further report
+      // queues lazily, disjoint cell or not. Service reopens first; the
+      // queued cell restarts when a client request touches it, or when the
+      // background lazy drain reaches it.
+      conflict = true;
+    }
     if (!conflict) {
       // DAG modes: only a report whose cell overlaps an in-flight action's
       // cell must wait. Membership was ruled out above, so the only possible
@@ -137,10 +211,15 @@ void Recoverer::handle_report(const std::string& component) {
     }
     if (conflict) {
       enqueue_report(component);
+      if (traffic_active()) schedule_lazy_drain();
       return;
     }
   }
 
+  dispatch_report(component);
+}
+
+void Recoverer::dispatch_report(const std::string& component) {
   Action restart;
   restart.reported_component = component;
   restart.report_time = sim_.now();
@@ -687,6 +766,25 @@ bool Recoverer::blocked_in_queue(const QueuedReport& entry) const {
 }
 
 void Recoverer::drain_queue() {
+  if (traffic_active()) {
+    // Touched (request-promoted) entries dispatch as soon as no in-flight
+    // conflict remains; untouched entries keep waiting for the background
+    // lazy drain — an action completing must not stampede the whole queue.
+    std::deque<QueuedReport> pending = std::move(queue_);
+    queue_.clear();
+    while (!pending.empty()) {
+      const QueuedReport entry = pending.front();
+      pending.pop_front();
+      if (should_drop(entry)) continue;
+      if (!entry.touched || blocked_in_queue(entry)) {
+        queue_.push_back(entry);
+        continue;
+      }
+      dispatch_report(entry.component);
+    }
+    if (!queue_.empty()) schedule_lazy_drain();
+    return;
+  }
   if (config_.dispatch == DispatchMode::kOnDemand) {
     // Scan the whole queue: any entry whose conflict has cleared dispatches,
     // regardless of position; still-blocked entries keep their order.

@@ -139,6 +139,27 @@ struct RecConfig {
   /// timed-out attempts included) before the chain is parked as a hard
   /// failure. Zero disables (only max_root_restarts parks).
   int max_attempts_per_chain = 0;
+
+  // --- Traffic-driven on-demand recovery (ISSUE 9) ------------------------
+  /// Only meaningful under DispatchMode::kOnDemand. The first report (the
+  /// minimal phase restoring the serving core) dispatches immediately;
+  /// every report arriving while any action is in flight queues lazily —
+  /// even when its cell is disjoint — so service reopens before the full
+  /// tree is back. Queued cells restart when a client request first touches
+  /// them (touch() promotes the entry to the DAG front and dispatches it as
+  /// soon as no in-flight conflict remains); untouched cells drain in the
+  /// background, one per lazy_drain_interval.
+  bool traffic_driven = false;
+  util::Duration lazy_drain_interval = util::Duration::millis(500.0);
+};
+
+/// What Recoverer::touch found for the touched component.
+enum class TouchResult {
+  kIdle,        ///< nothing queued or in flight for this component
+  kRestarting,  ///< an in-flight action already covers it
+  kPromoted,    ///< a queued entry was promoted (dispatched, or moved to the
+                ///< queue front when an in-flight conflict still blocks it)
+  kParked,      ///< hard-failed: requests get a clean rejection, no restart
 };
 
 /// One completed recovery action, for logs and experiment audits.
@@ -175,6 +196,13 @@ class Recoverer {
   /// and count toward the escalation context like any other restart.
   bool planned_restart(const std::string& component);
 
+  /// Traffic-driven on-demand recovery (ISSUE 9): a client request just
+  /// touched `component`. If a queued restart is waiting for it, the entry
+  /// is promoted — dispatched immediately when no in-flight conflict
+  /// remains, else moved to the queue front so it dispatches at the next
+  /// drain. No-op (kIdle) outside traffic-driven on-demand mode.
+  TouchResult touch(const std::string& component);
+
   const RestartTree& tree() const { return tree_; }
 
   // --- REC as a process ---------------------------------------------------
@@ -210,6 +238,10 @@ class Recoverer {
   std::uint64_t restart_timeouts() const { return restart_timeouts_; }
   /// Restart attempts delayed by the same-cell backoff policy.
   std::uint64_t backoffs_applied() const { return backoffs_applied_; }
+  /// Queued restarts promoted by a client-request touch (traffic-driven).
+  std::uint64_t touch_promotions() const { return touch_promotions_; }
+  /// Queued restarts dispatched by the background lazy drain.
+  std::uint64_t lazy_drains() const { return lazy_drains_; }
 
  private:
   /// One in-flight recovery action. Deadline, backoff streak, attempt
@@ -258,6 +290,10 @@ class Recoverer {
   struct QueuedReport {
     std::string component;
     std::uint64_t epoch = 0;
+    /// Traffic-driven mode: a client request touched this component while it
+    /// waited — it dispatches at the next drain instead of waiting for the
+    /// background lazy drain.
+    bool touched = false;
   };
   /// Per-component record of recent root-level restarts triggered by that
   /// component's failures, for the hard-failure give-up. Keyed by the
@@ -275,6 +311,16 @@ class Recoverer {
 
   void on_link_message(const msg::Message& message);
   void handle_report(const std::string& component);
+  /// The decision tail of handle_report (escalation context, oracle choose,
+  /// execute) — the part that commits to acting on the report. Promotion
+  /// paths (touch, lazy drain) call this directly so a promoted entry cannot
+  /// re-enter the traffic-driven lazy queue.
+  void dispatch_report(const std::string& component);
+  /// Lazy queueing is active: on-demand dispatch with traffic_driven set.
+  bool traffic_active() const;
+  /// Arm the background drain timer (one untouched entry per interval).
+  void schedule_lazy_drain();
+  void lazy_drain_tick();
   void execute(Action restart);
   void execute_soft(Action restart);
   /// Open the trace span, mask the group, start the deadline and hand the
@@ -357,6 +403,9 @@ class Recoverer {
   std::uint64_t restart_timeouts_ = 0;
   std::uint64_t backoffs_applied_ = 0;
   std::uint64_t absorbed_actions_ = 0;
+  std::uint64_t touch_promotions_ = 0;
+  std::uint64_t lazy_drains_ = 0;
+  sim::EventId lazy_drain_event_;
 
   // FD monitoring.
   std::function<void()> fd_restarter_;

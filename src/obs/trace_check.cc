@@ -58,6 +58,19 @@ struct OpenAction {
   std::vector<std::string> group;  // sorted member components
 };
 
+/// One open traffic.request span, for the phantom-goodput check.
+struct OpenRequest {
+  std::uint64_t run = 0;
+  std::string target;
+  std::string mode;
+  double begin_t = 0.0;
+};
+
+bool is_request_span_begin(const TraceEvent& event) {
+  return event.kind == EventKind::kBegin && event.category == "traffic" &&
+         event.name == "traffic.request";
+}
+
 bool groups_intersect(const std::vector<std::string>& a,
                       const std::vector<std::string>& b) {
   auto ia = a.begin();
@@ -101,7 +114,11 @@ std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
   /// Open restart span per component: span id -> key, plus reverse map.
   std::map<std::uint64_t, Key> span_owner;
   std::map<Key, std::uint64_t> open_restart;  // key -> open span id
+  std::map<Key, double> open_restart_t;       // key -> begin time of that span
   std::map<Key, std::uint64_t> last_epoch;
+  /// Open traffic.request spans (span id -> target + mode + begin time), for
+  /// the phantom-goodput overlap check.
+  std::map<std::uint64_t, OpenRequest> open_requests;
   /// Open rec.restart action spans (span id -> cell + group), for the
   /// conflicting-restart overlap check.
   std::map<std::uint64_t, OpenAction> open_actions;
@@ -159,6 +176,15 @@ std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
       open_actions[event.span] = std::move(action);
     }
 
+    if (is_request_span_begin(event)) {
+      OpenRequest request;
+      request.run = event.run;
+      request.target = event.arg_or("target");
+      request.mode = event.arg_or("mode");
+      request.begin_t = event.t;
+      open_requests[event.span] = std::move(request);
+    }
+
     if (is_restart_span_begin(event)) {
       const Key key{event.run, restart_component(event)};
 
@@ -169,6 +195,7 @@ std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
                  " of the same component is still in flight");
       }
       open_restart[key] = event.span;
+      open_restart_t[key] = event.t;
       span_owner[event.span] = key;
 
       std::uint64_t epoch = 0;
@@ -183,11 +210,39 @@ std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
       }
     } else if (event.kind == EventKind::kEnd) {
       open_actions.erase(event.span);
+      const auto request = open_requests.find(event.span);
+      if (request != open_requests.end()) {
+        // Phantom-goodput: a request served while its target's restart has
+        // been in flight since before the request began never reached a live
+        // endpoint — unless on-demand mode, where the request itself revives
+        // the target and is answered inside the same span.
+        if (event.arg_or("outcome") == "served" &&
+            request->second.mode != "ondemand") {
+          const Key key{request->second.run, request->second.target};
+          const auto open = open_restart.find(key);
+          if (open != open_restart.end()) {
+            const auto begun = open_restart_t.find(key);
+            if (begun != open_restart_t.end() &&
+                begun->second <= request->second.begin_t) {
+              flag("phantom-goodput", request->second.run,
+                   request->second.target, event.t,
+                   "request served although restart span " +
+                       std::to_string(open->second) +
+                       " of its target opened at " +
+                       util::format_fixed(begun->second, 6) +
+                       " s, before the request began at " +
+                       util::format_fixed(request->second.begin_t, 6) + " s");
+            }
+          }
+        }
+        open_requests.erase(request);
+      }
       const auto owner = span_owner.find(event.span);
       if (owner != span_owner.end()) {
         const auto open = open_restart.find(owner->second);
         if (open != open_restart.end() && open->second == event.span) {
           open_restart.erase(open);
+          open_restart_t.erase(owner->second);
         }
         span_owner.erase(owner);
       }

@@ -38,6 +38,16 @@
 //                        restarted concurrently — exactly what the DAG
 //                        scheduler (conflict queueing, absorb-on-escalation)
 //                        must never allow. Sibling overlaps are legal.
+//   phantom-goodput      A traffic.request span that ends served while a
+//                        restart of its target component has been open since
+//                        before the request began cannot be real goodput:
+//                        the endpoint was down for the request's whole
+//                        lifetime, so a served outcome means the workload
+//                        accounting and the restart trace disagree. Exempt
+//                        when the request's mode arg is "ondemand" — there a
+//                        request legally touches a parked/lazy cell, promotes
+//                        its restart, and is served by the revived endpoint
+//                        inside the same span.
 //
 // Runs without trial.start (background injector campaigns, POSIX
 // supervision) are exempt from the harness-trial invariants but still
@@ -68,7 +78,7 @@ struct CheckOptions {
 struct TraceIssue {
   std::string invariant;  ///< "overlapping-restart" | "epoch-regression" |
                           ///< "phase-sum" | "lost-kill" | "open-restart" |
-                          ///< "conflicting-restart"
+                          ///< "conflicting-restart" | "phantom-goodput"
   std::uint64_t run = 0;
   std::string component;
   double t = 0.0;  ///< event time anchoring the issue (seconds)

@@ -178,6 +178,7 @@ void PosixSupervisor::pump(Millis max_wait) {
   check_deadlines();
   check_health_policy();
   maybe_spawn_pending();
+  maybe_drain_deferred();
   maybe_finish_restarts();
 }
 
@@ -325,6 +326,30 @@ void PosixSupervisor::on_failure(const std::string& name) {
   // Legacy single-action mode: busy means busy; FD re-detects afterwards.
   if (!config_.parallel_recovery && !actions_.empty()) return;
 
+  // Traffic-driven lazy recovery (ISSUE 9): while any action is in flight,
+  // further failures wait — a client touch promotes them, the background
+  // drain sweeps the rest. Mirrors core::Recoverer's traffic_active path.
+  if (config_.traffic_driven && config_.parallel_recovery &&
+      !actions_.empty()) {
+    for (const DeferredFailure& entry : deferred_) {
+      if (entry.name == name) return;
+    }
+    obs::instant(trace_now(), "recover", "rec.defer", "posix",
+                 {{"component", name}});
+    obs::incr("rec.deferred");
+    log_info(name, "failure deferred (traffic-driven lazy recovery)");
+    // The background drain waits a full interval from the first deferral
+    // (mirrors the sim recoverer's schedule_lazy_drain); a touch can still
+    // promote at any time.
+    if (deferred_.empty()) next_lazy_ = Clock::now() + config_.lazy_drain;
+    deferred_.push_back(DeferredFailure{name, false});
+    return;
+  }
+
+  act_on_failure(name);
+}
+
+void PosixSupervisor::act_on_failure(const std::string& name) {
   PendingRestart restart;
   restart.reported_worker = name;
   restart.reported_at = Clock::now();
@@ -469,6 +494,80 @@ void PosixSupervisor::absorb_conflicting(core::NodeId node) {
       ++it;
     }
   }
+}
+
+bool PosixSupervisor::defer_conflicts(const std::string& name) const {
+  const auto cell = tree_.lowest_cell_covering(name);
+  if (!cell.has_value()) return true;  // unknown worker: never dispatch
+  for (const auto& [id, action] : actions_) {
+    if (tree_.conflicts(*cell, action.node)) return true;
+  }
+  return false;
+}
+
+PosixSupervisor::TouchResult PosixSupervisor::touch_worker(
+    const std::string& name) {
+  if (!config_.traffic_driven) return TouchResult::kIdle;
+  if (std::find(hard_failures_.begin(), hard_failures_.end(), name) !=
+      hard_failures_.end()) {
+    return TouchResult::kParked;
+  }
+  if (masked(name)) return TouchResult::kRestarting;
+  const auto it = std::find_if(
+      deferred_.begin(), deferred_.end(),
+      [&](const DeferredFailure& entry) { return entry.name == name; });
+  if (it == deferred_.end()) return TouchResult::kIdle;
+  DeferredFailure entry = *it;
+  deferred_.erase(it);
+  entry.touched = true;
+  ++touch_promotions_;
+  obs::instant(trace_now(), "recover", "rec.touch", "posix",
+               {{"component", name}});
+  obs::incr("rec.touch_promotions");
+  log_info(name, "client request touched deferred failure; promoting");
+  if (defer_conflicts(name)) {
+    // An in-flight ancestor/descendant still conflicts: promoted to the
+    // front, dispatched by the drain once the conflict clears.
+    deferred_.push_front(entry);
+    return TouchResult::kPromoted;
+  }
+  act_on_failure(entry.name);
+  return TouchResult::kPromoted;
+}
+
+void PosixSupervisor::maybe_drain_deferred() {
+  if (deferred_.empty()) return;
+  const auto now = Clock::now();
+  std::deque<DeferredFailure> keep;
+  bool lazy_fired = false;
+  while (!deferred_.empty()) {
+    DeferredFailure entry = deferred_.front();
+    deferred_.pop_front();
+    if (std::find(hard_failures_.begin(), hard_failures_.end(), entry.name) !=
+        hard_failures_.end()) {
+      continue;  // parked meanwhile
+    }
+    if (masked(entry.name)) continue;  // an in-flight action covers it now
+    if (entry.touched) {
+      if (defer_conflicts(entry.name)) {
+        keep.push_back(entry);
+        continue;
+      }
+      act_on_failure(entry.name);
+      continue;
+    }
+    // Untouched: background pace, one dispatch per lazy_drain interval.
+    if (lazy_fired || now < next_lazy_ || defer_conflicts(entry.name)) {
+      keep.push_back(entry);
+      continue;
+    }
+    lazy_fired = true;
+    next_lazy_ = now + config_.lazy_drain;
+    ++lazy_drains_;
+    obs::incr("rec.lazy_drains");
+    act_on_failure(entry.name);
+  }
+  deferred_ = std::move(keep);
 }
 
 void PosixSupervisor::maybe_spawn_pending() {

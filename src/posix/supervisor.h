@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -98,6 +99,15 @@ struct SupervisorConfig {
   /// Off by default: the legacy supervisor runs at most one action and lets
   /// the failure detector re-detect anything it dropped while busy.
   bool parallel_recovery = false;
+
+  // --- Traffic-driven on-demand recovery (ISSUE 9) ------------------------
+  /// Mirror of core::RecConfig::traffic_driven; requires parallel_recovery.
+  /// While any action is in flight, further failures are deferred instead of
+  /// restarted eagerly: touch_worker(name) — called when a client request
+  /// needs the worker — promotes its deferred restart; untouched workers
+  /// drain in the background, one per lazy_drain.
+  bool traffic_driven = false;
+  Millis lazy_drain{300};
 };
 
 struct PosixRecoveryRecord {
@@ -162,6 +172,22 @@ class PosixSupervisor {
   /// the on-disk tier was lost (keep_partner_copies configs only).
   std::uint64_t partner_restores() const { return partner_restores_; }
 
+  // --- Traffic-driven on-demand recovery (ISSUE 9) ------------------------
+  /// What touch_worker found for the touched worker.
+  enum class TouchResult {
+    kIdle,        ///< nothing deferred or in flight for this worker
+    kRestarting,  ///< an in-flight action already covers it
+    kPromoted,    ///< a deferred failure was promoted (now or at next drain)
+    kParked,      ///< hard-failed: no restart, callers should reject
+  };
+  /// Client-request touch (traffic_driven configs): promote `name`'s
+  /// deferred restart. No-op (kIdle) otherwise.
+  TouchResult touch_worker(const std::string& name);
+  std::uint64_t touch_promotions() const { return touch_promotions_; }
+  std::uint64_t lazy_drains() const { return lazy_drains_; }
+  /// Failures currently deferred by traffic-driven lazy recovery.
+  std::size_t deferred_count() const { return deferred_.size(); }
+
  private:
   enum class WorkerState { kDown, kStarting, kUp };
 
@@ -213,12 +239,28 @@ class PosixSupervisor {
     Clock::time_point last{};
   };
 
+  /// A failure deferred by traffic-driven lazy recovery, waiting for a
+  /// client touch or the background drain.
+  struct DeferredFailure {
+    std::string name;
+    bool touched = false;
+  };
+
   void pump(Millis max_wait);
   void drain_worker(Worker& worker);
   void send_pings();
   void check_deadlines();
   void check_health_policy();
   void on_failure(const std::string& name);
+  /// The decision tail of on_failure (escalation, budget, oracle choose,
+  /// begin_restart); promotion paths call it directly so a promoted failure
+  /// cannot be re-deferred.
+  void act_on_failure(const std::string& name);
+  /// Dispatch deferred failures: touched ones as soon as no in-flight
+  /// conflict remains, untouched ones one per lazy_drain interval.
+  void maybe_drain_deferred();
+  /// Restarting `name`'s cell would overlap an in-flight action's cell.
+  bool defer_conflicts(const std::string& name) const;
   void begin_restart(PendingRestart restart);
   /// Whether `name` belongs to any in-flight action's group.
   bool masked(const std::string& name) const;
@@ -256,6 +298,10 @@ class PosixSupervisor {
   std::uint64_t checkpoints_validated_ = 0;
   std::uint64_t checkpoints_deleted_ = 0;
   std::uint64_t partner_restores_ = 0;
+  std::deque<DeferredFailure> deferred_;
+  Clock::time_point next_lazy_{};
+  std::uint64_t touch_promotions_ = 0;
+  std::uint64_t lazy_drains_ = 0;
 };
 
 }  // namespace mercury::posix

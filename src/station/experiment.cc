@@ -39,6 +39,20 @@ util::Duration hardened_restart_deadline(
   return Duration::seconds(worst * full_contention * 1.5);
 }
 
+std::vector<std::string> command_routes(core::MercuryTree tree) {
+  // The command path: ground commands reach the spacecraft through the RTU
+  // and the radio frontends.
+  if (core::uses_split_fedrcom(tree)) {
+    return {names::kRtu, names::kFedr, names::kPbcom};
+  }
+  return {names::kRtu, names::kFedrcom};
+}
+
+std::vector<std::string> telemetry_routes(core::MercuryTree tree) {
+  (void)tree;  // same data chain in every tree
+  return {names::kSes, names::kStr};
+}
+
 MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
     : sim_(sim), cal_(spec.cal) {
   StationConfig config;
@@ -46,6 +60,9 @@ MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
   config.enable_domain_behavior = spec.enable_domain_behavior;
   config.cal = spec.cal;
   config.bus.loss_probability = spec.bus_loss_probability;
+  // Client traffic gets typed mid-restart nacks: a fast "restarting" error
+  // beats a silent drop both for retry latency and for the touch signal.
+  config.bus.typed_restart_errors = spec.traffic.enabled;
   config.checkpoints.enabled = spec.enable_checkpoints;
   config.checkpoints.ttl = spec.checkpoint_ttl;
   config.checkpoints.l1_partner = spec.checkpoint_l1;
@@ -105,6 +122,8 @@ MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
   core::RecConfig rec_config;
   rec_config.enable_soft_recovery = spec.enable_soft_recovery;
   rec_config.dispatch = spec.dispatch;
+  rec_config.traffic_driven = spec.traffic_driven;
+  rec_config.lazy_drain_interval = spec.lazy_drain_interval;
   if (spec.harden_restart_path) {
     rec_config.restart_deadline =
         hardened_restart_deadline(spec.cal, station_->component_names());
@@ -132,6 +151,43 @@ MercuryRig::MercuryRig(sim::Simulator& sim, const TrialSpec& spec)
     sim_.schedule_after(startup, "rec.restart",
                         [this] { rec_->restart_complete(); });
   });
+
+  if (spec.traffic.enabled) {
+    workload::WorkloadConfig wl;
+    wl.command_sessions = spec.traffic.command_sessions;
+    wl.telemetry_sessions = spec.traffic.telemetry_sessions;
+    wl.mean_interarrival = spec.traffic.mean_interarrival;
+    wl.request_timeout = spec.traffic.request_timeout;
+    wl.retry_backoff = spec.traffic.retry_backoff;
+    wl.max_attempts = spec.traffic.max_attempts;
+    wl.seed = spec.seed;
+    wl.trace_requests = spec.traffic.trace_requests;
+    wl.mode_label = spec.traffic_driven &&
+                            spec.dispatch == core::DispatchMode::kOnDemand
+                        ? "ondemand"
+                        : std::string(to_string(spec.dispatch));
+    workload_ = std::make_unique<workload::WorkloadDriver>(
+        sim_, station_->bus(), command_routes(spec.tree),
+        telemetry_routes(spec.tree), wl);
+    // A request at a parked route gets a clean local rejection instead of
+    // burning its retry budget against a component that will not return.
+    workload_->set_parked_query(
+        [this](const std::string& target) { return rec_->parked().contains(target); });
+    if (spec.traffic_driven) {
+      // Client evidence a route is down (timeout or "restarting" nack)
+      // promotes its lazily queued restart.
+      workload_->set_touch_callback(
+          [this](const std::string& target) { rec_->touch(target); });
+      // Bus-level touch: a client request landing on a killed (detached)
+      // endpoint fires before any nack/timeout round-trips. Filter to client
+      // senders — FD's liveness pings touch every dead component and would
+      // otherwise degenerate lazy recovery into eager DAG dispatch.
+      station_->bus().set_touch_listener(
+          [this](const std::string& to, const std::string& from) {
+            if (util::starts_with(from, "cli.")) rec_->touch(to);
+          });
+    }
+  }
 }
 
 void MercuryRig::start() {
@@ -154,6 +210,9 @@ TrialResult run_trial(const TrialSpec& spec) {
   sim::Simulator sim(spec.seed);
   MercuryRig rig(sim, spec);
   rig.start();
+  // Traffic baseline: the workload serves through warmup, so the goodput
+  // dip is measured against a real pre-injection serving rate.
+  if (rig.workload() != nullptr) rig.workload()->start();
 
   sim.run_for(spec.warmup);
 
@@ -285,10 +344,26 @@ TrialResult run_trial(const TrialSpec& spec) {
     obs::observe("trial.recovery_seconds", result.recovery.to_seconds());
   }
 
+  // Stop issuing new requests at measurement end; the settle window below
+  // (3.5 s) covers the in-flight drain (at most max_attempts retry rounds,
+  // ~2 s at defaults), so issued == served + lost holds exactly.
+  if (rig.workload() != nullptr) rig.workload()->quiesce();
+
   // Let the recoverer's post-recovery bookkeeping (the oracle's positive
   // cure feedback fires one escalation-window after the restart) settle, so
   // persistent oracles learn from this trial.
   sim.run_for(core::RecConfig{}.escalation_window + Duration::seconds(1.0));
+
+  if (rig.workload() != nullptr) {
+    workload::WorkloadDriver& wl = *rig.workload();
+    result.traffic =
+        wl.account().summarize(injected_at.to_seconds(), wl.quiesce_time());
+    result.touch_promotions = static_cast<int>(rig.rec().touch_promotions());
+    result.lazy_drains = static_cast<int>(rig.rec().lazy_drains());
+    if (spec.traffic.keep_outcome_log) {
+      result.traffic_outcome_log = wl.outcome_text();
+    }
+  }
   return result;
 }
 

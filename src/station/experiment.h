@@ -21,6 +21,7 @@
 
 #include "bus/dedicated_link.h"
 #include "obs/trace.h"
+#include "core/availability.h"
 #include "core/failure.h"
 #include "core/failure_detector.h"
 #include "core/mercury_trees.h"
@@ -30,6 +31,7 @@
 #include "station/station.h"
 #include "util/stats.h"
 #include "util/time.h"
+#include "workload/workload.h"
 
 namespace mercury::station {
 
@@ -133,6 +135,34 @@ struct TrialSpec {
     util::Duration delay = util::Duration::zero();
   };
   std::vector<ExtraFault> extra_faults;
+
+  // --- Client traffic & availability (ISSUE 9) ----------------------------
+  /// Continuous client workload riding through the trial: sessions attach to
+  /// mbus at boot, issue open-loop requests across the failure, and resolve
+  /// every request as served or lost (workload::WorkloadDriver). Enabling it
+  /// also turns on the bus's typed mid-restart nacks, so clients get fast
+  /// "restarting" rejections instead of silent drops.
+  struct Traffic {
+    bool enabled = false;
+    int command_sessions = 8;
+    int telemetry_sessions = 4;
+    util::Duration mean_interarrival = util::Duration::millis(200.0);
+    util::Duration request_timeout = util::Duration::millis(400.0);
+    util::Duration retry_backoff = util::Duration::millis(100.0);
+    int max_attempts = 4;
+    /// Emit per-request "traffic.request" spans (checker-gated trials).
+    bool trace_requests = false;
+    /// Keep the deterministic per-request outcome log on the result
+    /// (byte-identity tests; costs memory on big trials).
+    bool keep_outcome_log = false;
+  };
+  Traffic traffic;
+  /// Traffic-driven on-demand recovery (requires dispatch == kOnDemand):
+  /// after the minimal phase restores the serving core, remaining cells
+  /// restart lazily — a client request touching a queued cell promotes its
+  /// restart to the DAG front; untouched cells drain in the background.
+  bool traffic_driven = false;
+  util::Duration lazy_drain_interval = util::Duration::millis(500.0);
 };
 
 /// Deadline for one restart action under hardening: the calibration's worst
@@ -177,7 +207,21 @@ struct TrialResult {
   /// (ISSUE 8).
   int max_concurrent_restarts = 0;
   int absorbed_restarts = 0;
+  /// Client-traffic availability figures (traffic-enabled trials only):
+  /// counts, latency percentiles, goodput dip, per-route reopen latency.
+  core::TrafficSummary traffic;
+  /// Queued restarts promoted by a client-request touch / dispatched by the
+  /// background lazy drain (traffic-driven on-demand trials).
+  int touch_promotions = 0;
+  int lazy_drains = 0;
+  /// Deterministic per-request outcome log (traffic.keep_outcome_log only).
+  std::string traffic_outcome_log;
 };
+
+/// Client routes the workload polls under `tree`: the command (radio) chain
+/// and the telemetry (data) chain, tree-aware (fedrcom vs fedr+pbcom).
+std::vector<std::string> command_routes(core::MercuryTree tree);
+std::vector<std::string> telemetry_routes(core::MercuryTree tree);
 
 /// A fully wired Mercury system. Exposes the pieces for tests and examples.
 class MercuryRig {
@@ -189,6 +233,9 @@ class MercuryRig {
   core::Recoverer& rec() { return *rec_; }
   core::Oracle& oracle() { return *active_oracle_; }
   bus::DedicatedLink& link() { return *link_; }
+  /// The client workload, present when spec.traffic.enabled (not started;
+  /// run_trial starts it with the station).
+  workload::WorkloadDriver* workload() { return workload_.get(); }
 
   /// boot_instant + start FD/REC + mutual monitoring.
   void start();
@@ -202,6 +249,7 @@ class MercuryRig {
   core::Oracle* active_oracle_ = nullptr;
   std::unique_ptr<core::FailureDetector> fd_;
   std::unique_ptr<core::Recoverer> rec_;
+  std::unique_ptr<workload::WorkloadDriver> workload_;
   Calibration cal_;
 };
 

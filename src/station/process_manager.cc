@@ -132,6 +132,11 @@ void ProcessManager::restart_group(const std::vector<std::string>& names,
     proc.group = group_id;
     ++proc.epoch;
     station_.component(name)->kill();
+    // The kill detached the endpoint; mark it mid-restart on the bus so
+    // deliveries can answer with a typed "restarting" error (and fire the
+    // traffic touch listener) instead of vanishing. The mark clears itself
+    // when the restarted component re-attaches.
+    station_.bus().note_restarting(name, proc.epoch);
     // Partner replicas live in their host's memory: a group restart that
     // kills the host loses every L1 copy it held (the correlated-failure
     // case — a whole-group restart takes the buddy down too). The local

@@ -156,6 +156,104 @@ TEST_F(BusTest, WireFormatRoundTripsThroughBus) {
   EXPECT_DOUBLE_EQ(*(*inbox)[0].body.attr_double("el_deg"), 45.5);
 }
 
+// --- Typed mid-restart errors (ISSUE 9) --------------------------------------
+
+TEST(BusRestarting, TypedNackCarriesComponentAndEpoch) {
+  sim::Simulator sim(3);
+  BusConfig config;
+  config.typed_restart_errors = true;
+  MessageBus bus(sim, config);
+  std::vector<msg::Message> inbox;
+  bus.attach("cli.0", [&](const msg::Message& m) { inbox.push_back(m); });
+  // ses was killed at epoch 5 and has not re-attached: mid-restart.
+  bus.note_restarting("ses", 5);
+  EXPECT_TRUE(bus.restarting("ses"));
+
+  bus.send(msg::make_ping("cli.0", "ses", 42));
+  sim.run_for(Duration::seconds(1.0));
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].kind, msg::Kind::kNack);
+  EXPECT_EQ(inbox[0].seq, 42u);  // matches the request for client correlation
+  EXPECT_EQ(inbox[0].body.attr("reason").value_or(""), "restarting");
+  EXPECT_EQ(inbox[0].body.attr("component").value_or(""), "ses");
+  EXPECT_EQ(inbox[0].body.attr("epoch").value_or(""), "5");
+  EXPECT_EQ(bus.stats().rejected_restarting, 1u);
+}
+
+TEST(BusRestarting, ReattachClearsRestartingAndResumesDelivery) {
+  sim::Simulator sim(3);
+  BusConfig config;
+  config.typed_restart_errors = true;
+  MessageBus bus(sim, config);
+  std::vector<msg::Message> ses_inbox;
+  bus.note_restarting("ses", 2);
+  bus.attach("ses", [&](const msg::Message& m) { ses_inbox.push_back(m); });
+  EXPECT_FALSE(bus.restarting("ses"));
+  bus.send(msg::make_ping("fd", "ses", 1));
+  sim.run_for(Duration::seconds(1.0));
+  EXPECT_EQ(ses_inbox.size(), 1u);
+  EXPECT_EQ(bus.stats().rejected_restarting, 0u);
+}
+
+TEST(BusRestarting, GateOffPreservesLegacySilentDropButStillTouches) {
+  // Default config: no typed errors. A send into a mid-restart endpoint
+  // drops exactly as before ISSUE 9 — but the touch listener still fires,
+  // so traffic-driven recovery works on legacy configs too.
+  sim::Simulator sim(3);
+  MessageBus bus(sim, BusConfig{});
+  std::vector<std::pair<std::string, std::string>> touches;
+  bus.set_touch_listener([&](const std::string& to, const std::string& from) {
+    touches.emplace_back(to, from);
+  });
+  std::vector<msg::Message> inbox;
+  bus.attach("cli.0", [&](const msg::Message& m) { inbox.push_back(m); });
+  bus.note_restarting("rtu", 1);
+
+  bus.send(msg::make_ping("cli.0", "rtu", 7));
+  sim.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+  EXPECT_EQ(bus.stats().rejected_restarting, 0u);
+  ASSERT_EQ(touches.size(), 1u);
+  EXPECT_EQ(touches[0].first, "rtu");
+  EXPECT_EQ(touches[0].second, "cli.0");
+}
+
+TEST(BusRestarting, NeverNacksANackOrAnonymousSender) {
+  // No error-on-error loops: a nack into a restarting endpoint, or a
+  // message with no return address, drops without generating a reply.
+  sim::Simulator sim(3);
+  BusConfig config;
+  config.typed_restart_errors = true;
+  MessageBus bus(sim, config);
+  bus.note_restarting("ses", 1);
+
+  msg::Message command = msg::make_command("cli.0", "ses", 9, "track");
+  msg::Message nack = msg::make_nack(command, "other", "busy");
+  nack.to = "ses";
+  bus.send(nack);
+  msg::Message anonymous = msg::make_ping("", "ses", 10);
+  bus.send(anonymous);
+  sim.run_for(Duration::seconds(1.0));
+  EXPECT_EQ(bus.stats().rejected_restarting, 0u);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 2u);
+}
+
+TEST(BusRestarting, UnmarkedMissingEndpointStaysSilentDrop) {
+  // typed errors apply only to endpoints the process backend marked as
+  // mid-restart; a plain unknown destination still just drops.
+  sim::Simulator sim(3);
+  BusConfig config;
+  config.typed_restart_errors = true;
+  MessageBus bus(sim, config);
+  std::vector<msg::Message> inbox;
+  bus.attach("cli.0", [&](const msg::Message& m) { inbox.push_back(m); });
+  bus.send(msg::make_ping("cli.0", "ghost", 1));
+  sim.run_for(Duration::seconds(1.0));
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+}
+
 TEST(BusLoss, LossyBusDropsApproximatelyTheConfiguredFraction) {
   sim::Simulator sim(5);
   BusConfig config;

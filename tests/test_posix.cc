@@ -740,6 +740,101 @@ TEST(PosixSupervisor, EscalationSupersedesOverlappingConcurrentRestart) {
   std::remove(sentinel.c_str());
 }
 
+// --- Traffic-driven on-demand recovery (ISSUE 9) -----------------------------
+
+TEST(PosixSupervisor, TrafficDrivenDefersUntilTouched) {
+  SupervisorConfig config = quick_config();
+  config.parallel_recovery = true;
+  config.traffic_driven = true;
+  config.lazy_drain = Millis{60000};  // keep the background drain out
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 400), quick_worker("b", 400), quick_worker("c", 400)},
+      config);
+  ASSERT_TRUE(supervisor.start_all().ok());
+  EXPECT_EQ(supervisor.touch_worker("a"), PosixSupervisor::TouchResult::kIdle);
+
+  // c fails first and its restart goes in flight; a's failure lands while
+  // that action runs and must defer instead of dispatching eagerly.
+  supervisor.kill_worker("c");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.restarts_in_flight() >= 1; }, Millis{2000}));
+  EXPECT_EQ(supervisor.touch_worker("c"),
+            PosixSupervisor::TouchResult::kRestarting);
+  supervisor.kill_worker("a");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.deferred_count() >= 1; }, Millis{2000}));
+  EXPECT_EQ(supervisor.restarts_in_flight(), 1u);
+
+  // A client request touches a: exactly that deferred failure is promoted,
+  // and with R_[a,b] disjoint from the in-flight R_c it dispatches now.
+  EXPECT_EQ(supervisor.touch_worker("a"),
+            PosixSupervisor::TouchResult::kPromoted);
+  EXPECT_EQ(supervisor.touch_promotions(), 1u);
+  EXPECT_EQ(supervisor.deferred_count(), 0u);
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.all_up() && supervisor.history().size() >= 2; },
+      Millis{6000}));
+  EXPECT_EQ(supervisor.lazy_drains(), 0u);
+  EXPECT_TRUE(supervisor.hard_failures().empty());
+}
+
+TEST(PosixSupervisor, UntouchedDeferredFailureDrainsLazily) {
+  SupervisorConfig config = quick_config();
+  config.parallel_recovery = true;
+  config.traffic_driven = true;
+  config.lazy_drain = Millis{200};
+  PosixSupervisor supervisor(
+      pair_and_leaf_tree(),
+      {quick_worker("a", 400), quick_worker("b", 400), quick_worker("c", 400)},
+      config);
+  ASSERT_TRUE(supervisor.start_all().ok());
+
+  supervisor.kill_worker("c");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.restarts_in_flight() >= 1; }, Millis{2000}));
+  supervisor.kill_worker("a");
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.deferred_count() >= 1; }, Millis{2000}));
+  // No request ever touches a: the background drain must still restart it.
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return supervisor.all_up() && supervisor.history().size() >= 2; },
+      Millis{6000}));
+  EXPECT_GE(supervisor.lazy_drains(), 1u);
+  EXPECT_EQ(supervisor.touch_promotions(), 0u);
+  EXPECT_TRUE(supervisor.hard_failures().empty());
+}
+
+TEST(PosixSupervisor, TouchOfParkedWorkerSignalsRejection) {
+  // Worker c wedges after one pong per incarnation and parks after the root
+  // budget; a request touching it must get the clean rejection signal, not
+  // spawn another restart.
+  core::RestartTree tree("R_demo");
+  const auto a_cell = tree.add_cell(tree.root(), "R_a");
+  tree.attach_component(a_cell, "a");
+  const auto c_cell = tree.add_cell(tree.root(), "R_c");
+  tree.attach_component(c_cell, "c");
+
+  SupervisorConfig config = quick_config();
+  config.parallel_recovery = true;
+  config.traffic_driven = true;
+  config.max_root_restarts = 1;
+  PosixSupervisor supervisor(
+      tree, {quick_worker("a", 30), quick_worker("c", 30, /*wedge_after=*/1)},
+      config);
+  ASSERT_TRUE(supervisor.start_all().ok());
+  ASSERT_TRUE(supervisor.run_until(
+      [&] { return !supervisor.hard_failures().empty(); }, Millis{8000}));
+  ASSERT_EQ(supervisor.hard_failures()[0], "c");
+
+  const auto actions = supervisor.history().size();
+  EXPECT_EQ(supervisor.touch_worker("c"),
+            PosixSupervisor::TouchResult::kParked);
+  supervisor.run_for(Millis{300});
+  EXPECT_EQ(supervisor.history().size(), actions);
+  EXPECT_TRUE(supervisor.worker_up("a"));
+}
+
 TEST(PosixSupervisor, BackToBackFailures) {
   PosixSupervisor supervisor(
       pair_and_leaf_tree(),

@@ -524,6 +524,127 @@ TEST_F(RecTest, OnDemandQueueAlsoSerializesConflicts) {
             (std::vector<std::string>{names::kFedr, names::kPbcom}));
 }
 
+// --- Traffic-driven on-demand recovery (ISSUE 9) -----------------------------
+
+TEST_F(RecTest, TrafficDrivenQueuesEvenDisjointCellsLazily) {
+  RecConfig config;
+  config.dispatch = DispatchMode::kOnDemand;
+  config.traffic_driven = true;
+  config.lazy_drain_interval = Duration::seconds(60.0);  // keep lazy out
+  build(config);
+
+  report(names::kRtu);    // first action dispatches: the minimal phase
+  report(names::kPbcom);  // disjoint — but under traffic mode it parks
+  report(names::kSes);
+  EXPECT_EQ(process_.groups.size(), 1u);
+  EXPECT_EQ(rec_->restarts_in_flight(), 1u);
+
+  // A client request touches pbcom: exactly that action is promoted and,
+  // with no conflicting in-flight cell, dispatches immediately.
+  EXPECT_EQ(rec_->touch(names::kPbcom), TouchResult::kPromoted);
+  ASSERT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(process_.groups[1], std::vector<std::string>{names::kPbcom});
+  EXPECT_EQ(rec_->touch_promotions(), 1u);
+  // ses was not touched: it stays parked in the queue.
+  sim_.run_for(Duration::seconds(3.0));
+  EXPECT_EQ(process_.groups.size(), 2u);
+}
+
+TEST_F(RecTest, TouchReportsInFlightParkedAndIdleStates) {
+  RecConfig config;
+  config.dispatch = DispatchMode::kOnDemand;
+  config.traffic_driven = true;
+  build(config);
+
+  EXPECT_EQ(rec_->touch(names::kRtu), TouchResult::kIdle);  // nothing queued
+  report(names::kRtu);
+  EXPECT_EQ(rec_->touch(names::kRtu), TouchResult::kRestarting);
+  sim_.run_for(Duration::seconds(2.0));
+  EXPECT_EQ(rec_->touch(names::kRtu), TouchResult::kIdle);
+  EXPECT_EQ(rec_->touch_promotions(), 0u);
+}
+
+TEST_F(RecTest, TouchOfParkedComponentSignalsRejection) {
+  RecConfig config;
+  config.dispatch = DispatchMode::kOnDemand;
+  config.traffic_driven = true;
+  config.restart_deadline = Duration::seconds(2.0);
+  config.max_attempts_per_chain = 2;
+  config.max_root_restarts = 100;
+  build(config);
+  process_.durations[names::kRtu] = 100.0;  // every rtu restart hangs
+
+  report(names::kRtu);
+  sim_.run_for(Duration::seconds(10.0));
+  ASSERT_EQ(rec_->parked(), std::set<std::string>{names::kRtu});
+  // A request touching the parked cell gets a clean rejection signal; no
+  // restart is spawned for it.
+  const auto actions = process_.groups.size();
+  EXPECT_EQ(rec_->touch(names::kRtu), TouchResult::kParked);
+  sim_.run_for(Duration::seconds(1.0));
+  EXPECT_EQ(process_.groups.size(), actions);
+}
+
+TEST_F(RecTest, PromotedConflictHoldsUntilAncestorOrderClears) {
+  // Tree V: pbcom's lowest cell covers fedr. A touch while R_fedr is in
+  // flight promotes pbcom to the queue front but must NOT dispatch until
+  // the descendant action completes — promotion never breaks DAG order.
+  RecConfig config;
+  config.dispatch = DispatchMode::kOnDemand;
+  config.traffic_driven = true;
+  config.lazy_drain_interval = Duration::seconds(60.0);
+  rec_ = std::make_unique<Recoverer>(sim_, link_, make_tree_v(), oracle_,
+                                     process_, config);
+  rec_->start();
+  process_.durations[names::kFedr] = 3.0;
+
+  report(names::kFedr);
+  report(names::kPbcom);  // parks behind the traffic gate
+  EXPECT_EQ(rec_->touch(names::kPbcom), TouchResult::kPromoted);
+  EXPECT_EQ(process_.groups.size(), 1u);  // conflict: held at the front
+  sim_.run_for(Duration::seconds(4.0));   // fedr completes; drain fires
+  ASSERT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(process_.groups[1],
+            (std::vector<std::string>{names::kFedr, names::kPbcom}));
+  EXPECT_EQ(rec_->max_concurrent_restarts(), 1u);
+}
+
+TEST_F(RecTest, LazyDrainTricklesUntouchedCellsOnePerInterval) {
+  RecConfig config;
+  config.dispatch = DispatchMode::kOnDemand;
+  config.traffic_driven = true;
+  config.lazy_drain_interval = Duration::millis(500.0);
+  build(config);
+
+  report(names::kRtu);    // in flight for 1 s
+  report(names::kPbcom);  // parked
+  report(names::kMbus);   // parked behind pbcom
+  EXPECT_EQ(process_.groups.size(), 1u);
+  sim_.run_for(Duration::millis(600.0));  // first lazy tick
+  EXPECT_EQ(process_.groups.size(), 2u);
+  EXPECT_EQ(process_.groups[1], std::vector<std::string>{names::kPbcom});
+  sim_.run_for(Duration::millis(500.0));  // second tick drains mbus
+  EXPECT_EQ(process_.groups.size(), 3u);
+  EXPECT_EQ(rec_->lazy_drains(), 2u);
+  EXPECT_EQ(rec_->touch_promotions(), 0u);
+}
+
+TEST_F(RecTest, TrafficGateRequiresOnDemandDispatch) {
+  // traffic_driven without on-demand dispatch is inert: serial default
+  // behaviour is preserved and touch is a no-op.
+  RecConfig config;
+  config.traffic_driven = true;  // dispatch stays kSerial
+  build(config);
+  report(names::kRtu);
+  report(names::kPbcom);
+  EXPECT_EQ(rec_->touch(names::kPbcom), TouchResult::kIdle);
+  EXPECT_EQ(process_.groups.size(), 1u);
+  sim_.run_for(Duration::seconds(3.0));
+  EXPECT_EQ(process_.groups.size(), 2u);  // plain serial queue drain
+  EXPECT_EQ(rec_->touch_promotions(), 0u);
+  EXPECT_EQ(rec_->lazy_drains(), 0u);
+}
+
 // Satellite regression (ISSUE 8): queued-report dedup/drop must key on the
 // failure epoch, not the component name alone — a report queued *after* a
 // covering restart completed is new evidence and must dispatch even though

@@ -137,6 +137,96 @@ TEST(TraceChecker, ClosedActionSpanRetiresItsGroup) {
   EXPECT_TRUE(check_trace(events).empty()) << describe(check_trace(events));
 }
 
+// --- Phantom goodput (ISSUE 9) ----------------------------------------------
+
+/// A request span against `target` over [begin, end] with the given outcome
+/// and mode, as the workload driver emits it.
+std::vector<TraceEvent> request_span(double begin, double end,
+                                     const std::string& target,
+                                     const std::string& outcome,
+                                     const std::string& mode,
+                                     std::uint64_t span) {
+  return {
+      event(begin, EventKind::kBegin, "traffic", "traffic.request", "cli.0", 1,
+            span, {{"target", target}, {"session", "cli.0"}, {"mode", mode}}),
+      event(end, EventKind::kEnd, "traffic", "traffic.request", "cli.0", 1,
+            span, {{"outcome", outcome}, {"attempts", "1"}}),
+  };
+}
+
+TEST(TraceChecker, FlagsRequestServedDuringTargetRestart) {
+  // The ses restart opens at 1.0 and is still in flight when a request that
+  // began at 2.0 claims to have been served at 2.2: the endpoint was down
+  // for the request's whole lifetime, so the goodput is phantom.
+  std::vector<TraceEvent> events = {
+      event(1.0, EventKind::kBegin, "restart", "restart:ses", "pm", 1, 1,
+            {{"component", "ses"}, {"epoch", "1"}}),
+  };
+  for (auto& e : request_span(2.0, 2.2, "ses", "served", "serial", 2)) {
+    events.push_back(e);
+  }
+  events.push_back(
+      event(5.0, EventKind::kEnd, "restart", "restart:ses", "pm", 1, 1));
+  const auto issues = check_trace(events);
+  EXPECT_EQ(count(issues, "phantom-goodput"), 1) << describe(issues);
+
+  // The same shape with a lost outcome is the expected behaviour.
+  std::vector<TraceEvent> lost = {
+      event(1.0, EventKind::kBegin, "restart", "restart:ses", "pm", 1, 1,
+            {{"component", "ses"}, {"epoch", "1"}}),
+  };
+  for (auto& e : request_span(2.0, 2.2, "ses", "lost", "serial", 2)) {
+    lost.push_back(e);
+  }
+  lost.push_back(
+      event(5.0, EventKind::kEnd, "restart", "restart:ses", "pm", 1, 1));
+  EXPECT_TRUE(check_trace(lost).empty()) << describe(check_trace(lost));
+}
+
+TEST(TraceChecker, OnDemandServesDuringRestartLegally) {
+  // In on-demand mode a request legally touches a lazy cell, promotes its
+  // restart, and is answered by the revived endpoint inside the same span.
+  std::vector<TraceEvent> events = {
+      event(1.0, EventKind::kBegin, "restart", "restart:ses", "pm", 1, 1,
+            {{"component", "ses"}, {"epoch", "1"}}),
+  };
+  for (auto& e : request_span(2.0, 6.5, "ses", "served", "ondemand", 2)) {
+    events.push_back(e);
+  }
+  events.push_back(
+      event(6.0, EventKind::kEnd, "restart", "restart:ses", "pm", 1, 1));
+  EXPECT_TRUE(check_trace(events).empty()) << describe(check_trace(events));
+}
+
+TEST(TraceChecker, RequestStraddlingRestartStartIsLegal) {
+  // A restart that opens after the request began does not retroactively
+  // condemn it: a pong may already have been in flight, and a served retry
+  // after the restart closed is real goodput.
+  std::vector<TraceEvent> events;
+  for (auto& e : request_span(1.0, 6.5, "rtu", "served", "serial", 10)) {
+    events.push_back(e);
+  }
+  events.insert(events.begin() + 1,
+                event(1.5, EventKind::kBegin, "restart", "restart:rtu", "pm", 1,
+                      11, {{"component", "rtu"}, {"epoch", "1"}}));
+  events.insert(events.begin() + 2,
+                event(6.0, EventKind::kEnd, "restart", "restart:rtu", "pm", 1,
+                      11));
+  EXPECT_TRUE(check_trace(events).empty()) << describe(check_trace(events));
+
+  // And a request served against a component whose restart already closed
+  // before the request ended is likewise clean.
+  std::vector<TraceEvent> after = {
+      event(1.0, EventKind::kBegin, "restart", "restart:rtu", "pm", 1, 1,
+            {{"component", "rtu"}, {"epoch", "1"}}),
+      event(2.0, EventKind::kEnd, "restart", "restart:rtu", "pm", 1, 1),
+  };
+  for (auto& e : request_span(3.0, 3.2, "rtu", "served", "serial", 2)) {
+    after.push_back(e);
+  }
+  EXPECT_TRUE(check_trace(after).empty()) << describe(check_trace(after));
+}
+
 /// A minimal complete recovered harness trial; `reported` is the recovery
 /// the harness claims. With the chain spanning [10, 15] the truthful value
 /// is 5 seconds.

@@ -1,0 +1,179 @@
+// Client-workload determinism and availability accounting (ISSUE 9).
+//
+// The workload driver rides exp::SeedStream per session, so a trial's
+// per-request outcome log must be byte-identical for a given seed — across
+// repeat runs, across MERCURY_JOBS values, and (for single-fault trials,
+// where dispatch policy cannot change any timing) across dispatch modes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/mercury_trees.h"
+#include "obs/trace_check.h"
+#include "station/experiment.h"
+
+namespace mercury::station {
+namespace {
+
+using util::Duration;
+
+/// RAII override of $MERCURY_JOBS (nullptr = unset), restoring on exit.
+class JobsEnv {
+ public:
+  explicit JobsEnv(const char* value) {
+    const char* old = std::getenv("MERCURY_JOBS");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value != nullptr) {
+      ::setenv("MERCURY_JOBS", value, 1);
+    } else {
+      ::unsetenv("MERCURY_JOBS");
+    }
+  }
+  ~JobsEnv() {
+    if (had_) {
+      ::setenv("MERCURY_JOBS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("MERCURY_JOBS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TrialSpec traffic_spec(const std::string& component, std::uint64_t seed) {
+  TrialSpec spec;
+  spec.tree = core::MercuryTree::kTreeIV;
+  spec.oracle = OracleKind::kPerfect;
+  spec.fail_component = component;
+  spec.seed = seed;
+  spec.traffic.enabled = true;
+  spec.traffic.keep_outcome_log = true;
+  return spec;
+}
+
+int count_lines(const std::string& text) {
+  int n = 0;
+  for (const char c : text) n += c == '\n';
+  return n;
+}
+
+TEST(Workload, EveryIssuedRequestResolvesExactlyOnce) {
+  const TrialResult result = run_trial(traffic_spec("ses", 11));
+  ASSERT_FALSE(result.timed_out);
+  const core::TrafficSummary& traffic = result.traffic;
+  EXPECT_GT(traffic.issued, 0u);
+  // The conservation law the whole availability story rests on: no request
+  // vanishes and none is double-counted.
+  EXPECT_EQ(traffic.issued, traffic.served + traffic.lost);
+  EXPECT_LE(traffic.retried, traffic.issued);
+  EXPECT_GT(traffic.served, 0u);
+  EXPECT_GT(traffic.baseline_rps, 0.0);
+  EXPECT_GT(traffic.p50_ms, 0.0);
+  EXPECT_LE(traffic.p50_ms, traffic.p99_ms);
+  EXPECT_LE(traffic.p99_ms, traffic.p999_ms);
+  // One log line per resolved request.
+  EXPECT_EQ(count_lines(result.traffic_outcome_log),
+            static_cast<int>(traffic.issued));
+}
+
+TEST(Workload, SameSeedReproducesTheOutcomeLogByteForByte) {
+  const TrialSpec spec = traffic_spec("rtu", 29);
+  const TrialResult first = run_trial(spec);
+  const TrialResult second = run_trial(spec);
+  ASSERT_FALSE(first.traffic_outcome_log.empty());
+  EXPECT_EQ(first.traffic_outcome_log, second.traffic_outcome_log);
+  EXPECT_EQ(first.traffic, second.traffic);
+}
+
+TEST(Workload, OutcomeLogsByteIdenticalAtAnyJobCount) {
+  std::vector<TrialSpec> specs;
+  for (const std::string component : {"ses", "rtu", "fedr"}) {
+    specs.push_back(traffic_spec(component, 41));
+    specs.push_back(traffic_spec(component, 42));
+  }
+
+  std::vector<TrialResult> reference;
+  {
+    JobsEnv env("1");
+    reference = run_trial_batch(specs);
+  }
+  ASSERT_EQ(reference.size(), specs.size());
+  for (const char* jobs : {"2", "8"}) {
+    JobsEnv env(jobs);
+    const std::vector<TrialResult> results = run_trial_batch(specs);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].traffic_outcome_log,
+                reference[i].traffic_outcome_log)
+          << "jobs=" << jobs << " spec " << i;
+      EXPECT_EQ(results[i].traffic, reference[i].traffic)
+          << "jobs=" << jobs << " spec " << i;
+    }
+  }
+}
+
+TEST(Workload, SingleFaultGoodputIdenticalAcrossDispatchModes) {
+  // With one failure there is never a second concurrent action, so serial
+  // and DAG dispatch take the identical recovery path — the client-visible
+  // goodput (and the whole outcome log) must not depend on the mode.
+  TrialSpec serial = traffic_spec("ses", 53);
+  TrialSpec dag = serial;
+  dag.dispatch = core::DispatchMode::kDag;
+  const TrialResult serial_result = run_trial(serial);
+  const TrialResult dag_result = run_trial(dag);
+  ASSERT_FALSE(serial_result.traffic_outcome_log.empty());
+  EXPECT_EQ(serial_result.traffic_outcome_log, dag_result.traffic_outcome_log);
+  EXPECT_EQ(serial_result.traffic, dag_result.traffic);
+}
+
+TEST(Workload, TracedTrafficTrialSatisfiesAllInvariants) {
+  // Per-request spans on: the golden trace of a real traffic trial must be
+  // clean under all seven invariants, including phantom-goodput.
+  TrialSpec spec = traffic_spec("rtu", 61);
+  spec.traffic.trace_requests = true;
+  const TracedTrial traced = run_trial_traced(spec);
+  ASSERT_FALSE(traced.result.timed_out);
+  bool saw_request_span = false;
+  for (const auto& event : traced.events) {
+    saw_request_span |= event.category == "traffic";
+  }
+  EXPECT_TRUE(saw_request_span);
+  const auto issues = obs::check_trace(traced.events);
+  EXPECT_TRUE(issues.empty()) << obs::describe(issues);
+}
+
+TEST(Workload, TrafficDrivenOnDemandReopensServiceEarlier) {
+  // The tentpole's end-to-end claim in miniature: a long pbcom restart with
+  // two small extra faults. Serial recovery holds the rtu and ses routes
+  // closed behind the ~20 s pbcom action; traffic-driven on-demand reopens
+  // them via request touches while pbcom still restarts.
+  TrialSpec serial = traffic_spec("pbcom", 67);
+  serial.extra_faults.push_back({"ses", Duration::millis(30.0)});
+  serial.extra_faults.push_back({"rtu", Duration::millis(60.0)});
+
+  TrialSpec ondemand = serial;
+  ondemand.dispatch = core::DispatchMode::kOnDemand;
+  ondemand.traffic_driven = true;
+
+  const TrialResult serial_result = run_trial(serial);
+  const TrialResult ondemand_result = run_trial(ondemand);
+  ASSERT_FALSE(serial_result.timed_out);
+  ASSERT_FALSE(ondemand_result.timed_out);
+  EXPECT_GT(ondemand_result.touch_promotions, 0);
+  // Conservation holds in both modes; the on-demand mode loses strictly
+  // fewer requests and closes its goodput dip strictly earlier.
+  EXPECT_EQ(serial_result.traffic.issued,
+            serial_result.traffic.served + serial_result.traffic.lost);
+  EXPECT_EQ(ondemand_result.traffic.issued,
+            ondemand_result.traffic.served + ondemand_result.traffic.lost);
+  EXPECT_LT(ondemand_result.traffic.lost, serial_result.traffic.lost);
+  EXPECT_LT(ondemand_result.traffic.dip_end_s, serial_result.traffic.dip_end_s);
+}
+
+}  // namespace
+}  // namespace mercury::station
