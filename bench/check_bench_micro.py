@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for bench_micro (ISSUE 10).
+
+Compares a fresh BENCH_micro.json against the committed baseline
+(bench/baselines/BENCH_micro.baseline.json) and fails when any metric drops
+below baseline * (1 - tolerance).
+
+The tolerance is deliberately generous (default 0.40): CI runners are
+shared, throttled and noisy, and the gate exists to catch *structural*
+regressions — an accidental O(n^2), a lost cache, a reintroduced per-event
+allocation — which show up as 2x-10x drops, not 20% wobble. Improvements
+never fail the gate; they print a hint to refresh the baseline
+(docs/EXPERIMENTS.md describes how).
+
+Usage:
+    check_bench_micro.py <fresh BENCH_micro.json> [baseline.json]
+                         [--tolerance 0.40]
+
+Exit codes: 0 pass, 1 regression or schema mismatch, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("bench") != "bench_micro":
+        print(f"error: {path} is not a bench_micro result", file=sys.stderr)
+        sys.exit(1)
+    return doc, {m["metric"]: float(m["value"]) for m in doc.get("metrics", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="BENCH_micro.json from the current build")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default="bench/baselines/BENCH_micro.baseline.json",
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.40,
+        help="allowed fractional drop below baseline (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    fresh_doc, fresh = load_metrics(args.fresh)
+    base_doc, base = load_metrics(args.baseline)
+
+    if fresh_doc.get("quick") and not base_doc.get("quick"):
+        print(
+            "error: quick-mode result compared against a full-run baseline; "
+            "quick workloads are ~10x smaller and not comparable",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+    failures = 0
+    improvements = 0
+    width = max((len(name) for name in base), default=10)
+    for name, expected in sorted(base.items()):
+        measured = fresh.get(name)
+        if measured is None:
+            print(f"FAIL {name:<{width}}  missing from fresh result")
+            failures += 1
+            continue
+        floor = expected * (1.0 - args.tolerance)
+        ratio = measured / expected if expected > 0 else float("inf")
+        verdict = "ok  " if measured >= floor else "FAIL"
+        if measured < floor:
+            failures += 1
+        elif ratio > 1.0 + args.tolerance:
+            improvements += 1
+        print(
+            f"{verdict} {name:<{width}}  measured {measured:>14.0f}  "
+            f"baseline {expected:>14.0f}  ratio {ratio:5.2f}  "
+            f"floor {floor:>14.0f}"
+        )
+
+    extra = sorted(set(fresh) - set(base))
+    for name in extra:
+        print(f"note {name:<{width}}  not in baseline (new metric?)")
+
+    if failures:
+        print(
+            f"\nFAIL: {failures} metric(s) below baseline*(1-{args.tolerance}); "
+            "if the drop is intended, refresh the baseline "
+            "(see docs/EXPERIMENTS.md)"
+        )
+        return 1
+    if improvements:
+        print(
+            f"\nok: all metrics within tolerance; {improvements} improved "
+            f">{args.tolerance:.0%} — consider refreshing the baseline"
+        )
+    else:
+        print("\nok: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

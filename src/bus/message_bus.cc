@@ -1,5 +1,8 @@
 #include "bus/message_bus.h"
 
+#include <functional>
+#include <string_view>
+
 #include "util/log.h"
 
 namespace mercury::bus {
@@ -11,12 +14,27 @@ MessageBus::MessageBus(sim::Simulator& sim, BusConfig config)
     : sim_(sim), config_(config), rng_(sim.rng().fork("mbus")) {}
 
 void MessageBus::attach(const std::string& name, Receiver receiver) {
-  endpoints_[name] = std::move(receiver);
+  endpoints_.insert_or_assign(name, std::move(receiver));
+  ++endpoints_version_;  // invalidate cached routes: re-register semantics
   restarting_.erase(name);  // back on the bus: no longer mid-restart
 }
 
+MessageBus::Receiver* MessageBus::find_receiver(const std::string& to) {
+  RouteEntry& entry =
+      route_cache_[std::hash<std::string_view>{}(to) & (kRouteCacheSize - 1)];
+  if (entry.version == endpoints_version_ && entry.to == to) {
+    return &endpoints_.at_index(entry.index).second;
+  }
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) return nullptr;
+  entry.to = to;
+  entry.index = static_cast<std::uint32_t>(endpoints_.index_of(it));
+  entry.version = endpoints_version_;
+  return &it->second;
+}
+
 void MessageBus::note_restarting(const std::string& name, std::uint64_t epoch) {
-  restarting_[name] = epoch;
+  restarting_.insert_or_assign(name, epoch);
 }
 
 bool MessageBus::restarting(const std::string& name) const {
@@ -27,7 +45,9 @@ void MessageBus::set_touch_listener(TouchListener listener) {
   touch_listener_ = std::move(listener);
 }
 
-void MessageBus::detach(const std::string& name) { endpoints_.erase(name); }
+void MessageBus::detach(const std::string& name) {
+  if (endpoints_.erase(name) > 0) ++endpoints_version_;
+}
 
 bool MessageBus::attached(const std::string& name) const {
   return endpoints_.contains(name);
@@ -55,37 +75,70 @@ void MessageBus::send(const msg::Message& message) {
     return;
   }
 
-  std::vector<std::string> targets;
+  // Re-parse the frame once, up front: decode() is pure, so sharing one
+  // decoded message across every delivery is indistinguishable from the old
+  // per-delivery parse — and a broadcast no longer decodes the same bytes
+  // once per target. Only data representable in the command language still
+  // crosses the bus (the receiver sees the round-tripped message, not the
+  // original).
+  auto parsed = msg::decode(wire);
+  if (!parsed.ok()) {
+    // Should be unreachable: we encoded it ourselves. Count as a drop per
+    // target rather than crash the bus on a malformed frame.
+    if (message.to == "*") {
+      for (const auto& [name, receiver] : endpoints_) {
+        if (name != message.from) ++stats_.dropped_no_endpoint;
+      }
+    } else {
+      ++stats_.dropped_no_endpoint;
+    }
+    LogLine(LogLevel::kError, sim_.now(), "mbus")
+        << "undecodable frame: " << parsed.error().message();
+    return;
+  }
+  const auto decoded =
+      std::make_shared<const msg::Message>(std::move(parsed).value());
+
   if (message.to == "*") {
+    // Scheduling deliveries never mutates the endpoint table, so broadcasts
+    // iterate it directly (same order the old targets vector was built in).
     for (const auto& [name, receiver] : endpoints_) {
-      if (name != message.from) targets.push_back(name);
+      if (name != message.from) dispatch(name, decoded);
     }
   } else {
-    targets.push_back(message.to);
+    dispatch(message.to, decoded);
   }
+}
 
-  for (const auto& target : targets) {
-    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
-      ++stats_.dropped_lossy;
-      continue;
-    }
-    const Duration latency =
-        config_.latency +
-        Duration::seconds(rng_.uniform(0.0, config_.latency_jitter.to_seconds()));
-    const std::uint64_t epoch = epoch_;
+void MessageBus::dispatch(const std::string& target,
+                          const std::shared_ptr<const msg::Message>& decoded) {
+  if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
+    ++stats_.dropped_lossy;
+    return;
+  }
+  const Duration latency =
+      config_.latency +
+      Duration::seconds(rng_.uniform(0.0, config_.latency_jitter.to_seconds()));
+  const std::uint64_t epoch = epoch_;
+  if (target == decoded->to) {
+    // Point-to-point: the decoded message already names the target — no
+    // per-delivery string copy in the closure.
     sim_.schedule_after(latency, "mbus.deliver:" + target,
-                        [this, epoch, target, wire] { deliver(epoch, target, wire); });
+                        [this, epoch, decoded] { deliver(epoch, decoded->to, decoded); });
+  } else {
+    sim_.schedule_after(latency, "mbus.deliver:" + target,
+                        [this, epoch, target, decoded] { deliver(epoch, target, decoded); });
   }
 }
 
 void MessageBus::deliver(std::uint64_t epoch, const std::string& to,
-                         const std::string& wire) {
+                         const std::shared_ptr<const msg::Message>& decoded) {
   if (!online_ || epoch != epoch_) {
     ++stats_.dropped_bus_down;
     return;
   }
-  const auto it = endpoints_.find(to);
-  if (it == endpoints_.end()) {
+  Receiver* receiver_slot = find_receiver(to);
+  if (receiver_slot == nullptr) {
     // Mid-restart endpoint (ISSUE 9): the process backend marked it at kill
     // time. With typed errors on, the sender gets a kNack carrying the
     // component and its failure epoch — a fast, actionable retry signal —
@@ -95,39 +148,28 @@ void MessageBus::deliver(std::uint64_t epoch, const std::string& to,
     const auto mid_restart = restarting_.find(to);
     if (mid_restart != restarting_.end() &&
         (config_.typed_restart_errors || touch_listener_)) {
-      auto original = msg::decode(wire);
-      if (original.ok()) {
-        const msg::Message& request = original.value();
-        if (touch_listener_) touch_listener_(to, request.from);
-        // Never answer a nack with a nack (no error-on-error loops), and
-        // never answer our own error messages.
-        if (config_.typed_restart_errors && request.kind != msg::Kind::kNack &&
-            !request.from.empty() && request.from != "mbus") {
-          ++stats_.rejected_restarting;
-          msg::Message error = msg::make_nack(request, "mbus", "restarting");
-          error.body.set_attr("component", to);
-          error.body.set_attr("epoch", std::to_string(mid_restart->second));
-          send(error);
-          return;
-        }
+      const msg::Message& request = *decoded;
+      if (touch_listener_) touch_listener_(to, request.from);
+      // Never answer a nack with a nack (no error-on-error loops), and
+      // never answer our own error messages.
+      if (config_.typed_restart_errors && request.kind != msg::Kind::kNack &&
+          !request.from.empty() && request.from != "mbus") {
+        ++stats_.rejected_restarting;
+        msg::Message error = msg::make_nack(request, "mbus", "restarting");
+        error.body.set_attr("component", to);
+        error.body.set_attr("epoch", std::to_string(mid_restart->second));
+        send(error);
+        return;
       }
     }
     ++stats_.dropped_no_endpoint;
     return;
   }
-  auto decoded = msg::decode(wire);
-  if (!decoded.ok()) {
-    // Should be unreachable: we encoded it ourselves. Count as a drop rather
-    // than crash the bus on a malformed frame.
-    ++stats_.dropped_no_endpoint;
-    LogLine(LogLevel::kError, sim_.now(), "mbus")
-        << "undecodable frame: " << decoded.error().message();
-    return;
-  }
   ++stats_.delivered;
-  // Copy the receiver: the callback may detach/re-attach endpoints.
-  Receiver receiver = it->second;
-  receiver(decoded.value());
+  // Copy the receiver: the callback may detach/re-attach endpoints, which
+  // moves flat-map slots out from under the pointer.
+  Receiver receiver = *receiver_slot;
+  receiver(*decoded);
 }
 
 void MessageBus::crash() {
@@ -135,6 +177,7 @@ void MessageBus::crash() {
   online_ = false;
   ++epoch_;  // voids in-flight deliveries
   endpoints_.clear();
+  ++endpoints_version_;
   LogLine(LogLevel::kInfo, sim_.now(), "mbus") << "bus crashed";
 }
 

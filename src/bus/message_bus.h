@@ -16,14 +16,16 @@
 // health-beacon extension.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "msg/message.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 #include "util/time.h"
 
 namespace mercury::bus {
@@ -111,7 +113,19 @@ class MessageBus {
   const BusStats& stats() const { return stats_; }
 
  private:
-  void deliver(std::uint64_t epoch, const std::string& to, const std::string& wire);
+  /// Schedule one delivery of `decoded` to `target` (loss + latency applied).
+  void dispatch(const std::string& target,
+                const std::shared_ptr<const msg::Message>& decoded);
+  /// `decoded` is the wire frame re-parsed through the command-language
+  /// codec. decode() is pure, so it runs once at send time and the result is
+  /// shared by every delivery of that frame (a broadcast used to re-parse
+  /// the same bytes once per target); each receiver still sees exactly what
+  /// a per-delivery parse would have produced.
+  void deliver(std::uint64_t epoch, const std::string& to,
+               const std::shared_ptr<const msg::Message>& decoded);
+  /// Routing lookup through the route cache; nullptr when unattached. The
+  /// returned pointer is valid only until the next endpoint mutation.
+  Receiver* find_receiver(const std::string& to);
 
   sim::Simulator& sim_;
   BusConfig config_;
@@ -119,10 +133,25 @@ class MessageBus {
   bool online_ = true;
   /// Incremented on crash; in-flight deliveries from an older epoch are void.
   std::uint64_t epoch_ = 0;
-  std::map<std::string, Receiver> endpoints_;
+  /// Endpoint table: sorted flat map (same iteration order as the std::map
+  /// it replaced, so broadcasts and endpoint_names() are unchanged), with a
+  /// small direct-mapped route cache in front of the binary search. A
+  /// sender's route to a target resolves through the cache on repeat sends;
+  /// any (re)register — attach, detach, crash — bumps endpoints_version_,
+  /// invalidating every cached route at once (a stale slot index must never
+  /// deliver to a dead receiver).
+  util::FlatMap<std::string, Receiver> endpoints_;
+  std::uint64_t endpoints_version_ = 1;
+  struct RouteEntry {
+    std::string to;
+    std::uint32_t index = 0;
+    std::uint64_t version = 0;  // 0 = empty; live versions start at 1
+  };
+  static constexpr std::size_t kRouteCacheSize = 16;  // power of two
+  std::array<RouteEntry, kRouteCacheSize> route_cache_;
   /// Endpoints currently detached because their process is restarting, with
   /// the failure epoch of the restart attempt (note_restarting / attach).
-  std::map<std::string, std::uint64_t> restarting_;
+  util::FlatMap<std::string, std::uint64_t> restarting_;
   TouchListener touch_listener_;
   BusStats stats_;
 };

@@ -96,7 +96,7 @@ void ExperimentRunner::run(std::size_t trials,
   // writes a trace file from a worker.
   if (capture) {
     for (std::size_t i = 0; i < trials; ++i) {
-      if (captures[i] != nullptr) ambient->merge_from(*captures[i]);
+      if (captures[i] != nullptr) ambient->merge_from(std::move(*captures[i]));
     }
   }
 

@@ -33,53 +33,83 @@ Result<Kind> kind_from_string(std::string_view s) {
 }
 
 std::string encode(const Message& message) {
-  xml::Element root("msg");
-  root.set_attr("type", std::string{to_string(message.kind)});
-  root.set_attr("from", message.from);
-  root.set_attr("to", message.to);
-  root.set_attr("seq", static_cast<long long>(message.seq));
-  if (!message.verb.empty()) root.set_attr("verb", message.verb);
+  // Serializes straight into the wire string — no intermediate <msg> Element
+  // (which would deep-copy the body) and no attribute-map inserts. The bytes
+  // are identical to writing the equivalent tree: attributes appear in the
+  // sorted order the element's attribute map would store them (from,
+  // reply-to, seq, to, type, verb), which the round-trip test pins down.
+  std::string out;
+  out.reserve(64 + message.from.size() + message.to.size() + message.verb.size());
+  out += "<msg from=\"";
+  xml::escape_attr_to(out, message.from);
+  out += '"';
   if (message.in_reply_to) {
-    root.set_attr("reply-to", static_cast<long long>(*message.in_reply_to));
+    out += " reply-to=\"";
+    out += std::to_string(static_cast<long long>(*message.in_reply_to));
+    out += '"';
   }
-  root.add_child(message.body);
-  return xml::write(root);
+  out += " seq=\"";
+  out += std::to_string(static_cast<long long>(message.seq));
+  out += "\" to=\"";
+  xml::escape_attr_to(out, message.to);
+  out += "\" type=\"";
+  out += to_string(message.kind);
+  out += '"';
+  if (!message.verb.empty()) {
+    out += " verb=\"";
+    xml::escape_attr_to(out, message.verb);
+    out += '"';
+  }
+  out += '>';
+  xml::write_to(out, message.body);
+  out += "</msg>";
+  return out;
 }
 
 Result<Message> decode(std::string_view wire) {
   auto doc = xml::parse(wire);
   if (!doc.ok()) return doc.error().wrap("decoding message");
-  const xml::Element& root = doc.value();
+  xml::Element& root = doc.value();
   if (root.name() != "msg") {
     return Error("expected <msg> root, got <" + root.name() + ">");
   }
 
+  // Read attributes through the map directly: one binary search and one
+  // string copy per field (attr() would add an optional<string> copy each).
+  const auto& attrs = root.attributes();
   Message message;
-  const auto type = root.attr("type");
-  if (!type) return Error("<msg> missing 'type' attribute");
-  auto kind = kind_from_string(*type);
+  const auto type = attrs.find("type");
+  if (type == attrs.end()) return Error("<msg> missing 'type' attribute");
+  auto kind = kind_from_string(type->second);
   if (!kind.ok()) return kind.error();
   message.kind = kind.value();
 
-  const auto from = root.attr("from");
-  const auto to = root.attr("to");
-  if (!from || from->empty()) return Error("<msg> missing 'from' attribute");
-  if (!to || to->empty()) return Error("<msg> missing 'to' attribute");
-  message.from = *from;
-  message.to = *to;
+  const auto from = attrs.find("from");
+  const auto to = attrs.find("to");
+  if (from == attrs.end() || from->second.empty()) {
+    return Error("<msg> missing 'from' attribute");
+  }
+  if (to == attrs.end() || to->second.empty()) {
+    return Error("<msg> missing 'to' attribute");
+  }
+  message.from = from->second;
+  message.to = to->second;
 
   const auto seq = root.attr_int("seq");
   if (!seq || *seq < 0) return Error("<msg> missing or invalid 'seq' attribute");
   message.seq = static_cast<std::uint64_t>(*seq);
 
-  message.verb = root.attr_or("verb", "");
+  const auto verb = attrs.find("verb");
+  if (verb != attrs.end()) message.verb = verb->second;
   if (const auto reply = root.attr_int("reply-to")) {
     if (*reply < 0) return Error("<msg> invalid 'reply-to' attribute");
     message.in_reply_to = static_cast<std::uint64_t>(*reply);
   }
 
-  if (const xml::Element* body = root.child("body")) {
-    message.body = *body;
+  if (xml::Element* body = root.child("body")) {
+    // The parse result dies with this call: steal the body instead of
+    // deep-copying it.
+    message.body = std::move(*body);
   }
   return message;
 }

@@ -99,10 +99,11 @@ struct RunFacts {
   std::map<std::uint64_t, std::pair<std::string, double>> open_faults;
 };
 
-}  // namespace
-
-std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
-                                    const CheckOptions& options) {
+/// Shared body of both check_trace overloads; `Range` is any forward range
+/// of TraceEvent (flat vector or chunked EventBuffer).
+template <typename Range>
+std::vector<TraceIssue> check_trace_impl(const Range& events,
+                                         const CheckOptions& options) {
   std::vector<TraceIssue> issues;
   const auto flag = [&](std::string invariant, std::uint64_t run,
                         std::string component, double t, std::string detail) {
@@ -332,6 +333,18 @@ std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
   }
 
   return issues;
+}
+
+}  // namespace
+
+std::vector<TraceIssue> check_trace(const std::vector<TraceEvent>& events,
+                                    const CheckOptions& options) {
+  return check_trace_impl(events, options);
+}
+
+std::vector<TraceIssue> check_trace(const EventBuffer& events,
+                                    const CheckOptions& options) {
+  return check_trace_impl(events, options);
 }
 
 std::string describe(const std::vector<TraceIssue>& issues) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "obs/trace.h"
 #include "util/log.h"
@@ -10,18 +11,78 @@ namespace mercury::sim {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  const auto index = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return index;
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Event& slot = slots_[index];
+  slot.seq = 0;
+  slot.fn = nullptr;      // release the closure now, not at slot reuse
+  slot.label.clear();     // keeps capacity for the next occupant
+  free_slots_.push_back(index);
+}
+
+void Simulator::sift_up(std::size_t i) const {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (before(heap_[child], heap_[best])) best = child;
+    }
+    if (!before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void Simulator::pop_top() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Simulator::prune_stale() const {
+  // A heap entry is live iff its slot still holds the same seq: cancel()
+  // frees the slot (seq -> 0) and a reused slot carries a newer seq, so one
+  // integer compare distinguishes live, cancelled, and reused.
+  while (!heap_.empty() && slots_[heap_.front().slot].seq != heap_.front().seq) {
+    pop_top();
+  }
+}
+
 EventId Simulator::schedule_at(TimePoint t, std::string label,
                                std::function<void()> fn) {
   assert(fn);
-  auto event = std::make_shared<Event>();
-  event->at = std::max(t, now_);
-  event->seq = next_seq_++;
-  event->label = std::move(label);
-  event->fn = std::move(fn);
-  queue_.push(event);
-  pending_index_.emplace(event->seq, event);
+  const std::uint32_t index = acquire_slot();
+  Event& slot = slots_[index];
+  slot.at = std::max(t, now_);
+  slot.seq = next_seq_++;
+  slot.label = std::move(label);
+  slot.fn = std::move(fn);
+  heap_.push_back(HeapEntry{slot.at, slot.seq, index});
+  sift_up(heap_.size() - 1);
   ++events_scheduled_;
-  return EventId{event->seq};
+  return EventId{index, slot.seq};
 }
 
 EventId Simulator::schedule_after(Duration delay, std::string label,
@@ -32,57 +93,55 @@ EventId Simulator::schedule_after(Duration delay, std::string label,
 
 bool Simulator::cancel(EventId id) {
   if (!id.valid()) return false;
-  const auto it = pending_index_.find(id.seq_);
-  if (it == pending_index_.end()) return false;  // already fired or cancelled
-  if (auto event = it->second.lock()) event->cancelled = true;
-  pending_index_.erase(it);
+  if (id.slot_ >= slots_.size()) return false;
+  if (slots_[id.slot_].seq != id.seq_) return false;  // fired, cancelled, or reused
+  release_slot(id.slot_);
   return true;
 }
 
-std::shared_ptr<Simulator::Event> Simulator::peek_live() const {
-  while (!queue_.empty()) {
-    auto top = queue_.top();
-    if (top->cancelled) {
-      queue_.pop();
-      continue;
-    }
-    return top;
-  }
-  return nullptr;
+bool Simulator::has_pending() const {
+  prune_stale();
+  return !heap_.empty();
 }
 
-bool Simulator::has_pending() const { return peek_live() != nullptr; }
-
 TimePoint Simulator::next_event_time() const {
-  const auto event = peek_live();
-  return event ? event->at : TimePoint::infinity();
+  prune_stale();
+  return heap_.empty() ? TimePoint::infinity() : heap_.front().at;
 }
 
 bool Simulator::step() {
-  auto event = peek_live();
-  if (!event) return false;
-  queue_.pop();
-  pending_index_.erase(event->seq);
-  assert(event->at >= now_);
-  now_ = event->at;
+  prune_stale();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  pop_top();
+  Event& slot = slots_[top.slot];
+  // Move the payload out and free the slot before firing: the event is no
+  // longer cancellable once it runs (its own callback sees cancel == false,
+  // as before), and the slot is immediately reusable by whatever it
+  // schedules.
+  std::string label = std::move(slot.label);
+  std::function<void()> fn = std::move(slot.fn);
+  release_slot(top.slot);
+  assert(top.at >= now_);
+  now_ = top.at;
   ++events_executed_;
   // Per-event kernel tracing is opt-in (TraceRecorder::set_sim_events): a
   // long run fires millions of events, which would bury the recovery signal.
   if (obs::TraceRecorder* rec = obs::recorder();
       rec != nullptr && rec->sim_events()) {
-    rec->instant(now_.to_seconds(), "sim", event->label, "sim");
+    rec->instant(now_.to_seconds(), "sim", label, "sim");
   }
   if (util::Logger::instance().enabled(util::LogLevel::kDebug)) {
-    util::LogLine(util::LogLevel::kDebug, now_, "sim") << "fire " << event->label;
+    util::LogLine(util::LogLevel::kDebug, now_, "sim") << "fire " << label;
   }
-  event->fn();
+  fn();
   return true;
 }
 
 void Simulator::run_until(TimePoint t) {
   while (true) {
-    const auto event = peek_live();
-    if (!event || event->at > t) break;
+    prune_stale();
+    if (heap_.empty() || heap_.front().at > t) break;
     step();
   }
   now_ = std::max(now_, t);

@@ -5,14 +5,21 @@
 // timestamps execute in scheduling order, and all randomness flows from one
 // seeded root Rng (forked per subsystem). Re-running with the same seed
 // reproduces every event, which the tests rely on.
+//
+// Storage (hot-path pass, ISSUE 10): events live in a slab of reusable
+// slots — no per-event heap allocation once the slab has warmed up — and the
+// ready queue is a 4-ary min-heap of (at, seq, slot) keys ordered exactly
+// like the old priority_queue, so pop order (and therefore every trace) is
+// unchanged. EventId is a generation-checked handle: cancel is O(1) — it
+// frees the slot and lets the stale heap entry fall out at pop time — and a
+// handle from a previous occupancy of a reused slot can never cancel the
+// current one, because the globally unique seq doubles as the generation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "util/rng.h"
@@ -25,7 +32,9 @@ using util::Rng;
 using util::TimePoint;
 
 /// Opaque handle for a scheduled event; valid until the event fires or is
-/// cancelled.
+/// cancelled. Internally a (slot, generation) pair into the simulator's
+/// event slab; a stale handle (slot since freed or reused) is recognized by
+/// its generation and cancel() on it is a safe no-op.
 class EventId {
  public:
   EventId() = default;
@@ -33,8 +42,9 @@ class EventId {
 
  private:
   friend class Simulator;
-  explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  EventId(std::uint32_t slot, std::uint64_t seq) : slot_(slot), seq_(seq) {}
+  std::uint32_t slot_ = 0;
+  std::uint64_t seq_ = 0;  // the scheduling seq, doubling as the generation
 };
 
 class Simulator {
@@ -54,8 +64,8 @@ class Simulator {
   /// Schedule `fn` after a non-negative delay.
   EventId schedule_after(Duration delay, std::string label, std::function<void()> fn);
 
-  /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled.
+  /// Cancel a pending event in O(1). Returns false if it already fired or
+  /// was cancelled (including handles from a previous use of a reused slot).
   bool cancel(EventId id);
 
   bool has_pending() const;
@@ -77,36 +87,50 @@ class Simulator {
   std::uint64_t events_scheduled() const { return events_scheduled_; }
 
  private:
+  /// One slab slot. seq == 0 means the slot is free; otherwise it holds the
+  /// pending event scheduled with that seq. Freed slots keep their string
+  /// capacity for reuse.
   struct Event {
     TimePoint at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t seq = 0;
     std::string label;
     std::function<void()> fn;
-    bool cancelled = false;
   };
 
-  struct Later {
-    bool operator()(const std::shared_ptr<Event>& a,
-                    const std::shared_ptr<Event>& b) const {
-      if (a->at != b->at) return a->at > b->at;
-      return a->seq > b->seq;
-    }
+  /// Heap key: comparisons never touch the slab. (at, seq) ascending — the
+  /// exact ordering the old priority_queue used, so traces stay identical.
+  struct HeapEntry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
 
-  /// Pops cancelled events off the top; returns the next live event or null.
-  std::shared_ptr<Event> peek_live() const;
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
+  // 4-ary heap primitives over heap_ (children of i at 4i+1..4i+4).
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  void pop_top() const;
+  /// Drops stale heap entries (cancelled events) off the top; afterwards the
+  /// top entry, if any, is live.
+  void prune_stale() const;
 
   TimePoint now_ = TimePoint::origin();
   Rng rng_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   std::uint64_t events_scheduled_ = 0;
-  // mutable: peek_live prunes cancelled events from const accessors.
-  mutable std::priority_queue<std::shared_ptr<Event>,
-                              std::vector<std::shared_ptr<Event>>, Later>
-      queue_;
-  // Pending (not yet fired, not cancelled) events by seq, for O(1) cancel.
-  std::unordered_map<std::uint64_t, std::weak_ptr<Event>> pending_index_;
+  std::vector<Event> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  // mutable: const accessors (has_pending, next_event_time) prune cancelled
+  // entries from the heap top, exactly like the old peek_live().
+  mutable std::vector<HeapEntry> heap_;
 };
 
 /// Self-rescheduling periodic task (e.g. the failure detector's ping loop).

@@ -374,7 +374,7 @@ TracedTrial run_trial_traced(const TrialSpec& spec) {
     obs::ScopedRecorder scope(recorder);
     traced.result = run_trial(spec);
   }
-  traced.events = recorder.events();
+  traced.events = recorder.events().to_vector();
   return traced;
 }
 

@@ -21,39 +21,50 @@ Element& Element::operator=(const Element& other) {
 }
 
 std::optional<std::string> Element::attr(std::string_view key) const {
-  const auto it = attributes_.find(std::string{key});
+  const auto it = attributes_.find(key);  // heterogeneous: no temp string
   if (it == attributes_.end()) return std::nullopt;
   return it->second;
 }
 
 std::string Element::attr_or(std::string_view key, std::string_view fallback) const {
-  auto v = attr(key);
-  return v ? *v : std::string{fallback};
+  // Hot path (the message codec reads every field this way): one binary
+  // search and one string construction, no optional in between.
+  const auto it = attributes_.find(key);
+  return it != attributes_.end() ? it->second : std::string{fallback};
 }
 
 std::optional<double> Element::attr_double(std::string_view key) const {
-  const auto v = attr(key);
-  if (!v) return std::nullopt;
+  const auto it = attributes_.find(key);
+  if (it == attributes_.end()) return std::nullopt;
+  const std::string& v = it->second;
   // std::from_chars for double is not universally available; use strtod.
-  const char* begin = v->c_str();
+  const char* begin = v.c_str();
   char* end = nullptr;
   const double parsed = std::strtod(begin, &end);
-  if (end == begin || end != begin + v->size()) return std::nullopt;
+  if (end == begin || end != begin + v.size()) return std::nullopt;
   return parsed;
 }
 
 std::optional<long long> Element::attr_int(std::string_view key) const {
-  const auto v = attr(key);
-  if (!v) return std::nullopt;
+  const auto it = attributes_.find(key);
+  if (it == attributes_.end()) return std::nullopt;
+  const std::string& v = it->second;
   long long parsed = 0;
-  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), parsed);
-  if (ec != std::errc{} || ptr != v->data() + v->size()) return std::nullopt;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), parsed);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) return std::nullopt;
   return parsed;
 }
 
 Element& Element::set_attr(std::string key, std::string value) {
-  attributes_[std::move(key)] = std::move(value);
+  attributes_.insert_or_assign(std::move(key), std::move(value));
   return *this;
+}
+
+bool Element::add_attr(const std::string& key, std::string value) {
+  // A <msg> header carries up to 6 attributes; reserving once avoids the
+  // doubling steps for the common message shapes.
+  if (attributes_.empty()) attributes_.reserve(6);
+  return attributes_.try_emplace(key, std::move(value)).second;
 }
 
 Element& Element::set_attr(std::string key, double value) {
@@ -68,7 +79,7 @@ Element& Element::set_attr(std::string key, long long value) {
 }
 
 bool Element::has_attr(std::string_view key) const {
-  return attributes_.contains(std::string{key});
+  return attributes_.contains(key);
 }
 
 Element& Element::set_text(std::string text) {

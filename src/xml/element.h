@@ -7,12 +7,13 @@
 // DTDs, or processing instructions.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/flat_map.h"
 
 namespace mercury::xml {
 
@@ -30,8 +31,11 @@ class Element {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  // --- Attributes (sorted by key for deterministic serialization) ---
-  const std::map<std::string, std::string>& attributes() const { return attributes_; }
+  // --- Attributes (sorted by key for deterministic serialization; stored
+  // as a flat map — every bus message round-trips through the codec, so
+  // attribute lookups are squarely on the hot path) ---
+  using AttributeMap = util::FlatMap<std::string, std::string>;
+  const AttributeMap& attributes() const { return attributes_; }
   std::optional<std::string> attr(std::string_view key) const;
   /// Attribute value or `fallback` when absent.
   std::string attr_or(std::string_view key, std::string_view fallback) const;
@@ -39,6 +43,10 @@ class Element {
   std::optional<double> attr_double(std::string_view key) const;
   std::optional<long long> attr_int(std::string_view key) const;
   Element& set_attr(std::string key, std::string value);
+  /// Insert-if-absent variant for the parser (which must reject duplicate
+  /// attributes): returns false and leaves the element unchanged when `key`
+  /// is already present. One map probe instead of has_attr + set_attr.
+  bool add_attr(const std::string& key, std::string value);
   Element& set_attr(std::string key, double value);
   Element& set_attr(std::string key, long long value);
   bool has_attr(std::string_view key) const;
@@ -63,7 +71,7 @@ class Element {
 
  private:
   std::string name_;
-  std::map<std::string, std::string> attributes_;
+  AttributeMap attributes_;
   std::string text_;
   std::vector<std::unique_ptr<Element>> children_;
 };

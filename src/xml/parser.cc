@@ -11,14 +11,36 @@ namespace {
 using util::Error;
 using util::Result;
 
+// Character-class lookup tables (the codec is on the per-message hot path;
+// <cctype> calls go through the locale). Classes match the C locale exactly:
+// isalpha == [A-Za-z], isspace == [ \t\n\v\f\r].
+struct CharTables {
+  bool name_start[256] = {};
+  bool name_char[256] = {};
+  bool space[256] = {};
+  constexpr CharTables() {
+    for (int c = 0; c < 256; ++c) {
+      const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+      const bool digit = c >= '0' && c <= '9';
+      name_start[c] = alpha || c == '_' || c == ':';
+      name_char[c] =
+          alpha || digit || c == '_' || c == ':' || c == '-' || c == '.';
+      space[c] = c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+                 c == '\r';
+    }
+  }
+};
+constexpr CharTables kTables;
+
 bool is_name_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  return kTables.name_start[static_cast<unsigned char>(c)];
 }
 
 bool is_name_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
-         c == '-' || c == '.';
+  return kTables.name_char[static_cast<unsigned char>(c)];
 }
+
+bool is_space(char c) { return kTables.space[static_cast<unsigned char>(c)]; }
 
 class Parser {
  public:
@@ -60,7 +82,25 @@ class Parser {
   }
 
   void skip_whitespace() {
-    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+    while (!at_end() && is_space(peek())) advance();
+  }
+
+  /// Length of the run starting at pos_ containing no newline and no
+  /// character from `stop`. Runs can be consumed in bulk: pos_/col_ advance
+  /// by the run length with no per-character line bookkeeping.
+  std::size_t plain_run(std::string_view stop) const {
+    std::size_t end = pos_;
+    while (end < input_.size()) {
+      const char c = input_[end];
+      if (c == '\n' || stop.find(c) != std::string_view::npos) break;
+      ++end;
+    }
+    return end - pos_;
+  }
+
+  void advance_plain(std::size_t n) {  // precondition: no '\n' in the run
+    pos_ += n;
+    col_ += static_cast<int>(n);
   }
 
   Error error(std::string_view message) const {
@@ -96,11 +136,10 @@ class Parser {
 
   Result<std::string> parse_name() {
     if (at_end() || !is_name_start(peek())) return error("expected a name");
-    std::string name;
-    while (!at_end() && is_name_char(peek())) {
-      name += peek();
-      advance();
-    }
+    std::size_t end = pos_;
+    while (end < input_.size() && is_name_char(input_[end])) ++end;
+    std::string name{input_.substr(pos_, end - pos_)};
+    advance_plain(end - pos_);  // name chars never include '\n'
     return name;
   }
 
@@ -165,14 +204,19 @@ class Parser {
     }
     const char quote = peek();
     advance();
+    const char stop[3] = {quote, '<', '&'};
     std::string value;
     while (!at_end() && peek() != quote) {
       if (peek() == '<') return error("'<' not allowed in attribute value");
       if (peek() == '&') {
         if (auto s = decode_entity(value); !s.ok()) return s.error();
-      } else {
-        value += peek();
+      } else if (peek() == '\n') {
+        value += '\n';
         advance();
+      } else {
+        const std::size_t run = plain_run(std::string_view{stop, 3});
+        value.append(input_.substr(pos_, run));
+        advance_plain(run);
       }
     }
     if (at_end()) return error("unterminated attribute value");
@@ -200,10 +244,9 @@ class Parser {
       skip_whitespace();
       auto value = parse_attr_value();
       if (!value.ok()) return value.error();
-      if (element.has_attr(key.value())) {
+      if (!element.add_attr(key.value(), std::move(value).value())) {
         return error("duplicate attribute '" + key.value() + "'");
       }
-      element.set_attr(std::move(key).value(), std::move(value).value());
     }
 
     if (match("/>")) {
@@ -245,9 +288,13 @@ class Parser {
         element.add_child(std::move(child).value());
       } else if (peek() == '&') {
         if (auto s = decode_entity(text); !s.ok()) return s.error();
-      } else {
-        text += peek();
+      } else if (peek() == '\n') {
+        text += '\n';
         advance();
+      } else {
+        const std::size_t run = plain_run("<&");
+        text.append(input_.substr(pos_, run));
+        advance_plain(run);
       }
     }
   }
@@ -258,9 +305,128 @@ class Parser {
   int col_ = 1;
 };
 
+// Fast path for the common shape: the compact documents our own writer
+// emits (every bus frame is one — encode() output is re-parsed at send
+// time). Handles elements, attributes, and plain character data only; the
+// moment it sees anything else — a prolog, a comment, CDATA, an entity, a
+// duplicate attribute, or any malformed input — it bails and the caller
+// falls back to the full parser, which either handles the construct or
+// produces the proper line:column diagnostic. On success the resulting
+// tree is identical to the full parser's (same grammar subset, same text
+// trimming), which the differential fuzz test in tests/test_xml.cc pins.
+class FastParser {
+ public:
+  explicit FastParser(std::string_view input) : input_(input) {}
+
+  /// True on success with `out` holding the root; false means "fall back".
+  bool parse_document(Element& out) {
+    skip_space();
+    if (!parse_element(out)) return false;
+    skip_space();
+    return pos_ == input_.size();
+  }
+
+ private:
+  bool at_end() const { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+
+  void skip_space() {
+    while (!at_end() && is_space(peek())) ++pos_;
+  }
+
+  bool parse_name(std::string& out) {
+    if (at_end() || !is_name_start(peek())) return false;
+    std::size_t end = pos_;
+    while (end < input_.size() && is_name_char(input_[end])) ++end;
+    out.assign(input_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  bool parse_element(Element& out) {
+    if (at_end() || peek() != '<') return false;
+    ++pos_;
+    std::string name;
+    if (!parse_name(name)) return false;  // also rejects <!-- / <?xml / <![
+    out.set_name(std::move(name));
+
+    while (true) {
+      skip_space();
+      if (at_end()) return false;
+      if (peek() == '>' || peek() == '/') break;
+      std::string key;
+      if (!parse_name(key)) return false;
+      skip_space();
+      if (at_end() || peek() != '=') return false;
+      ++pos_;
+      skip_space();
+      if (at_end() || (peek() != '"' && peek() != '\'')) return false;
+      const char quote = peek();
+      ++pos_;
+      std::size_t end = pos_;
+      while (end < input_.size() && input_[end] != quote) {
+        // '&' needs entity decoding, '<' is an error: both are slow-path.
+        if (input_[end] == '&' || input_[end] == '<') return false;
+        ++end;
+      }
+      if (end == input_.size()) return false;
+      if (!out.add_attr(key, std::string{input_.substr(pos_, end - pos_)})) {
+        return false;  // duplicate attribute: slow path diagnoses it
+      }
+      pos_ = end + 1;
+    }
+
+    if (peek() == '/') {
+      ++pos_;
+      if (at_end() || peek() != '>') return false;
+      ++pos_;
+      return true;
+    }
+    ++pos_;  // '>'
+
+    // Content: children interleaved with character data (accumulated across
+    // child boundaries and trimmed at the end, exactly like the full parser).
+    std::string text;
+    while (true) {
+      if (at_end()) return false;
+      const char c = peek();
+      if (c == '<') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+          pos_ += 2;
+          std::string close;
+          if (!parse_name(close)) return false;
+          if (close != out.name()) return false;
+          skip_space();
+          if (at_end() || peek() != '>') return false;
+          ++pos_;
+          out.set_text(std::string{util::trim(text)});
+          return true;
+        }
+        Element child;
+        if (!parse_element(child)) return false;  // comments/CDATA fall back
+        out.add_child(std::move(child));
+      } else if (c == '&') {
+        return false;  // entity: slow path decodes it
+      } else {
+        std::size_t end = pos_;
+        while (end < input_.size() && input_[end] != '<' && input_[end] != '&') {
+          ++end;
+        }
+        text.append(input_.substr(pos_, end - pos_));
+        pos_ = end;
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
 
 util::Result<Element> parse(std::string_view input) {
+  Element fast;
+  if (FastParser(input).parse_document(fast)) return fast;
   return Parser(input).parse_document();
 }
 

@@ -6,26 +6,39 @@ namespace mercury::xml {
 namespace {
 
 void append_escaped(std::string& out, std::string_view s, bool attr) {
-  for (char c : s) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
+  // Append unescaped runs in bulk; most strings contain no specials at all.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char* replacement = nullptr;
+    switch (s[i]) {
+      case '&': replacement = "&amp;"; break;
+      case '<': replacement = "&lt;"; break;
+      case '>': replacement = "&gt;"; break;
       case '"':
-        if (attr) out += "&quot;";
-        else out += c;
+        if (attr) replacement = "&quot;";
         break;
-      default: out += c;
+      default: break;
+    }
+    if (replacement != nullptr) {
+      out.append(s.substr(start, i - start));
+      out += replacement;
+      start = i + 1;
     }
   }
+  out.append(s.substr(start));
+}
+
+void append_indent(std::string& out, const WriteOptions& options, int depth) {
+  if (options.pretty) out.append(2 * static_cast<std::size_t>(depth), ' ');
+}
+
+void append_newline(std::string& out, const WriteOptions& options) {
+  if (options.pretty) out += '\n';
 }
 
 void write_element(std::string& out, const Element& e, const WriteOptions& options,
                    int depth) {
-  const std::string indent = options.pretty ? std::string(2 * static_cast<std::size_t>(depth), ' ') : "";
-  const std::string newline = options.pretty ? "\n" : "";
-
-  out += indent;
+  append_indent(out, options, depth);
   out += '<';
   out += e.name();
   for (const auto& [key, value] : e.attributes()) {
@@ -38,29 +51,29 @@ void write_element(std::string& out, const Element& e, const WriteOptions& optio
 
   if (e.text().empty() && e.children().empty()) {
     out += "/>";
-    out += newline;
+    append_newline(out, options);
     return;
   }
 
   out += '>';
   if (!e.children().empty()) {
-    out += newline;
+    append_newline(out, options);
     for (const auto& child : e.children()) {
       write_element(out, *child, options, depth + 1);
     }
     if (!e.text().empty()) {
-      out += indent;
+      append_indent(out, options, depth);
       append_escaped(out, e.text(), /*attr=*/false);
-      out += newline;
+      append_newline(out, options);
     }
-    out += indent;
+    append_indent(out, options, depth);
   } else {
     append_escaped(out, e.text(), /*attr=*/false);
   }
   out += "</";
   out += e.name();
   out += '>';
-  out += newline;
+  append_newline(out, options);
 }
 
 }  // namespace
@@ -75,6 +88,14 @@ std::string escape_attr(std::string_view value) {
   std::string out;
   append_escaped(out, value, /*attr=*/true);
   return out;
+}
+
+void escape_attr_to(std::string& out, std::string_view value) {
+  append_escaped(out, value, /*attr=*/true);
+}
+
+void write_to(std::string& out, const Element& element) {
+  write_element(out, element, WriteOptions{}, 0);
 }
 
 std::string write(const Element& element, const WriteOptions& options) {

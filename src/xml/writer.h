@@ -23,6 +23,11 @@ std::string escape_text(std::string_view text);
 /// Escape an attribute value (&, <, >, ").
 std::string escape_attr(std::string_view value);
 
+/// Append-style variants for hot paths (the message codec): no temporary
+/// strings, compact form only.
+void escape_attr_to(std::string& out, std::string_view value);
+void write_to(std::string& out, const Element& element);
+
 std::string write(const Element& element, const WriteOptions& options = {});
 
 }  // namespace mercury::xml

@@ -155,5 +155,99 @@ TEST(AnalyticModel, UncoveredCureSetFallsBackToRoot) {
   EXPECT_GT(predicted, 20.0);
 }
 
+// --- Traffic-summary bin edges (ISSUE 10) ----------------------------------
+// The goodput timeline is binned with integer truncation; these pin the
+// boundary cases: a request resolving exactly on a bin edge, a dip running
+// to the end of the evaluation window, and degenerate (zero-traffic /
+// disabled-injection) trials.
+
+/// Served request resolving at `done_t` against route "ses".
+RequestRecord served_at(double done_t) {
+  RequestRecord record;
+  record.sent_t = done_t - 0.01;
+  record.done_t = done_t;
+  record.served = true;
+  record.target = "ses";
+  return record;
+}
+
+/// Steady pre-injection traffic: 8 served in [0, 2) -> baseline 4 rps with
+/// inject_t = 2.0 (one resolves exactly on the 0.5 s edge at t=0.5).
+TrafficAccount baseline_account() {
+  TrafficAccount account;
+  for (double t : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 1.875}) {
+    account.record(served_at(t));
+  }
+  return account;
+}
+
+TEST(TrafficBinEdges, RequestOnBinBoundaryCountsTowardTheLaterBin) {
+  // Full bins with inject=2.0, end=5.0, bin=0.5 are [2.5,3.0) .. [4.5,5.0).
+  // Leave [2.5,3.0) empty and serve two requests per later bin, the first
+  // of them at exactly t=3.0 — the edge. Truncation must put it in
+  // [3.0,3.5): the dip is then exactly one empty bin deep and wide. If the
+  // edge request leaked into [2.5,3.0), the dip would flatten to depth 0.5
+  // and widen to two bins.
+  TrafficAccount account = baseline_account();
+  for (double t : {3.0, 3.25, 3.5, 3.75, 4.0, 4.25, 4.5, 4.75}) {
+    account.record(served_at(t));
+  }
+  const TrafficSummary summary = account.summarize(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(summary.baseline_rps, 4.0);
+  EXPECT_DOUBLE_EQ(summary.dip_depth, 1.0);      // one bin at rate 0
+  EXPECT_DOUBLE_EQ(summary.dip_width_s, 0.5);    // exactly that bin
+  EXPECT_DOUBLE_EQ(summary.dip_end_s, 1.0);      // [2.5,3.0) closes at 3.0
+}
+
+TEST(TrafficBinEdges, DipRunningToTraceEndClosesAtTheWindow) {
+  // Healthy bins up to [4.0,4.5), then nothing: the last full bin is below
+  // threshold, so the dip end lands exactly at end_t - inject_t.
+  TrafficAccount account = baseline_account();
+  for (double t : {2.5, 2.75, 3.0, 3.25, 3.5, 3.75, 4.0, 4.25}) {
+    account.record(served_at(t));
+  }
+  const TrafficSummary summary = account.summarize(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(summary.dip_depth, 1.0);
+  EXPECT_DOUBLE_EQ(summary.dip_width_s, 0.5);
+  EXPECT_DOUBLE_EQ(summary.dip_end_s, 3.0);  // == end_t - inject_t
+}
+
+TEST(TrafficBinEdges, PartialBinsAtTheWindowEdgesAreIgnored) {
+  // Requests in the injection-straddling bin [2.0,2.5) and the quiesce
+  // bin [5.0,5.5) must not count as goodput — nor read as dips.
+  TrafficAccount account = baseline_account();
+  account.record(served_at(2.1));   // partial first bin
+  account.record(served_at(5.25));  // past the window
+  for (double t : {2.5, 2.75, 3.0, 3.25, 3.5, 3.75, 4.0, 4.25, 4.5, 4.75}) {
+    account.record(served_at(t));
+  }
+  const TrafficSummary summary = account.summarize(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(summary.dip_depth, 0.0);
+  EXPECT_DOUBLE_EQ(summary.dip_width_s, 0.0);
+  EXPECT_DOUBLE_EQ(summary.dip_end_s, 0.0);
+}
+
+TEST(TrafficBinEdges, ZeroTrafficTrialSummarizesToZeros) {
+  const TrafficAccount account;
+  const TrafficSummary summary = account.summarize(2.0, 5.0);
+  EXPECT_EQ(summary.issued, 0u);
+  EXPECT_EQ(summary.served, 0u);
+  EXPECT_EQ(summary.lost, 0u);
+  EXPECT_DOUBLE_EQ(summary.baseline_rps, 0.0);
+  EXPECT_DOUBLE_EQ(summary.dip_depth, 0.0);
+  EXPECT_DOUBLE_EQ(summary.dip_width_s, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p50_ms, 0.0);
+}
+
+TEST(TrafficBinEdges, NonPositiveInjectionDisablesDipAccounting) {
+  TrafficAccount account = baseline_account();
+  const TrafficSummary summary = account.summarize(0.0, 5.0);
+  EXPECT_EQ(summary.served, 8u);  // counts and percentiles still fill in
+  EXPECT_GT(summary.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(summary.baseline_rps, 0.0);
+  EXPECT_DOUBLE_EQ(summary.dip_depth, 0.0);
+  EXPECT_DOUBLE_EQ(summary.dip_width_s, 0.0);
+}
+
 }  // namespace
 }  // namespace mercury::core

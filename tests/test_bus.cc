@@ -1,11 +1,16 @@
 // Unit tests: mbus and the dedicated FD<->REC link.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "bus/dedicated_link.h"
 #include "bus/message_bus.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace mercury::bus {
 namespace {
@@ -283,6 +288,162 @@ TEST(BusLoss, DefaultBusIsLossless) {
   EXPECT_EQ(received, 1'000);
   EXPECT_EQ(bus.stats().dropped_lossy, 0u);
 }
+
+// --- Flat-map routing + route cache (ISSUE 10) -----------------------------
+// The endpoint table is a sorted flat map with a small direct-mapped route
+// cache in front of the lookup. These tests pin the invalidation contract:
+// a cached route must never deliver to a detached endpoint, a replaced
+// receiver, or a slot whose index shifted under an insert.
+
+namespace routing {
+
+BusConfig instant_config() {
+  BusConfig config;
+  config.latency = Duration::millis(0.0);
+  config.latency_jitter = Duration::millis(0.0);
+  return config;
+}
+
+TEST(BusRouting, StaleRouteCacheNeverDeliversToDetachedEndpoint) {
+  sim::Simulator sim(1);
+  MessageBus bus(sim, instant_config());
+  int received = 0;
+  bus.attach("a", [](const msg::Message&) {});
+  bus.attach("b", [&received](const msg::Message&) { ++received; });
+  bus.send(msg::make_ping("a", "b", 1));  // warms the a->b route
+  sim.run_all();
+  ASSERT_EQ(received, 1);
+
+  bus.detach("b");
+  bus.send(msg::make_ping("a", "b", 2));
+  sim.run_all();
+  EXPECT_EQ(received, 1);  // cached route invalidated, not re-used
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+}
+
+TEST(BusRouting, ReattachReplacesReceiverDespiteWarmCache) {
+  sim::Simulator sim(1);
+  MessageBus bus(sim, instant_config());
+  int old_received = 0;
+  int new_received = 0;
+  bus.attach("b", [&old_received](const msg::Message&) { ++old_received; });
+  bus.send(msg::make_ping("a", "b", 1));
+  sim.run_all();
+  ASSERT_EQ(old_received, 1);
+
+  // A restarted component takes over its name: the warm route must resolve
+  // to the replacement receiver, never the dead one.
+  bus.attach("b", [&new_received](const msg::Message&) { ++new_received; });
+  bus.send(msg::make_ping("a", "b", 2));
+  sim.run_all();
+  EXPECT_EQ(old_received, 1);
+  EXPECT_EQ(new_received, 1);
+}
+
+TEST(BusRouting, WarmRouteSurvivesFlatMapSlotShifts) {
+  sim::Simulator sim(1);
+  MessageBus bus(sim, instant_config());
+  int received = 0;
+  bus.attach("mmm", [&received](const msg::Message&) { ++received; });
+  bus.send(msg::make_ping("zzz", "mmm", 1));  // cache holds mmm's slot index
+  sim.run_all();
+  ASSERT_EQ(received, 1);
+
+  // Inserting names that sort before "mmm" shifts its slot in the sorted
+  // vector; a cached index from before the insert must not be trusted.
+  bus.attach("aaa", [](const msg::Message&) {});
+  bus.attach("bbb", [](const msg::Message&) {});
+  bus.send(msg::make_ping("zzz", "mmm", 2));
+  sim.run_all();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(bus.stats().delivered, 2u);
+}
+
+TEST(BusRouting, RandomizedDifferentialAgainstMapModel) {
+  // Property fuzz: drive the bus with random attach/detach/send/crash/
+  // restart ops and mirror every op in a trivial std::map model. Delivery
+  // counts per endpoint and the drop counters must match the model exactly.
+  sim::Simulator sim(7);
+  MessageBus bus(sim, instant_config());
+  util::Rng rng(99);
+
+  const std::vector<std::string> pool = {"mbus", "ses",  "str", "rtu",
+                                         "fedr", "pbcom", "fd",  "rec"};
+  std::map<std::string, std::uint64_t> got;       // live deliveries observed
+  std::map<std::string, std::uint64_t> expected;  // model's prediction
+  std::set<std::string> model_attached;
+  bool model_online = true;
+  std::uint64_t exp_sent = 0, exp_delivered = 0;
+  std::uint64_t exp_bus_down = 0, exp_no_endpoint = 0;
+
+  const auto pick = [&]() -> const std::string& {
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+
+  for (int op = 0; op < 5'000; ++op) {
+    const auto kind = rng.uniform_int(0, 19);
+    if (kind < 3) {  // attach (or re-attach)
+      const std::string& name = pick();
+      auto* count = &got[name];
+      bus.attach(name, [count](const msg::Message&) { ++*count; });
+      model_attached.insert(name);
+    } else if (kind < 5) {  // detach
+      const std::string& name = pick();
+      bus.detach(name);
+      model_attached.erase(name);
+    } else if (kind == 5) {
+      bus.crash();  // clears the endpoint table while down
+      if (model_online) {
+        model_online = false;
+        model_attached.clear();
+      }
+    } else if (kind == 6) {
+      bus.restart();
+      model_online = true;
+    } else if (kind < 16) {  // point-to-point send
+      const std::string& from = pick();
+      const std::string& to = pick();
+      bus.send(msg::make_ping(from, to, static_cast<std::uint64_t>(op)));
+      sim.run_all();
+      ++exp_sent;
+      if (!model_online) {
+        ++exp_bus_down;
+      } else if (model_attached.count(to) > 0) {
+        ++exp_delivered;
+        ++expected[to];
+      } else {
+        ++exp_no_endpoint;
+      }
+    } else {  // broadcast
+      const std::string& from = pick();
+      bus.send(msg::make_event(from, static_cast<std::uint64_t>(op), "beacon"));
+      sim.run_all();
+      ++exp_sent;
+      if (!model_online) {
+        ++exp_bus_down;
+      } else {
+        for (const std::string& name : model_attached) {
+          if (name == from) continue;
+          ++exp_delivered;
+          ++expected[name];
+        }
+      }
+    }
+  }
+
+  EXPECT_EQ(bus.stats().sent, exp_sent);
+  EXPECT_EQ(bus.stats().delivered, exp_delivered);
+  EXPECT_EQ(bus.stats().dropped_bus_down, exp_bus_down);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, exp_no_endpoint);
+  EXPECT_EQ(bus.stats().dropped_lossy, 0u);
+  EXPECT_EQ(bus.stats().dropped_oversize, 0u);
+  for (const std::string& name : pool) {
+    EXPECT_EQ(got[name], expected[name]) << "endpoint " << name;
+  }
+}
+
+}  // namespace routing
 
 // --- DedicatedLink ---------------------------------------------------------
 

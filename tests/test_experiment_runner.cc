@@ -186,6 +186,51 @@ TEST(ExperimentRunner, BatchByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(serial, batch_fingerprint("8"));
 }
 
+/// Whole file as a string; empty on error.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return in ? out.str() : std::string{};
+}
+
+TEST(ExperimentRunner, GoldenBatchByteIdenticalToCommittedFixture) {
+  // Determinism lock-down (ISSUE 10): the sample batch's merged trace and
+  // result line must reproduce the committed fixtures byte for byte, at any
+  // job count. The fixtures were captured from the pre-optimization seed
+  // build, so this pins the full observable contract — event timestamps,
+  // (at, seq) pop order, routing, span/run rebasing in the merge — across
+  // every hot-path rewrite, present and future. If a change legitimately
+  // alters the trace (new events, schema change), regenerate the fixtures
+  // with a serial run and say so in the PR.
+  const std::string data_dir = MERCURY_TEST_DATA_DIR;
+  const std::string golden_trace =
+      read_file(data_dir + "/golden_batch.trace.jsonl");
+  const std::string golden_results =
+      read_file(data_dir + "/golden_batch.results.txt");
+  ASSERT_FALSE(golden_trace.empty());
+  ASSERT_FALSE(golden_results.empty());
+
+  for (const char* jobs : {"1", "2", "8"}) {
+    JobsEnv env(jobs);
+    obs::TraceRecorder recorder;
+    std::ostringstream results;
+    {
+      obs::ScopedRecorder scope(recorder);
+      for (const station::TrialResult& result :
+           station::run_trial_batch(sample_specs())) {
+        results << result.recovery.to_seconds() << "," << result.restarts
+                << "," << result.escalations << ";";
+      }
+    }
+    results << "\n";
+    std::ostringstream trace;
+    recorder.write_jsonl(trace);
+    EXPECT_EQ(trace.str(), golden_trace) << "MERCURY_JOBS=" << jobs;
+    EXPECT_EQ(results.str(), golden_results) << "MERCURY_JOBS=" << jobs;
+  }
+}
+
 TEST(ExperimentRunner, MergedTraceMatchesTheLegacySerialRecorder) {
   // The pre-runner behaviour: every trial recorded directly into one
   // ambient recorder on the calling thread. The runner's per-trial

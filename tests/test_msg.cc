@@ -1,7 +1,11 @@
 // Unit tests: the command-language message schema.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "msg/message.h"
+#include "xml/element.h"
+#include "xml/writer.h"
 
 namespace mercury::msg {
 namespace {
@@ -84,6 +88,36 @@ TEST(Message, DecodeRejectsMissingFields) {
       decode(R"(<msg type="ping" from="a" to="b" seq="-3"/>)").ok());
   EXPECT_FALSE(decode(R"(<notmsg type="ping" from="a" to="b" seq="1"/>)").ok());
   EXPECT_FALSE(decode("not xml at all").ok());
+}
+
+TEST(Message, EncodeMatchesTheEquivalentElementTreeByteForByte) {
+  // encode() serializes straight into the wire string (ISSUE 10); its bytes
+  // must stay identical to building the <msg> element tree and writing it —
+  // attributes in sorted map order (from, reply-to, seq, to, type, verb),
+  // same escaping, body as the only child. Covers the optional fields both
+  // present and absent, and values that need attribute escaping.
+  Message m = make_command("r&tu", "fe\"dr", 42, "tu<ne");
+  m.in_reply_to = 41;
+  m.body.set_attr("freq_hz", 437.1e6);
+  m.body.add_child(xml::Element("note")).set_text("doppler <&> corrected");
+
+  const auto tree_bytes = [](const Message& message) {
+    xml::Element root("msg");
+    root.set_attr("from", message.from);
+    if (message.in_reply_to) {
+      root.set_attr("reply-to", static_cast<long long>(*message.in_reply_to));
+    }
+    root.set_attr("seq", static_cast<long long>(message.seq));
+    root.set_attr("to", message.to);
+    root.set_attr("type", std::string{to_string(message.kind)});
+    if (!message.verb.empty()) root.set_attr("verb", message.verb);
+    root.add_child(message.body);
+    return xml::write(root);
+  };
+  EXPECT_EQ(encode(m), tree_bytes(m));
+
+  Message bare = make_ping("fd", "ses", 7);  // no verb, no reply-to
+  EXPECT_EQ(encode(bare), tree_bytes(bare));
 }
 
 TEST(Message, DecodeToleratesMissingBody) {

@@ -1,9 +1,11 @@
 // Unit tests: the discrete-event kernel.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace mercury::sim {
 namespace {
@@ -190,6 +192,121 @@ TEST(PeriodicTask, SelfStopFromCallback) {
   task.start();
   sim.run_until(TimePoint::from_seconds(10.0));
   EXPECT_EQ(fired, 2);
+}
+
+// --- Slab/heap kernel lock-down (ISSUE 10) --------------------------------
+// The event store is an arena of reusable slots with generation-checked
+// handles and a 4-ary heap; these tests pin the observable contract the
+// rewrite must preserve: (at, seq) fire order, O(1) cancel, and stale
+// handles that can never touch a slot's next occupant.
+
+TEST(Simulator, StaleHandleFromReusedSlotCannotCancelNewOccupant) {
+  Simulator sim(1);
+  int fired = 0;
+  const EventId stale = sim.schedule_after(Duration::millis(1.0), "a", [] {});
+  ASSERT_TRUE(sim.cancel(stale));  // frees the slot
+  // The freed slot is reused immediately; the old handle's generation no
+  // longer matches, so it must not cancel the new occupant.
+  sim.schedule_after(Duration::millis(2.0), "b", [&fired] { ++fired; });
+  EXPECT_FALSE(sim.cancel(stale));
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelAfterFireIsSafeNoop) {
+  Simulator sim(1);
+  int fired = 0;
+  const EventId id =
+      sim.schedule_after(Duration::millis(1.0), "e", [&fired] { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(EventId{}));  // default handle is never valid
+}
+
+TEST(Simulator, CancelledEventsNeverBlockTheQueue) {
+  // Lazy cancellation leaves stale entries in the heap; has_pending and
+  // next_event_time must see through them.
+  Simulator sim(1);
+  const EventId a = sim.schedule_after(Duration::millis(1.0), "a", [] {});
+  const EventId b = sim.schedule_after(Duration::millis(2.0), "b", [] {});
+  int fired = 0;
+  sim.schedule_after(Duration::millis(3.0), "c", [&fired] { ++fired; });
+  sim.cancel(a);
+  sim.cancel(b);
+  EXPECT_TRUE(sim.has_pending());
+  EXPECT_EQ(sim.next_event_time().to_seconds(), 0.003);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(Simulator, RandomizedDifferentialAgainstNaiveReference) {
+  // 10k random schedule/cancel/step ops against a brute-force reference
+  // implementing the documented contract directly: events fire in (at, seq)
+  // ascending order; cancel kills exactly the named occupancy. Small
+  // discrete delays force heavy timestamp ties, so fire order rests on the
+  // seq tie-break — the part a queue rewrite is most likely to get wrong.
+  struct RefEvent {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    int tag = 0;
+    bool alive = true;
+  };
+  Simulator sim(31);
+  util::Rng rng(2026);
+  std::vector<RefEvent> ref;      // index-aligned with `handles`
+  std::vector<EventId> handles;
+  std::vector<int> fired;         // tags in simulator fire order
+  std::vector<int> expected;      // tags in reference fire order
+  std::uint64_t next_seq = 1;     // shadow of the simulator's seq counter
+  int next_tag = 0;
+  const double delays_ms[] = {0.0, 0.0, 1.0, 2.0, 5.0};
+
+  const auto ref_pop = [&ref]() -> int {
+    std::size_t best = ref.size();
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (!ref[i].alive) continue;
+      if (best == ref.size() || ref[i].at < ref[best].at ||
+          (ref[i].at == ref[best].at && ref[i].seq < ref[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == ref.size()) return -1;
+    ref[best].alive = false;
+    return ref[best].tag;
+  };
+
+  for (int op = 0; op < 10'000; ++op) {
+    const auto kind = rng.uniform_int(0, 9);
+    if (kind < 6) {  // schedule
+      const Duration delay =
+          Duration::millis(delays_ms[rng.uniform_int(0, 4)]);
+      const int tag = next_tag++;
+      handles.push_back(sim.schedule_after(
+          delay, "d", [&fired, tag] { fired.push_back(tag); }));
+      ref.push_back({sim.now() + delay, next_seq++, tag, true});
+    } else if (kind < 8 && !ref.empty()) {  // cancel a random handle
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1));
+      // cancel() reports true iff the occupancy is still pending — stale
+      // handles (already fired or cancelled) must be recognized.
+      ASSERT_EQ(sim.cancel(handles[i]), ref[i].alive) << "op " << op;
+      ref[i].alive = false;
+    } else {  // drain a little
+      const auto steps = rng.uniform_int(1, 4);
+      for (std::int64_t s = 0; s < steps; ++s) {
+        const bool stepped = sim.step();
+        const int tag = ref_pop();
+        ASSERT_EQ(stepped, tag != -1) << "op " << op;
+        if (tag != -1) expected.push_back(tag);
+      }
+    }
+  }
+  sim.run_all();
+  for (int tag = ref_pop(); tag != -1; tag = ref_pop()) expected.push_back(tag);
+  ASSERT_EQ(fired, expected);
+  EXPECT_EQ(sim.events_executed(), fired.size());
 }
 
 TEST(Simulator, DeterministicTraceForSameSeed) {

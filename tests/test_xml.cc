@@ -1,6 +1,9 @@
 // Unit + property tests: the XML command-language codec.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
 #include "util/rng.h"
 #include "xml/element.h"
 #include "xml/parser.h"
@@ -227,6 +230,46 @@ TEST_P(XmlRoundTrip, ParseWriteIdentity) {
           << reparsed.error().message() << "\nwire: " << wire;
       EXPECT_TRUE(original == reparsed.value()) << "wire: " << wire;
     }
+  }
+}
+
+TEST_P(XmlRoundTrip, FastAndFallbackParsersAgree) {
+  // parse() tries a compact fast-path parser first and falls back to the
+  // full line/col-tracking parser on any non-trivial construct (ISSUE 10).
+  // Prepending a prolog and a comment forces the fallback for the *same*
+  // document, so comparing the two results differentially pins the paths
+  // against each other across random documents. Entity-rich values (&, <,
+  // ") already route some undecorated documents down the fallback too, so
+  // both directions of the bail-out get exercised.
+  util::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 20; ++i) {
+    const Element original = random_element(rng, 0);
+    const std::string wire = write(original);
+    auto fast = parse(wire);
+    auto full = parse("<?xml version=\"1.0\"?><!-- force fallback -->" + wire);
+    ASSERT_TRUE(fast.ok()) << "wire: " << wire;
+    ASSERT_TRUE(full.ok()) << "wire: " << wire;
+    EXPECT_TRUE(fast.value() == full.value()) << "wire: " << wire;
+    EXPECT_TRUE(fast.value() == original) << "wire: " << wire;
+  }
+}
+
+TEST_P(XmlRoundTrip, BothParserPathsRejectEveryTruncation) {
+  // No proper prefix of a single-root document is well-formed: the root
+  // element is still open at the cut. Both the fast path and the fallback
+  // (forced via decoration) must reject every truncation — and never crash
+  // or read out of bounds (the fast path scans with raw spans).
+  util::Rng rng(GetParam() + 2000);
+  const Element original = random_element(rng, 0);
+  const std::string wire = write(original);
+  const std::string decorated = "<?xml version=\"1.0\"?>" + wire;
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(parse(std::string_view(wire).substr(0, cut)).ok())
+        << "prefix length " << cut << " of: " << wire;
+  }
+  for (std::size_t cut = 0; cut < decorated.size(); ++cut) {
+    EXPECT_FALSE(parse(std::string_view(decorated).substr(0, cut)).ok())
+        << "decorated prefix length " << cut << " of: " << decorated;
   }
 }
 
